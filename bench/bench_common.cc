@@ -1,0 +1,88 @@
+#include "bench_common.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/profiles.hh"
+
+namespace ccsim::bench {
+
+namespace {
+
+int
+envInt(const char *name, int def)
+{
+    const char *v = std::getenv(name);
+    return (v && *v) ? std::atoi(v) : def;
+}
+
+} // namespace
+
+std::vector<std::string>
+singleWorkloads()
+{
+    return workloads::allProfileNames();
+}
+
+std::vector<int>
+mainMixes()
+{
+    int n = envInt("CCSIM_MIXES", 20);
+    std::vector<int> mixes;
+    for (int i = 1; i <= n; ++i)
+        mixes.push_back(i);
+    return mixes;
+}
+
+std::vector<int>
+sweepMixes()
+{
+    int n = envInt("CCSIM_SWEEP_MIXES", 5);
+    std::vector<int> mixes;
+    for (int i = 1; i <= n; ++i)
+        mixes.push_back(i);
+    return mixes;
+}
+
+std::uint64_t
+rltlInsts()
+{
+    return static_cast<std::uint64_t>(envInt("CCSIM_RLTL_INSTS", 1000000));
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    sim::ExpScale s = sim::expScale();
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("scale: %llu insts/core, %llu warm-up (CCSIM_INSTS/CCSIM_WARMUP)\n",
+                (unsigned long long)s.insts, (unsigned long long)s.warmup);
+    std::printf("==============================================================\n");
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / values.size());
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / values.size();
+}
+
+} // namespace ccsim::bench

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared plumbing for the reproduction harness. Each bench binary
+ * regenerates one table or figure of the ChargeCache paper (HPCA 2016)
+ * and prints the same rows/series the paper reports.
+ *
+ * Scale knobs (defaults keep the full suite in tens of minutes):
+ *   CCSIM_INSTS       instructions/core after warm-up (default 100000)
+ *   CCSIM_WARMUP      warm-up instructions/core       (default 10000)
+ *   CCSIM_MIXES       number of 8-core mixes for main figures (20)
+ *   CCSIM_SWEEP_MIXES number of 8-core mixes for sweeps (5)
+ */
+
+#ifndef CCSIM_BENCH_BENCH_COMMON_HH
+#define CCSIM_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace ccsim::bench {
+
+/** All 22 single-core workloads (paper Figure 4a order). */
+std::vector<std::string> singleWorkloads();
+
+/** Mix ids for the headline multi-core figures (w1..wN). */
+std::vector<int> mainMixes();
+
+/** Smaller mix set for parameter sweeps. */
+std::vector<int> sweepMixes();
+
+/**
+ * Instruction budget for the RLTL characterisation figures (3 and 4).
+ * The 8 ms-RLTL metric needs several milliseconds of simulated time per
+ * workload to be meaningful, so these run longer than the speedup
+ * benches (env CCSIM_RLTL_INSTS, default 1M instructions/core).
+ */
+std::uint64_t rltlInsts();
+
+/** Banner: experiment id, paper reference, scale in use. */
+void printHeader(const std::string &title, const std::string &paper_ref);
+
+/** Geometric-mean helper for speedup aggregation. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+} // namespace ccsim::bench
+
+#endif // CCSIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 8: DRAM energy reduction of ChargeCache over the baseline —
+ * average and maximum, single-core and eight-core. Energy includes the
+ * ChargeCache structure's own static power (Section 6.3), so reported
+ * savings are net.
+ *
+ * Paper result: up to 6.9% / avg 1.8% (1-core); up to 14.1% / avg 7.9%
+ * (8-core).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace ccsim;
+    bench::printHeader("fig08_energy",
+                       "Figure 8 (DRAM energy reduction of ChargeCache)");
+
+    std::printf("\n-- single-core --\n");
+    std::printf("%-12s %14s %14s %10s\n", "workload", "base (mJ)",
+                "CC (mJ)", "saving");
+    std::vector<double> single;
+    for (const auto &w : bench::singleWorkloads()) {
+        sim::SystemResult base = sim::runSingle(w, sim::Scheme::Baseline);
+        sim::SystemResult cc =
+            sim::runSingle(w, sim::Scheme::ChargeCache);
+        double saving = 1.0 - cc.energy.totalNj() / base.energy.totalNj();
+        std::printf("%-12s %14.3f %14.3f %9.2f%%\n", w.c_str(),
+                    base.energy.totalNj() * 1e-6,
+                    cc.energy.totalNj() * 1e-6, 100 * saving);
+        if (base.activations > 100)
+            single.push_back(saving);
+    }
+
+    std::printf("\n-- eight-core --\n");
+    std::printf("%-12s %14s %14s %10s\n", "mix", "base (mJ)", "CC (mJ)",
+                "saving");
+    std::vector<double> eight;
+    for (int mix : bench::mainMixes()) {
+        sim::SystemResult base = sim::runMix(mix, sim::Scheme::Baseline);
+        sim::SystemResult cc = sim::runMix(mix, sim::Scheme::ChargeCache);
+        double saving = 1.0 - cc.energy.totalNj() / base.energy.totalNj();
+        std::printf("w%-11d %14.3f %14.3f %9.2f%%\n", mix,
+                    base.energy.totalNj() * 1e-6,
+                    cc.energy.totalNj() * 1e-6, 100 * saving);
+        eight.push_back(saving);
+    }
+
+    auto max_of = [](const std::vector<double> &v) {
+        return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+    };
+    std::printf("\n%-14s %10s %10s\n", "", "average", "maximum");
+    std::printf("%-14s %9.2f%% %9.2f%%   (paper: 1.8%% / 6.9%%)\n",
+                "single-core", 100 * bench::mean(single),
+                100 * max_of(single));
+    std::printf("%-14s %9.2f%% %9.2f%%   (paper: 7.9%% / 14.1%%)\n",
+                "eight-core", 100 * bench::mean(eight),
+                100 * max_of(eight));
+    return 0;
+}

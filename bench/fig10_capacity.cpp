@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 10: speedup versus ChargeCache capacity (single-core IPC
+ * speedup; eight-core weighted speedup).
+ *
+ * Paper result: 8.8% at 128 entries and 10.6% at 1024 entries for the
+ * eight-core system — benefits diminish with capacity.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "workloads/profiles.hh"
+
+int
+main()
+{
+    using namespace ccsim;
+    bench::printHeader("fig10_capacity",
+                       "Figure 10 (speedup vs ChargeCache capacity)");
+
+    const int capacities[] = {32, 64, 128, 256, 512, 1024};
+
+    // Baselines once.
+    std::vector<double> base_single;
+    for (const auto &w : bench::singleWorkloads())
+        base_single.push_back(
+            sim::runSingle(w, sim::Scheme::Baseline).ipc[0]);
+    std::vector<double> base_eight;
+    for (int mix : bench::sweepMixes()) {
+        auto names = workloads::mixWorkloads(mix);
+        sim::SystemResult r = sim::runMix(mix, sim::Scheme::Baseline);
+        base_eight.push_back(sim::weightedSpeedup(names, r.ipc));
+    }
+
+    std::printf("\n%-10s %14s %14s\n", "entries", "single-core",
+                "eight-core");
+    for (int entries : capacities) {
+        auto tweak = [entries](sim::SimConfig &cfg) {
+            cfg.cc.table.entries = entries;
+        };
+        std::vector<double> single, eight;
+        const auto &workload_names = bench::singleWorkloads();
+        for (size_t i = 0; i < workload_names.size(); ++i) {
+            sim::SystemResult r = sim::runSingle(
+                workload_names[i], sim::Scheme::ChargeCache, tweak);
+            single.push_back(r.ipc[0] / base_single[i]);
+        }
+        auto mixes = bench::sweepMixes();
+        for (size_t i = 0; i < mixes.size(); ++i) {
+            auto names = workloads::mixWorkloads(mixes[i]);
+            sim::SystemResult r =
+                sim::runMix(mixes[i], sim::Scheme::ChargeCache, tweak);
+            eight.push_back(sim::weightedSpeedup(names, r.ipc) /
+                            base_eight[i]);
+        }
+        std::printf("%-10d %+13.2f%% %+13.2f%%\n", entries,
+                    100 * (bench::geomean(single) - 1),
+                    100 * (bench::geomean(eight) - 1));
+    }
+    std::printf("\npaper (8-core): +8.8%% at 128 entries, +10.6%% at "
+                "1024; diminishing returns.\n");
+    return 0;
+}

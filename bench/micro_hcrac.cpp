@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): HCRAC lookup/insert, sweep
+ * invalidation, and address decode throughput — the operations on the
+ * memory controller's critical path. A hardware HCRAC is a single-cycle
+ * structure; here we confirm the software model is cheap enough that
+ * simulation speed is dominated by the DRAM timing model, not the
+ * mechanism under study.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "chargecache/hcrac.hh"
+#include "common/random.hh"
+#include "dram/addr.hh"
+
+namespace {
+
+using namespace ccsim;
+
+void
+BM_HcracLookupHit(benchmark::State &state)
+{
+    chargecache::Hcrac cache(
+        {static_cast<int>(state.range(0)), 2});
+    for (int k = 0; k < state.range(0); ++k)
+        cache.insert(static_cast<std::uint64_t>(k) * 977);
+    std::uint64_t k = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.lookup((k++ % state.range(0)) * 977));
+    }
+}
+BENCHMARK(BM_HcracLookupHit)->Arg(128)->Arg(1024);
+
+void
+BM_HcracLookupMiss(benchmark::State &state)
+{
+    chargecache::Hcrac cache({128, 2});
+    std::uint64_t k = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.lookup(k += 7919));
+}
+BENCHMARK(BM_HcracLookupMiss);
+
+void
+BM_HcracInsert(benchmark::State &state)
+{
+    chargecache::Hcrac cache({128, 2});
+    std::uint64_t k = 0;
+    for (auto _ : state)
+        cache.insert(k += 104729);
+}
+BENCHMARK(BM_HcracInsert);
+
+void
+BM_SweepInvalidatorAdvance(benchmark::State &state)
+{
+    chargecache::Hcrac cache({128, 2});
+    chargecache::SweepInvalidator sweep(800000, 128);
+    Cycle now = 0;
+    for (auto _ : state) {
+        now += 10000;
+        sweep.advanceTo(now, cache);
+    }
+}
+BENCHMARK(BM_SweepInvalidatorAdvance);
+
+void
+BM_AddressDecode(benchmark::State &state)
+{
+    dram::DramSpec spec = dram::DramSpec::ddr3_1600(2);
+    dram::AddressMapper mapper(spec.org, dram::MapScheme::RoBaRaCoCh);
+    Rng rng(1);
+    Addr line = 0;
+    for (auto _ : state) {
+        line = (line + 0x9E3779B97F4A7C15ull) % mapper.numLines();
+        benchmark::DoNotOptimize(mapper.decode(line));
+    }
+}
+BENCHMARK(BM_AddressDecode);
+
+void
+BM_FullAssocLookup(benchmark::State &state)
+{
+    chargecache::Hcrac cache({1024, 1024});
+    for (int k = 0; k < 1024; ++k)
+        cache.insert(static_cast<std::uint64_t>(k));
+    std::uint64_t k = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.lookup(k++ % 1024));
+}
+BENCHMARK(BM_FullAssocLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

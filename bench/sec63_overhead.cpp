@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Section 6.3: ChargeCache hardware overhead — storage via the paper's
+ * Equations (1)/(2), area and power via the calibrated SRAM model,
+ * compared against a 4 MB LLC.
+ *
+ * Paper numbers: 43008 bits = 5376 B (672 B/core), 0.022 mm^2 (0.24% of
+ * the LLC), 0.149 mW average (0.23% of the LLC's power).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "dram/spec.hh"
+#include "mcpat_lite/overhead.hh"
+
+int
+main()
+{
+    using namespace ccsim;
+    bench::printHeader("sec63_overhead",
+                       "Section 6.3 (area & power overhead)");
+
+    dram::DramOrg org = dram::DramSpec::ddr3_1600(2).org;
+    mcpat_lite::ChargeCacheGeometry geo; // 8 cores, 2 ch, 128 entries.
+    auto rep = mcpat_lite::estimateOverhead(geo, org);
+
+    std::printf("\nEq. 2 entry size: %d bits "
+                "(log2 R + log2 B + log2 Ro + 1 = 0+3+16+1)\n",
+                mcpat_lite::entrySizeBits(org));
+    std::printf("Eq. 1 storage: %llu bits = %llu bytes "
+                "(%llu bytes/core)\n",
+                (unsigned long long)rep.bits,
+                (unsigned long long)rep.bytes,
+                (unsigned long long)rep.bytesPerCore);
+    std::printf("\n%-28s %12s %12s\n", "", "ChargeCache", "4MB LLC");
+    std::printf("%-28s %9.4f mm2 %8.2f mm2\n", "area (22 nm)",
+                rep.areaMm2, rep.llcAreaMm2);
+    std::printf("%-28s %10.3f mW %9.2f mW\n", "power (avg)", rep.powerMw,
+                rep.llcPowerMw);
+    std::printf("\narea fraction of LLC:  %.2f%%   (paper: 0.24%%)\n",
+                100 * rep.areaFractionOfLlc);
+    std::printf("power fraction of LLC: %.2f%%   (paper: 0.23%%)\n",
+                100 * rep.powerFractionOfLlc);
+    std::printf("paper: 5376 bytes, 0.022 mm2, 0.149 mW.\n");
+
+    std::printf("\n-- capacity scaling (Figure 10's cost axis) --\n");
+    std::printf("%-10s %12s %12s %12s\n", "entries", "bytes/core",
+                "area (mm2)", "power (mW)");
+    for (int entries : {128, 256, 512, 1024}) {
+        mcpat_lite::ChargeCacheGeometry g = geo;
+        g.entries = entries;
+        auto r = mcpat_lite::estimateOverhead(g, org);
+        std::printf("%-10d %12llu %12.4f %12.3f\n", entries,
+                    (unsigned long long)r.bytesPerCore, r.areaMm2,
+                    r.powerMw);
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 2: tRCD and tRAS for different caching durations, derived from
+ * the calibrated circuit timing model. The 1/16/64 ms rows are fit
+ * anchors; the 4 ms row is a genuine prediction of the model.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "circuit/timing_model.hh"
+#include "dram/spec.hh"
+
+int
+main()
+{
+    using namespace ccsim;
+    bench::printHeader("tab02_timings",
+                       "Table 2 (caching duration -> tRCD/tRAS)");
+
+    circuit::TimingModel model;
+    dram::DramTiming timing;
+
+    std::printf("\n%-22s %10s %10s %8s %8s   %s\n", "caching duration",
+                "tRCD(ns)", "tRAS(ns)", "tRCD(cy)", "tRAS(cy)",
+                "paper(ns)");
+    std::printf("%-22s %10.2f %10.2f %8d %8d   %s\n", "N/A (baseline)",
+                model.trcdNs(64.0), model.trasNs(64.0), timing.tRCD,
+                timing.tRAS, "13.75 / 35");
+
+    struct Row {
+        double ms;
+        const char *paper;
+    };
+    const Row rows[] = {{1.0, "8 / 22"},
+                        {4.0, "9 / 24   (model prediction)"},
+                        {16.0, "11 / 28"}};
+    for (const Row &row : rows) {
+        circuit::DerivedTimings d =
+            model.timingsForDuration(row.ms, timing);
+        std::printf("%-20.0fms %10.2f %10.2f %8d %8d   %s\n", row.ms,
+                    d.trcdNs, d.trasNs, d.trcdCycles, d.trasCycles,
+                    row.paper);
+    }
+    std::printf("\n1 ms operating point: tRCD 11->%d, tRAS 28->%d "
+                "cycles (paper: 4/8-cycle reduction).\n",
+                model.timingsForDuration(1.0, timing).trcdCycles,
+                model.timingsForDuration(1.0, timing).trasCycles);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Quickstart: run one workload on the baseline DDR3-1600 system and on
+ * ChargeCache, and print the headline metrics — the 30-second tour of
+ * the library's public API.
+ *
+ * Usage: quickstart [workload] [insts=N]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hh"
+#include "workloads/profiles.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ccsim;
+
+    std::string workload = argc > 1 ? argv[1] : "tpch6";
+
+    printf("ChargeCache quickstart — workload '%s'\n", workload.c_str());
+    printf("(scale via CCSIM_INSTS / CCSIM_WARMUP environment vars)\n\n");
+
+    sim::SystemResult base =
+        sim::runSingle(workload, sim::Scheme::Baseline);
+    sim::SystemResult cc =
+        sim::runSingle(workload, sim::Scheme::ChargeCache);
+
+    double speedup = cc.ipc[0] / base.ipc[0] - 1.0;
+
+    printf("%-28s %12s %12s\n", "metric", "baseline", "chargecache");
+    printf("%-28s %12.4f %12.4f\n", "IPC", base.ipc[0], cc.ipc[0]);
+    printf("%-28s %12.2f %12.2f\n", "RMPKC (ACTs/kcycle)",
+           base.rmpkc, cc.rmpkc);
+    printf("%-28s %12llu %12llu\n", "row activations",
+           (unsigned long long)base.activations,
+           (unsigned long long)cc.activations);
+    printf("%-28s %12s %12.1f%%\n", "HCRAC hit rate", "-",
+           100.0 * cc.hcracHitRate);
+    printf("%-28s %12s %12.1f%%\n", "ACTs at reduced timing", "-",
+           100.0 * cc.providerHitRate);
+    printf("%-28s %12.3f %12.3f\n", "DRAM energy (mJ)",
+           base.energy.totalNj() * 1e-6, cc.energy.totalNj() * 1e-6);
+    printf("\nChargeCache speedup: %+.2f%%\n", 100.0 * speedup);
+    return 0;
+}

@@ -1,0 +1,178 @@
+#include "chargecache/hcrac.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ccsim::chargecache {
+
+const char *
+insertPolicyName(InsertPolicy policy)
+{
+    switch (policy) {
+      case InsertPolicy::Lru:
+        return "LRU";
+      case InsertPolicy::Lip:
+        return "LIP";
+      case InsertPolicy::Bip:
+        return "BIP";
+    }
+    return "?";
+}
+
+Hcrac::Hcrac(const Params &params)
+    : ways_(params.ways),
+      policy_(params.policy),
+      bipEpsilon_(params.bipEpsilon),
+      rng_(params.seed)
+{
+    CCSIM_ASSERT(params.entries > 0 && params.ways > 0,
+                 "HCRAC geometry must be positive");
+    CCSIM_ASSERT(params.entries % params.ways == 0,
+                 "HCRAC entries must divide into ways");
+    sets_ = params.entries / params.ways;
+    entries_.resize(static_cast<size_t>(params.entries));
+}
+
+std::size_t
+Hcrac::setIndex(std::uint64_t key) const
+{
+    return static_cast<size_t>(mix64(key) % static_cast<std::uint64_t>(sets_));
+}
+
+Hcrac::Entry *
+Hcrac::find(std::uint64_t key)
+{
+    Entry *set = &entries_[setIndex(key) * ways_];
+    for (int w = 0; w < ways_; ++w)
+        if (set[w].valid && set[w].key == key)
+            return &set[w];
+    return nullptr;
+}
+
+bool
+Hcrac::lookup(std::uint64_t key)
+{
+    ++stats_.lookups;
+    Entry *e = find(key);
+    if (!e)
+        return false;
+    ++stats_.hits;
+    e->stamp = ++clock_;
+    return true;
+}
+
+void
+Hcrac::insert(std::uint64_t key)
+{
+    ++stats_.inserts;
+    if (Entry *e = find(key)) {
+        // Row was precharged again: the entry is fresh; promote it.
+        e->stamp = ++clock_;
+        return;
+    }
+    Entry *set = &entries_[setIndex(key) * ways_];
+    Entry *victim = nullptr;
+    for (int w = 0; w < ways_; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+    }
+    if (!victim) {
+        victim = &set[0];
+        for (int w = 1; w < ways_; ++w)
+            if (set[w].stamp < victim->stamp)
+                victim = &set[w];
+        ++stats_.evictions;
+    }
+    victim->valid = true;
+    victim->key = key;
+    switch (policy_) {
+      case InsertPolicy::Lru:
+        victim->stamp = ++clock_;
+        break;
+      case InsertPolicy::Lip:
+        victim->stamp = 0; // LRU position: first out.
+        break;
+      case InsertPolicy::Bip:
+        victim->stamp = rng_.chance(bipEpsilon_) ? ++clock_ : 0;
+        break;
+    }
+}
+
+void
+Hcrac::invalidateEntry(std::size_t idx)
+{
+    CCSIM_ASSERT(idx < entries_.size(), "HCRAC sweep index out of range");
+    if (entries_[idx].valid) {
+        entries_[idx].valid = false;
+        ++stats_.sweepInvalidations;
+    }
+}
+
+void
+Hcrac::invalidateAll()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+int
+Hcrac::validCount() const
+{
+    int n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+SweepInvalidator::SweepInvalidator(Cycle duration_cycles, int entries)
+    : entries_(entries)
+{
+    CCSIM_ASSERT(entries > 0, "invalidator needs entries");
+    period_ = std::max<Cycle>(1, duration_cycles / entries);
+    nextDue_ = period_;
+}
+
+void
+SweepInvalidator::advanceTo(Cycle now, Hcrac &cache)
+{
+    while (nextDue_ <= now) {
+        cache.invalidateEntry(ec_);
+        ec_ = (ec_ + 1) % static_cast<size_t>(entries_);
+        nextDue_ += period_;
+    }
+}
+
+void
+UnlimitedHcrac::insert(std::uint64_t key, Cycle now)
+{
+    auto &bucket = buckets_[mix64(key) & 1023];
+    for (auto &kv : bucket) {
+        if (kv.first == key) {
+            kv.second = now;
+            return;
+        }
+    }
+    bucket.emplace_back(key, now);
+}
+
+bool
+UnlimitedHcrac::lookup(std::uint64_t key, Cycle now)
+{
+    ++stats_.lookups;
+    auto &bucket = buckets_[mix64(key) & 1023];
+    for (auto &kv : bucket) {
+        if (kv.first == key) {
+            if (now - kv.second <= duration_) {
+                ++stats_.hits;
+                return true;
+            }
+            return false;
+        }
+    }
+    return false;
+}
+
+} // namespace ccsim::chargecache

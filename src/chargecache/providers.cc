@@ -1,0 +1,202 @@
+#include "chargecache/providers.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ccsim::chargecache {
+
+ChargeCacheProvider::ChargeCacheProvider(const dram::DramTiming &timing,
+                                         const ChargeCacheParams &params,
+                                         int num_cores)
+    : timing_(timing), params_(params)
+{
+    CCSIM_ASSERT(num_cores >= 1, "need at least one core");
+    CCSIM_ASSERT(params.trcdReduced >= 1 &&
+                     params.trasReduced > params.trcdReduced,
+                 "reduced timing must stay a valid (tRCD, tRAS) pair");
+    int n_tables = params.sharedTable ? 1 : num_cores;
+    for (int i = 0; i < n_tables; ++i) {
+        Hcrac::Params tp = params.table;
+        tp.seed = params.table.seed + static_cast<std::uint64_t>(i) * 7919;
+        tables_.push_back(std::make_unique<Hcrac>(tp));
+        invalidators_.emplace_back(params.durationCycles, tp.entries);
+    }
+    if (params.trackUnlimited)
+        unlimited_ = std::make_unique<UnlimitedHcrac>(params.durationCycles);
+}
+
+int
+ChargeCacheProvider::tableIndex(int core_id) const
+{
+    if (params_.sharedTable || core_id < 0)
+        return 0;
+    return core_id % static_cast<int>(tables_.size());
+}
+
+dram::EffActTiming
+ChargeCacheProvider::onActivate(int core_id, const dram::DramAddr &addr,
+                                Cycle now)
+{
+    ++activations;
+    int idx = tableIndex(core_id);
+    invalidators_[idx].advanceTo(now, *tables_[idx]);
+    std::uint64_t key = rowKey(addr, addr.row);
+    if (unlimited_)
+        unlimited_->lookup(key, now);
+    if (tables_[idx]->lookup(key)) {
+        ++reducedActivations;
+        return {params_.trcdReduced, params_.trasReduced, true};
+    }
+    return standard(timing_);
+}
+
+void
+ChargeCacheProvider::onPrecharge(int owner_core, const dram::DramAddr &addr,
+                                 int row, Cycle now)
+{
+    int idx = tableIndex(owner_core);
+    invalidators_[idx].advanceTo(now, *tables_[idx]);
+    std::uint64_t key = rowKey(addr, row);
+    tables_[idx]->insert(key);
+    if (unlimited_)
+        unlimited_->insert(key, now);
+}
+
+void
+ChargeCacheProvider::resetStats()
+{
+    LatencyProvider::resetStats();
+    for (auto &t : tables_)
+        t->resetStats();
+    if (unlimited_)
+        unlimited_->resetStats();
+}
+
+Hcrac::Stats
+ChargeCacheProvider::tableStats() const
+{
+    Hcrac::Stats total;
+    for (const auto &t : tables_) {
+        const Hcrac::Stats &s = t->stats();
+        total.lookups += s.lookups;
+        total.hits += s.hits;
+        total.inserts += s.inserts;
+        total.evictions += s.evictions;
+        total.sweepInvalidations += s.sweepInvalidations;
+    }
+    return total;
+}
+
+double
+ChargeCacheProvider::unlimitedHitRate() const
+{
+    if (!unlimited_ || unlimited_->stats().lookups == 0)
+        return 0.0;
+    return double(unlimited_->stats().hits) / unlimited_->stats().lookups;
+}
+
+NuatProvider::NuatProvider(const dram::DramTiming &timing,
+                           const NuatParams &params,
+                           const RefreshInfo &refresh)
+    : timing_(timing), params_(params), refresh_(refresh)
+{
+    CCSIM_ASSERT(!params_.bins.empty(), "NUAT needs at least one bin");
+    for (size_t i = 1; i < params_.bins.size(); ++i)
+        CCSIM_ASSERT(params_.bins[i].maxAgeCycles >
+                         params_.bins[i - 1].maxAgeCycles,
+                     "NUAT bins must have increasing age bounds");
+}
+
+dram::EffActTiming
+NuatProvider::onActivate(int, const dram::DramAddr &addr, Cycle now)
+{
+    ++activations;
+    std::int64_t last =
+        refresh_.lastRefreshCycle(addr.rank, addr.bank, addr.row, now);
+    std::int64_t age = static_cast<std::int64_t>(now) - last;
+    CCSIM_ASSERT(age >= 0, "refresh in the future?");
+    for (const auto &bin : params_.bins) {
+        if (age < static_cast<std::int64_t>(bin.maxAgeCycles)) {
+            // Clamp: a bin never exceeds the standard timing.
+            int trcd = std::min(bin.trcd, timing_.tRCD);
+            int tras = std::min(bin.tras, timing_.tRAS);
+            if (trcd < timing_.tRCD || tras < timing_.tRAS) {
+                ++reducedActivations;
+                return {trcd, tras, true};
+            }
+            return standard(timing_);
+        }
+    }
+    return standard(timing_);
+}
+
+dram::EffActTiming
+CombinedProvider::onActivate(int core_id, const dram::DramAddr &addr,
+                             Cycle now)
+{
+    ++activations;
+    dram::EffActTiming cc = cc_->onActivate(core_id, addr, now);
+    dram::EffActTiming nu = nuat_->onActivate(core_id, addr, now);
+    dram::EffActTiming best;
+    best.trcd = std::min(cc.trcd, nu.trcd);
+    best.tras = std::min(cc.tras, nu.tras);
+    best.reduced = cc.reduced || nu.reduced;
+    if (best.reduced)
+        ++reducedActivations;
+    return best;
+}
+
+void
+CombinedProvider::onPrecharge(int owner_core, const dram::DramAddr &addr,
+                              int row, Cycle now)
+{
+    cc_->onPrecharge(owner_core, addr, row, now);
+    nuat_->onPrecharge(owner_core, addr, row, now);
+}
+
+MultiDurationProvider::MultiDurationProvider(
+    const dram::DramTiming &timing, const Hcrac::Params &table_params,
+    const std::vector<DurationLevel> &levels)
+    : timing_(timing), levels_(levels)
+{
+    CCSIM_ASSERT(!levels_.empty(), "need at least one duration level");
+    for (size_t i = 1; i < levels_.size(); ++i)
+        CCSIM_ASSERT(levels_[i].durationCycles > levels_[i - 1].durationCycles,
+                     "duration levels must increase");
+    for (size_t i = 0; i < levels_.size(); ++i) {
+        Hcrac::Params tp = table_params;
+        tp.seed = table_params.seed + i * 104729;
+        tables_.push_back(std::make_unique<Hcrac>(tp));
+        invalidators_.emplace_back(levels_[i].durationCycles, tp.entries);
+    }
+}
+
+dram::EffActTiming
+MultiDurationProvider::onActivate(int, const dram::DramAddr &addr, Cycle now)
+{
+    ++activations;
+    std::uint64_t key = rowKey(addr, addr.row);
+    for (size_t i = 0; i < tables_.size(); ++i) {
+        invalidators_[i].advanceTo(now, *tables_[i]);
+        if (tables_[i]->lookup(key)) {
+            ++reducedActivations;
+            return {std::min(levels_[i].trcd, timing_.tRCD),
+                    std::min(levels_[i].tras, timing_.tRAS), true};
+        }
+    }
+    return standard(timing_);
+}
+
+void
+MultiDurationProvider::onPrecharge(int, const dram::DramAddr &addr, int row,
+                                   Cycle now)
+{
+    std::uint64_t key = rowKey(addr, row);
+    for (size_t i = 0; i < tables_.size(); ++i) {
+        invalidators_[i].advanceTo(now, *tables_[i]);
+        tables_[i]->insert(key);
+    }
+}
+
+} // namespace ccsim::chargecache

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Latency providers: the policy layer that decides, per activation,
+ * which tRCD/tRAS the memory controller uses.
+ *
+ *  - StandardProvider:     commodity DRAM (baseline).
+ *  - ChargeCacheProvider:  the paper's mechanism (HCRAC + sweep
+ *                          invalidation; per-core or shared tables).
+ *  - NuatProvider:         NUAT [Shin+, HPCA 2014] — lower latency only
+ *                          for recently-refreshed rows (5PB binning).
+ *  - CombinedProvider:     ChargeCache + NUAT (Section 6's CC+NUAT).
+ *  - LowLatencyDramProvider: idealized LL-DRAM (every ACT reduced) —
+ *                          the upper bound in Figure 7.
+ *  - MultiDurationProvider: extension — NUAT-style multiple caching
+ *                          durations for ChargeCache (Section 6
+ *                          discussion / future work).
+ */
+
+#ifndef CCSIM_CHARGECACHE_PROVIDERS_HH
+#define CCSIM_CHARGECACHE_PROVIDERS_HH
+
+#include <memory>
+#include <vector>
+
+#include "chargecache/hcrac.hh"
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/spec.hh"
+
+namespace ccsim::chargecache {
+
+/**
+ * Interface the controller queries for refresh recency (used by NUAT).
+ * Implemented by the controller's refresh scheduler.
+ */
+class RefreshInfo
+{
+  public:
+    virtual ~RefreshInfo() = default;
+
+    /**
+     * Cycle at which `row` of (rank, bank) was last refreshed (may be
+     * "negative", i.e. before simulation start; encoded as a signed
+     * offset from 0 saturating at a full window).
+     */
+    virtual std::int64_t lastRefreshCycle(int rank, int bank, int row,
+                                          Cycle now) const = 0;
+};
+
+/** Per-ACT timing decision interface. */
+class LatencyProvider
+{
+  public:
+    virtual ~LatencyProvider() = default;
+
+    /**
+     * Decide the effective timing of an ACT at cycle `now` issued on
+     * behalf of core `core_id` (-1 when unattributable).
+     */
+    virtual dram::EffActTiming onActivate(int core_id,
+                                          const dram::DramAddr &addr,
+                                          Cycle now) = 0;
+
+    /**
+     * Observe a precharge of `row` in (rank, bank) at `now`; the row was
+     * most recently used by `owner_core`.
+     */
+    virtual void onPrecharge(int owner_core, const dram::DramAddr &addr,
+                             int row, Cycle now) = 0;
+
+    virtual const char *name() const = 0;
+
+    /** Zero statistics (end of warm-up). */
+    virtual void
+    resetStats()
+    {
+        activations = 0;
+        reducedActivations = 0;
+    }
+
+    /** Total ACTs seen / ACTs issued with reduced timing. */
+    std::uint64_t activations = 0;
+    std::uint64_t reducedActivations = 0;
+
+    /** Fraction of ACTs served with lowered timing parameters. */
+    double
+    hitRate() const
+    {
+        return activations ? double(reducedActivations) / activations : 0.0;
+    }
+
+  protected:
+    dram::EffActTiming
+    standard(const dram::DramTiming &t) const
+    {
+        return {t.tRCD, t.tRAS, false};
+    }
+};
+
+/** Pack (rank, bank, row) into an HCRAC tag key. */
+inline std::uint64_t
+rowKey(const dram::DramAddr &addr, int row)
+{
+    return (std::uint64_t(addr.rank) << 40) | (std::uint64_t(addr.bank) << 32) |
+           std::uint64_t(static_cast<std::uint32_t>(row));
+}
+
+/** Baseline: every ACT uses the standard timing. */
+class StandardProvider : public LatencyProvider
+{
+  public:
+    explicit StandardProvider(const dram::DramTiming &timing)
+        : timing_(timing)
+    {}
+
+    dram::EffActTiming
+    onActivate(int, const dram::DramAddr &, Cycle) override
+    {
+        ++activations;
+        return standard(timing_);
+    }
+
+    void onPrecharge(int, const dram::DramAddr &, int, Cycle) override {}
+
+    const char *name() const override { return "Baseline"; }
+
+  private:
+    const dram::DramTiming &timing_;
+};
+
+/** Idealized LL-DRAM: every ACT uses the reduced timing (100% hit). */
+class LowLatencyDramProvider : public LatencyProvider
+{
+  public:
+    LowLatencyDramProvider(int trcd, int tras) : trcd_(trcd), tras_(tras) {}
+
+    dram::EffActTiming
+    onActivate(int, const dram::DramAddr &, Cycle) override
+    {
+        ++activations;
+        ++reducedActivations;
+        return {trcd_, tras_, true};
+    }
+
+    void onPrecharge(int, const dram::DramAddr &, int, Cycle) override {}
+
+    const char *name() const override { return "LL-DRAM"; }
+
+  private:
+    int trcd_, tras_;
+};
+
+/** ChargeCache configuration. */
+struct ChargeCacheParams {
+    Hcrac::Params table;           ///< Geometry/policy per table.
+    Cycle durationCycles = 800000; ///< Caching duration (1 ms @ 800 MHz).
+    int trcdReduced = 7;           ///< tRCD on hit (11 - 4).
+    int trasReduced = 20;          ///< tRAS on hit (28 - 8).
+    bool sharedTable = false;      ///< One table for all cores (fn. 2).
+    bool trackUnlimited = false;   ///< Also model the unlimited table.
+};
+
+/** The paper's mechanism. */
+class ChargeCacheProvider : public LatencyProvider
+{
+  public:
+    ChargeCacheProvider(const dram::DramTiming &timing,
+                        const ChargeCacheParams &params, int num_cores);
+
+    dram::EffActTiming onActivate(int core_id, const dram::DramAddr &addr,
+                                  Cycle now) override;
+    void onPrecharge(int owner_core, const dram::DramAddr &addr, int row,
+                     Cycle now) override;
+
+    const char *name() const override { return "ChargeCache"; }
+
+    void resetStats() override;
+
+    /** Aggregated HCRAC statistics over all per-core tables. */
+    Hcrac::Stats tableStats() const;
+
+    /** Hit rate of the idealized unlimited table (Figure 9 dashes). */
+    double unlimitedHitRate() const;
+
+    int numTables() const { return static_cast<int>(tables_.size()); }
+    const Hcrac &table(int idx) const { return *tables_[idx]; }
+
+  private:
+    int tableIndex(int core_id) const;
+
+    const dram::DramTiming &timing_;
+    ChargeCacheParams params_;
+    std::vector<std::unique_ptr<Hcrac>> tables_;
+    std::vector<SweepInvalidator> invalidators_;
+    std::unique_ptr<UnlimitedHcrac> unlimited_;
+};
+
+/** One NUAT latency bin: rows refreshed less than `maxAge` ago. */
+struct NuatBin {
+    Cycle maxAgeCycles = 0;
+    int trcd = 0;
+    int tras = 0;
+};
+
+/** NUAT parameters (default 5PB binning as in the NUAT paper). */
+struct NuatParams {
+    std::vector<NuatBin> bins;
+};
+
+/** NUAT: timing from time-since-last-refresh only. */
+class NuatProvider : public LatencyProvider
+{
+  public:
+    NuatProvider(const dram::DramTiming &timing, const NuatParams &params,
+                 const RefreshInfo &refresh);
+
+    dram::EffActTiming onActivate(int, const dram::DramAddr &addr,
+                                  Cycle now) override;
+    void onPrecharge(int, const dram::DramAddr &, int, Cycle) override {}
+
+    const char *name() const override { return "NUAT"; }
+
+  private:
+    const dram::DramTiming &timing_;
+    NuatParams params_;
+    const RefreshInfo &refresh_;
+};
+
+/** ChargeCache + NUAT: per ACT, the better of the two mechanisms. */
+class CombinedProvider : public LatencyProvider
+{
+  public:
+    CombinedProvider(std::unique_ptr<ChargeCacheProvider> cc,
+                     std::unique_ptr<NuatProvider> nuat)
+        : cc_(std::move(cc)), nuat_(std::move(nuat))
+    {}
+
+    dram::EffActTiming onActivate(int core_id, const dram::DramAddr &addr,
+                                  Cycle now) override;
+    void onPrecharge(int owner_core, const dram::DramAddr &addr, int row,
+                     Cycle now) override;
+
+    const char *name() const override { return "ChargeCache+NUAT"; }
+
+    void
+    resetStats() override
+    {
+        LatencyProvider::resetStats();
+        cc_->resetStats();
+        nuat_->resetStats();
+    }
+
+    ChargeCacheProvider &chargeCache() { return *cc_; }
+
+  private:
+    std::unique_ptr<ChargeCacheProvider> cc_;
+    std::unique_ptr<NuatProvider> nuat_;
+};
+
+/** One duration level of the multi-duration extension. */
+struct DurationLevel {
+    Cycle durationCycles = 0;
+    int trcd = 0;
+    int tras = 0;
+};
+
+/**
+ * Extension: several HCRACs with increasing caching durations; a hit in
+ * the shortest-duration table gives the most aggressive timing.
+ */
+class MultiDurationProvider : public LatencyProvider
+{
+  public:
+    MultiDurationProvider(const dram::DramTiming &timing,
+                          const Hcrac::Params &table_params,
+                          const std::vector<DurationLevel> &levels);
+
+    dram::EffActTiming onActivate(int, const dram::DramAddr &addr,
+                                  Cycle now) override;
+    void onPrecharge(int, const dram::DramAddr &addr, int row,
+                     Cycle now) override;
+
+    const char *name() const override { return "ChargeCache-MD"; }
+
+    const Hcrac &table(int level) const { return *tables_[level]; }
+
+  private:
+    const dram::DramTiming &timing_;
+    std::vector<DurationLevel> levels_;
+    std::vector<std::unique_ptr<Hcrac>> tables_;
+    std::vector<SweepInvalidator> invalidators_;
+};
+
+} // namespace ccsim::chargecache
+
+#endif // CCSIM_CHARGECACHE_PROVIDERS_HH

@@ -1,0 +1,94 @@
+#include "circuit/bitline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace ccsim::circuit {
+
+double
+BitlineSim::cellVoltageAtAge(double age_ms) const
+{
+    CCSIM_ASSERT(age_ms >= 0.0, "negative age");
+    const double half = p_.vdd / 2.0;
+    // Sense margin (Vcell - Vdd/2) decays exponentially toward zero.
+    return half + half * std::exp(-age_ms / p_.leakTauMs);
+}
+
+namespace {
+
+/** Bitline drive during sensing; logistic until latch, then rail slew. */
+double
+bitlineSlope(double v_bl, const BitlineParams &p)
+{
+    const double half = p.vdd / 2.0;
+    const double delta = v_bl - half;
+    if (delta <= 0.0)
+        return 0.0;
+    if (v_bl >= p.vdd)
+        return 0.0;
+    if (v_bl < p.latchFraction * p.vdd) {
+        // dD/dt = D * (Vdd - Vbl) / (tau * Vdd/2): exponential at small
+        // deviation, saturating toward the rail.
+        return delta * (p.vdd - v_bl) / (p.senseTauNs * half);
+    }
+    return p.railSlewVPerNs;
+}
+
+double
+cellSlope(double v_bl, double v_cell, const BitlineParams &p)
+{
+    return (v_bl - v_cell) / p.cellTauNs;
+}
+
+} // namespace
+
+BitlineTrace
+BitlineSim::simulate(double v_cell0, bool record) const
+{
+    CCSIM_ASSERT(v_cell0 > p_.vdd / 2.0 && v_cell0 <= p_.vdd,
+                 "initial cell voltage must be in (Vdd/2, Vdd]");
+    BitlineTrace trace;
+    const double half = p_.vdd / 2.0;
+
+    // Phase 1: charge sharing (instantaneous at this timescale).
+    double v_bl = half + p_.chargeShareRatio * (v_cell0 - half);
+    double v_cell = v_bl;
+
+    const double ready = p_.readyFraction * p_.vdd;
+    const double restored = p_.restoreFraction * p_.vdd;
+    const double dt = p_.dtNs;
+
+    for (double t = 0.0; t <= p_.maxNs; t += dt) {
+        if (record) {
+            trace.timeNs.push_back(t);
+            trace.vBitline.push_back(v_bl);
+            trace.vCell.push_back(v_cell);
+        }
+        if (trace.tReadyNs < 0 && v_bl >= ready)
+            trace.tReadyNs = t;
+        if (trace.tRestoredNs < 0 && v_cell >= restored) {
+            trace.tRestoredNs = t;
+            if (!record)
+                break;
+        }
+        // RK4 on (v_bl, v_cell).
+        auto f = [&](double b, double c, double &db, double &dc) {
+            db = bitlineSlope(b, p_);
+            dc = cellSlope(b, c, p_);
+        };
+        double k1b, k1c, k2b, k2c, k3b, k3c, k4b, k4c;
+        f(v_bl, v_cell, k1b, k1c);
+        f(v_bl + 0.5 * dt * k1b, v_cell + 0.5 * dt * k1c, k2b, k2c);
+        f(v_bl + 0.5 * dt * k2b, v_cell + 0.5 * dt * k2c, k3b, k3c);
+        f(v_bl + dt * k3b, v_cell + dt * k3c, k4b, k4c);
+        v_bl += dt / 6.0 * (k1b + 2 * k2b + 2 * k3b + k4b);
+        v_cell += dt / 6.0 * (k1c + 2 * k2c + 2 * k3c + k4c);
+        v_bl = std::min(v_bl, p_.vdd);
+        v_cell = std::min(v_cell, p_.vdd);
+    }
+    return trace;
+}
+
+} // namespace ccsim::circuit

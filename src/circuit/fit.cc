@@ -1,0 +1,67 @@
+#include "circuit/fit.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace ccsim::circuit {
+
+double
+StretchedFit::eval(double age_ms) const
+{
+    CCSIM_ASSERT(age_ms >= 0.0, "negative cell age");
+    return scale * (1.0 + w * std::pow(age_ms, beta));
+}
+
+namespace {
+
+/**
+ * Root function for beta. With R16 = t16/t1, R64 = t64/t1 and
+ * T(a) = S(1 + w a^beta):
+ *   w (16^b - R16) = R16 - 1
+ *   w (64^b - R64) = R64 - 1
+ * so h(b) = (64^b - R64)(R16 - 1) - (16^b - R16)(R64 - 1) must vanish.
+ */
+double
+h(double b, double r16, double r64)
+{
+    return (std::pow(64.0, b) - r64) * (r16 - 1.0) -
+           (std::pow(16.0, b) - r16) * (r64 - 1.0);
+}
+
+} // namespace
+
+StretchedFit
+fitStretched(double t1, double t16, double t64)
+{
+    CCSIM_ASSERT(t1 > 0 && t16 > t1 && t64 > t16,
+                 "fit anchors must increase with age");
+    const double r16 = t16 / t1;
+    const double r64 = t64 / t1;
+
+    double lo = 1e-4;
+    double hi = 1.0 - 1e-4;
+    double h_lo = h(lo, r16, r64);
+    double h_hi = h(hi, r16, r64);
+    if (h_lo * h_hi > 0)
+        CCSIM_FATAL("no stretched-exponential fit through anchors (", t1,
+                    ", ", t16, ", ", t64, ")");
+    for (int i = 0; i < 200; ++i) {
+        double mid = 0.5 * (lo + hi);
+        double h_mid = h(mid, r16, r64);
+        if ((h_mid < 0) == (h_lo < 0)) {
+            lo = mid;
+            h_lo = h_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    StretchedFit fit;
+    fit.beta = 0.5 * (lo + hi);
+    fit.w = (r16 - 1.0) / (std::pow(16.0, fit.beta) - r16);
+    fit.scale = t1 / (1.0 + fit.w);
+    CCSIM_ASSERT(fit.w > 0 && fit.scale > 0, "degenerate fit");
+    return fit;
+}
+
+} // namespace ccsim::circuit

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Three-anchor stretched-exponential fit used by the circuit timing
+ * model.
+ *
+ * Charge loss in DRAM cells is fastest right after restoration and slows
+ * over time (sub-exponential tails are well documented in retention
+ * studies). The sense-amplifier resolution time is, to first order,
+ * logarithmic in the remaining sense margin, which makes access latency
+ * as a function of cell age `a` well described by
+ *
+ *      T(a) = S * (1 + w * a^beta),    0 < beta < 1.
+ *
+ * Given three anchor points (a=1, a=16, a=64 ms in the paper's Table 2)
+ * this module solves for (S, w, beta) exactly.
+ */
+
+#ifndef CCSIM_CIRCUIT_FIT_HH
+#define CCSIM_CIRCUIT_FIT_HH
+
+namespace ccsim::circuit {
+
+/** T(a) = scale * (1 + w * a^beta), `a` in milliseconds. */
+struct StretchedFit {
+    double scale = 0.0;
+    double w = 0.0;
+    double beta = 0.0;
+
+    double eval(double age_ms) const;
+};
+
+/**
+ * Solve a StretchedFit through (1 ms, t1), (16 ms, t16), (64 ms, t64).
+ * Requires t1 < t16 < t64 (latency grows with age). Throws FatalError
+ * when no 0 < beta < 1 solution exists.
+ */
+StretchedFit fitStretched(double t1, double t16, double t64);
+
+} // namespace ccsim::circuit
+
+#endif // CCSIM_CIRCUIT_FIT_HH

@@ -1,0 +1,37 @@
+#include "circuit/timing_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace ccsim::circuit {
+
+TimingModel::TimingModel() : TimingModel(Anchors{}) {}
+
+TimingModel::TimingModel(const Anchors &anchors, int tras_guard_cycles)
+    : trcdFit_(fitStretched(anchors.trcd1, anchors.trcd16, anchors.trcd64)),
+      trasFit_(fitStretched(anchors.tras1, anchors.tras16, anchors.tras64)),
+      trasGuardCycles_(tras_guard_cycles)
+{
+}
+
+DerivedTimings
+TimingModel::timingsForDuration(double duration_ms,
+                                const dram::DramTiming &timing) const
+{
+    CCSIM_ASSERT(duration_ms > 0.0, "duration must be positive");
+    DerivedTimings d;
+    d.trcdNs = trcdNs(duration_ms);
+    d.trasNs = trasNs(duration_ms);
+    d.trcdCycles = std::min(timing.tRCD, timing.nsToCycles(d.trcdNs));
+    d.trasCycles = std::min(
+        timing.tRAS, timing.nsToCycles(d.trasNs) + trasGuardCycles_);
+    // Keep the pair self-consistent: data cannot be ready before the
+    // array is reliably sensed.
+    d.trcdCycles = std::max(d.trcdCycles, 1);
+    d.trasCycles = std::max(d.trasCycles, d.trcdCycles + 1);
+    return d;
+}
+
+} // namespace ccsim::circuit

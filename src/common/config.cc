@@ -1,0 +1,147 @@
+#include "common/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/log.hh"
+
+namespace ccsim {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+bool
+Config::parseToken(const std::string &token)
+{
+    auto pos = token.find('=');
+    if (pos == std::string::npos || pos == 0)
+        return false;
+    set(trim(token.substr(0, pos)), trim(token.substr(pos + 1)));
+    return true;
+}
+
+std::vector<std::string>
+Config::parseArgs(int argc, const char *const *argv)
+{
+    std::vector<std::string> rest;
+    for (int i = 0; i < argc; ++i) {
+        std::string token(argv[i]);
+        if (!parseToken(token))
+            rest.push_back(std::move(token));
+    }
+    return rest;
+}
+
+void
+Config::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        CCSIM_FATAL("cannot open config file '", path, "'");
+    std::string line;
+    while (std::getline(in, line)) {
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (!parseToken(line))
+            CCSIM_FATAL("malformed config line '", line, "' in ", path);
+    }
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    queried_.insert(key);
+    return values_.count(key) > 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    queried_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+long
+Config::getInt(const std::string &key, long def) const
+{
+    queried_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    long v = std::strtol(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        CCSIM_FATAL("config key '", key, "'='", it->second,
+                    "' is not an integer");
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    queried_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        CCSIM_FATAL("config key '", key, "'='", it->second,
+                    "' is not a number");
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    queried_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    CCSIM_FATAL("config key '", key, "'='", it->second,
+                "' is not a boolean");
+}
+
+std::vector<std::string>
+Config::unusedKeys() const
+{
+    std::vector<std::string> unused;
+    for (const auto &kv : values_)
+        if (!queried_.count(kv.first))
+            unused.push_back(kv.first);
+    return unused;
+}
+
+} // namespace ccsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal key=value configuration store.
+ *
+ * Supports parsing from "key=value" command-line tokens and from files
+ * with one "key = value" per line ('#' comments). Typed getters with
+ * defaults; unknown-key detection for catching typos in experiment
+ * scripts.
+ */
+
+#ifndef CCSIM_COMMON_CONFIG_HH
+#define CCSIM_COMMON_CONFIG_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ccsim {
+
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse "key=value"; returns false (and ignores) if malformed. */
+    bool parseToken(const std::string &token);
+
+    /** Parse argv-style tokens; non "k=v" tokens are returned unparsed. */
+    std::vector<std::string> parseArgs(int argc, const char *const *argv);
+
+    /** Parse a config file. Throws FatalError when unreadable. */
+    void parseFile(const std::string &path);
+
+    /** Explicitly set a key. */
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters; return `def` when the key is absent. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    long getInt(const std::string &key, long def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Keys present in the store that were never queried. */
+    std::vector<std::string> unusedKeys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    mutable std::set<std::string> queried_;
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_COMMON_CONFIG_HH

@@ -1,0 +1,51 @@
+#include "common/log.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace ccsim {
+
+namespace {
+std::atomic<bool> quietMode{false};
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quietMode.store(quiet);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "panic: " << msg << " @ " << file << ":" << line;
+    throw PanicError(os.str());
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "fatal: " << msg << " @ " << file << ":" << line;
+    throw FatalError(os.str());
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quietMode.load())
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quietMode.load())
+        std::cerr << "info: " << msg << "\n";
+}
+
+} // namespace detail
+} // namespace ccsim

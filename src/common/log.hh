@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic()/fatal() split:
+ * panic() for internal invariant violations (simulator bugs), fatal() for
+ * unrecoverable user/configuration errors, warn()/inform() for status.
+ */
+
+#ifndef CCSIM_COMMON_LOG_HH
+#define CCSIM_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace ccsim {
+
+/** Exception thrown by panic(); never ever expected during correct use. */
+struct PanicError : std::logic_error {
+    using std::logic_error::logic_error;
+};
+
+/** Exception thrown by fatal(); a user/configuration error. */
+struct FatalError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+} // namespace detail
+
+/** Squelch warn()/inform() output (used by tests). */
+void setQuiet(bool quiet);
+
+} // namespace ccsim
+
+/** Internal invariant violated: throw PanicError with location info. */
+#define CCSIM_PANIC(...) \
+    ::ccsim::detail::panicImpl(__FILE__, __LINE__, \
+                               ::ccsim::detail::format(__VA_ARGS__))
+
+/** Unrecoverable user error: throw FatalError with location info. */
+#define CCSIM_FATAL(...) \
+    ::ccsim::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::ccsim::detail::format(__VA_ARGS__))
+
+/** Assert an invariant; on failure panic with the stringified condition. */
+#define CCSIM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            CCSIM_PANIC("assertion '", #cond, "' failed. ", \
+                        ::ccsim::detail::format(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+#define CCSIM_WARN(...) \
+    ::ccsim::detail::warnImpl(::ccsim::detail::format(__VA_ARGS__))
+
+/** Informational message to stderr. */
+#define CCSIM_INFORM(...) \
+    ::ccsim::detail::informImpl(::ccsim::detail::format(__VA_ARGS__))
+
+#endif // CCSIM_COMMON_LOG_HH

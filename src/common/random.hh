@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All simulator randomness flows through Rng (xoshiro256**), seeded
+ * explicitly, so every run is reproducible. SplitMix64 is used both to
+ * expand seeds and as a cheap stateless hash.
+ */
+
+#ifndef CCSIM_COMMON_RANDOM_HH
+#define CCSIM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace ccsim {
+
+/** SplitMix64 step: hash/expand a 64-bit state value. */
+constexpr std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix (for hashing keys deterministically). */
+constexpr std::uint64_t
+mix64(std::uint64_t v)
+{
+    return splitMix64(v);
+}
+
+/**
+ * xoshiro256** generator. Small, fast, good statistical quality;
+ * deterministic across platforms.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+    /** Re-initialise state from a 64-bit seed via SplitMix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : s)
+            word = splitMix64(seed);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style rejection-free multiply-shift; bias is negligible
+        // for simulation bounds (<< 2^32) but we reject to stay exact.
+        std::uint64_t x = next64();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = -bound % bound;
+            while (lo < threshold) {
+                x = next64();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_COMMON_RANDOM_HH

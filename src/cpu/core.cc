@@ -1,0 +1,114 @@
+#include "cpu/core.hh"
+
+#include "common/log.hh"
+
+namespace ccsim::cpu {
+
+Core::Core(int id, const CoreConfig &config, TraceSource &trace,
+           mem::Llc &llc)
+    : id_(id), config_(config), trace_(trace), llc_(llc)
+{
+    CCSIM_ASSERT(config_.issueWidth >= 1 && config_.windowSize >= 1,
+                 "bad core configuration");
+}
+
+void
+Core::onMissComplete(std::uint64_t token)
+{
+    if (token < windowBaseSeq_)
+        return; // A store that already retired.
+    std::uint64_t idx = token - windowBaseSeq_;
+    if (idx < window_.size())
+        window_[idx].completed = true;
+}
+
+bool
+Core::issueOne(CpuCycle now)
+{
+    if (window_.size() >= static_cast<size_t>(config_.windowSize)) {
+        ++stats_.stallCyclesFull;
+        return false;
+    }
+    if (!recordValid_) {
+        if (!trace_.next(record_)) {
+            trace_.reset();
+            if (!trace_.next(record_))
+                CCSIM_PANIC("trace source empty even after reset");
+        }
+        pendingCompute_ = record_.nonMemInsts;
+        memIssued_ = false;
+        recordValid_ = true;
+    }
+    if (pendingCompute_ > 0) {
+        window_.push_back({true, false});
+        ++seq_;
+        --pendingCompute_;
+        return true;
+    }
+    CCSIM_ASSERT(!memIssued_, "record should have been refreshed");
+    Addr line_addr =
+        record_.addr / static_cast<Addr>(llc_.config().lineBytes);
+    mem::Llc::Result res =
+        llc_.access(id_, line_addr, record_.isWrite, seq_);
+    if (res == mem::Llc::Result::Blocked) {
+        ++stats_.blockedAccesses;
+        return false;
+    }
+    WinEntry entry;
+    entry.isMem = true;
+    if (record_.isWrite) {
+        // Stores retire immediately; traffic already accounted.
+        entry.completed = true;
+        ++stats_.memWrites;
+    } else {
+        entry.completed = false;
+        ++stats_.memReads;
+        if (res == mem::Llc::Result::Hit)
+            hitQueue_.emplace(now + llc_.config().hitLatencyCpu, seq_);
+        // Miss: completion arrives through onMissComplete().
+    }
+    window_.push_back(entry);
+    ++seq_;
+    memIssued_ = true;
+    recordValid_ = false;
+    return true;
+}
+
+void
+Core::tick(CpuCycle now)
+{
+    // LLC-hit data returns.
+    while (!hitQueue_.empty() && hitQueue_.top().first <= now) {
+        std::uint64_t token = hitQueue_.top().second;
+        hitQueue_.pop();
+        onMissComplete(token);
+    }
+    // In-order retire, up to issue width.
+    for (int i = 0; i < config_.issueWidth && !window_.empty(); ++i) {
+        if (!window_.front().completed)
+            break;
+        window_.pop_front();
+        ++windowBaseSeq_;
+        ++stats_.retired;
+    }
+    if (!targetRecorded_ && stats_.retired >= config_.targetInsts) {
+        targetRecorded_ = true;
+        targetCycle_ = now;
+    }
+    // Issue new instructions.
+    for (int i = 0; i < config_.issueWidth; ++i) {
+        if (!issueOne(now))
+            break;
+    }
+}
+
+void
+Core::resetStats(CpuCycle now)
+{
+    stats_ = CoreStats();
+    baseCycle_ = now;
+    targetRecorded_ = false;
+    targetCycle_ = 0;
+}
+
+} // namespace ccsim::cpu

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Trace-driven out-of-order core model (Table 1: 4 GHz, 3-wide issue,
+ * 128-entry instruction window, 8 MSHRs/core — the MSHR limit lives in
+ * the LLC).
+ *
+ * Modeling follows Ramulator's CPU mode: compute instructions complete
+ * at issue; loads occupy a window slot until their data returns (LLC
+ * hit latency or DRAM round trip); stores retire immediately but still
+ * generate cache traffic and consume MSHRs. The window retires in order,
+ * up to issue-width per cycle, so a long-latency load at the head
+ * eventually stalls the core — the mechanism by which DRAM latency
+ * becomes IPC.
+ */
+
+#ifndef CCSIM_CPU_CORE_HH
+#define CCSIM_CPU_CORE_HH
+
+#include <deque>
+#include <queue>
+
+#include "common/types.hh"
+#include "cpu/trace.hh"
+#include "mem/llc.hh"
+
+namespace ccsim::cpu {
+
+struct CoreConfig {
+    int issueWidth = 3;
+    int windowSize = 128;
+    std::uint64_t targetInsts = 1000000; ///< Retire target (post-reset).
+};
+
+struct CoreStats {
+    std::uint64_t retired = 0;
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+    std::uint64_t stallCyclesFull = 0; ///< Window full at issue.
+    std::uint64_t blockedAccesses = 0; ///< LLC said Blocked.
+};
+
+class Core
+{
+  public:
+    Core(int id, const CoreConfig &config, TraceSource &trace,
+         mem::Llc &llc);
+
+    /** Advance one CPU cycle. */
+    void tick(CpuCycle now);
+
+    /** Completion for an LLC miss issued with `token`. */
+    void onMissComplete(std::uint64_t token);
+
+    /** True once `targetInsts` have retired since the last reset. */
+    bool reachedTarget() const { return stats_.retired >= config_.targetInsts; }
+
+    /** Cycle at which the target was reached (valid once reached). */
+    CpuCycle targetCycle() const { return targetCycle_; }
+
+    int id() const { return id_; }
+    const CoreStats &stats() const { return stats_; }
+
+    /**
+     * Zero statistics and re-base instruction counting at `now`
+     * (end-of-warm-up). In-flight state is preserved.
+     */
+    void resetStats(CpuCycle now);
+
+    /** Instantaneous IPC since the last reset. */
+    double
+    ipcAt(CpuCycle now) const
+    {
+        CpuCycle cycles = now > baseCycle_ ? now - baseCycle_ : 1;
+        return double(stats_.retired) / double(cycles);
+    }
+
+  private:
+    struct WinEntry {
+        bool completed = true;
+        bool isMem = false;
+    };
+
+    bool issueOne(CpuCycle now);
+
+    int id_;
+    CoreConfig config_;
+    TraceSource &trace_;
+    mem::Llc &llc_;
+
+    std::deque<WinEntry> window_;
+    std::uint64_t windowBaseSeq_ = 0; ///< Seq number of window_.front().
+    std::uint64_t seq_ = 0;           ///< Next entry's seq number.
+
+    /** Self-scheduled completions for LLC hits: (cycle, seq). */
+    std::priority_queue<std::pair<CpuCycle, std::uint64_t>,
+                        std::vector<std::pair<CpuCycle, std::uint64_t>>,
+                        std::greater<>>
+        hitQueue_;
+
+    /** Remaining compute insts of the current trace record. */
+    std::uint32_t pendingCompute_ = 0;
+    TraceRecord record_;
+    bool recordValid_ = false;
+    bool memIssued_ = true;
+
+    CpuCycle baseCycle_ = 0;
+    CpuCycle targetCycle_ = 0;
+    bool targetRecorded_ = false;
+    CoreStats stats_;
+};
+
+} // namespace ccsim::cpu
+
+#endif // CCSIM_CPU_CORE_HH

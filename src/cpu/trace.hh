@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Instruction-trace abstraction for the trace-driven core model.
+ *
+ * A record is "N compute instructions, then one memory instruction",
+ * the same shape as Ramulator CPU traces ("<num-cpu-inst> <addr>
+ * [<write-addr>]"). Sources are infinite (generators) or looping (file
+ * readers); the core stops at its instruction target.
+ */
+
+#ifndef CCSIM_CPU_TRACE_HH
+#define CCSIM_CPU_TRACE_HH
+
+#include "common/types.hh"
+
+namespace ccsim::cpu {
+
+/** One trace step: compute burst followed by one memory access. */
+struct TraceRecord {
+    std::uint32_t nonMemInsts = 0; ///< Compute instructions first.
+    Addr addr = 0;                 ///< Byte address of the memory op.
+    bool isWrite = false;
+};
+
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next record; false only for finite sources. */
+    virtual bool next(TraceRecord &record) = 0;
+
+    /** Restart from the beginning (deterministic sources re-seed). */
+    virtual void reset() {}
+};
+
+} // namespace ccsim::cpu
+
+#endif // CCSIM_CPU_TRACE_HH

@@ -1,0 +1,322 @@
+#include "ctrl/controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ccsim::ctrl {
+
+const char *
+rowPolicyName(RowPolicy policy)
+{
+    return policy == RowPolicy::Open ? "open-row" : "closed-row";
+}
+
+MemoryController::MemoryController(const dram::DramSpec &spec,
+                                   const CtrlConfig &config,
+                                   chargecache::LatencyProvider &provider,
+                                   RefreshScheduler &refresh, int channel_id)
+    : spec_(spec),
+      config_(config),
+      provider_(provider),
+      channelId_(channel_id),
+      channel_(spec),
+      refresh_(refresh)
+{
+    bankCtl_.resize(spec_.org.ranksPerChannel);
+    for (auto &per_rank : bankCtl_)
+        per_rank.resize(spec_.org.banksPerRank);
+    if (config_.trackRltl) {
+        std::vector<Cycle> windows;
+        for (double ms : config_.rltlWindowsMs)
+            windows.push_back(spec_.timing.msToCycles(ms));
+        rltl_ = std::make_unique<RltlTracker>(
+            windows, spec_.timing.msToCycles(config_.rltlRefreshWindowMs),
+            &refresh_);
+    }
+}
+
+void
+MemoryController::addListener(CommandListener *listener)
+{
+    listeners_.push_back(listener);
+}
+
+bool
+MemoryController::canAccept(ReqType type) const
+{
+    if (type == ReqType::Read)
+        return readQ_.size() < static_cast<size_t>(config_.readQueueSize);
+    return writeQ_.size() < static_cast<size_t>(config_.writeQueueSize);
+}
+
+void
+MemoryController::enqueue(Request req)
+{
+    CCSIM_ASSERT(canAccept(req.type), "enqueue into a full queue");
+    CCSIM_ASSERT(req.addr.channel == channelId_,
+                 "request routed to the wrong channel");
+    req.arrive = now_;
+    if (req.token == 0)
+        req.token = tokenSeq_++;
+    if (req.type == ReqType::Read) {
+        // Read-after-write forwarding from the write queue. Completion
+        // is delivered through the pending heap on the next tick —
+        // callbacks must never fire inside enqueue (reentrancy).
+        for (const auto &w : writeQ_) {
+            if (w.req.lineAddr == req.lineAddr) {
+                ++stats_.readForwards;
+                PendingRead pr;
+                pr.req = std::move(req);
+                pr.done = now_ + 1;
+                pending_.push(std::move(pr));
+                return;
+            }
+        }
+        readQ_.push_back({std::move(req), false});
+    } else {
+        // Coalesce repeated writebacks of the same line.
+        for (auto &w : writeQ_) {
+            if (w.req.lineAddr == req.lineAddr)
+                return;
+        }
+        ++stats_.writes;
+        writeQ_.push_back({std::move(req), false});
+    }
+}
+
+void
+MemoryController::notify(const dram::Command &cmd,
+                         const dram::EffActTiming *eff)
+{
+    for (auto *l : listeners_)
+        l->onCommand(cmd, now_, eff);
+}
+
+void
+MemoryController::issue(const dram::Command &cmd,
+                        const dram::EffActTiming *eff)
+{
+    channel_.issue(cmd, now_, eff);
+    notify(cmd, eff);
+}
+
+void
+MemoryController::recordPrechargeOf(int rank, int bank, int row)
+{
+    dram::DramAddr addr;
+    addr.channel = channelId_;
+    addr.rank = rank;
+    addr.bank = bank;
+    addr.row = row;
+    provider_.onPrecharge(bankCtl_[rank][bank].ownerCore, addr, row, now_);
+    if (rltl_)
+        rltl_->onPrecharge(addr, row, now_);
+}
+
+void
+MemoryController::issueAct(const dram::DramAddr &addr, int core_id)
+{
+    dram::EffActTiming eff = provider_.onActivate(core_id, addr, now_);
+    CCSIM_ASSERT(eff.trcd <= spec_.timing.tRCD &&
+                     eff.tras <= spec_.timing.tRAS,
+                 "provider returned slower-than-standard timing");
+    dram::Command cmd{dram::CmdType::ACT, addr};
+    issue(cmd, &eff);
+    bankCtl_[addr.rank][addr.bank].ownerCore = core_id;
+    ++stats_.acts;
+    if (rltl_)
+        rltl_->onActivate(addr, now_);
+}
+
+bool
+MemoryController::tryRefresh()
+{
+    for (int rank = 0; rank < spec_.org.ranksPerChannel; ++rank) {
+        if (!refresh_.due(rank, now_))
+            continue;
+        dram::Command ref{dram::CmdType::REF, {}};
+        ref.addr.channel = channelId_;
+        ref.addr.rank = rank;
+        if (channel_.canIssue(ref, now_)) {
+            issue(ref, nullptr);
+            refresh_.onRefIssued(rank, now_);
+            ++stats_.refs;
+            return true;
+        }
+        // Close open banks so REF can issue.
+        dram::Rank &r = channel_.rank(rank);
+        for (int bank = 0; bank < r.numBanks(); ++bank) {
+            const dram::Bank &b = r.bank(bank);
+            if (b.state() != dram::Bank::State::Active)
+                continue;
+            dram::Command pre{dram::CmdType::PRE, {}};
+            pre.addr.channel = channelId_;
+            pre.addr.rank = rank;
+            pre.addr.bank = bank;
+            if (channel_.canIssue(pre, now_)) {
+                int row = b.openRow();
+                issue(pre, nullptr);
+                recordPrechargeOf(rank, bank, row);
+                ++stats_.pres;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::anotherHitQueued(const dram::DramAddr &addr,
+                                   std::uint64_t skip_token) const
+{
+    auto match = [&](const QueuedReq &qr) {
+        return qr.req.token != skip_token && qr.req.addr.rank == addr.rank &&
+               qr.req.addr.bank == addr.bank && qr.req.addr.row == addr.row;
+    };
+    for (const auto &qr : readQ_)
+        if (match(qr))
+            return true;
+    for (const auto &qr : writeQ_)
+        if (match(qr))
+            return true;
+    return false;
+}
+
+void
+MemoryController::classify(QueuedReq &qr)
+{
+    if (qr.serviced)
+        return;
+    qr.serviced = true;
+    const dram::Bank &b =
+        channel_.rank(qr.req.addr.rank).bank(qr.req.addr.bank);
+    if (b.state() == dram::Bank::State::Active) {
+        if (b.openRow() == qr.req.addr.row)
+            ++stats_.rowHits;
+        else
+            ++stats_.rowConflicts;
+    } else {
+        ++stats_.rowMisses;
+    }
+}
+
+bool
+MemoryController::trickleWrites() const
+{
+    return readQ_.empty() && !writeQ_.empty();
+}
+
+bool
+MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
+{
+    // Pass 1 (FR): oldest ready row hit.
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        const dram::DramAddr &a = it->req.addr;
+        if (refresh_.due(a.rank, now_))
+            continue;
+        const dram::Bank &b = channel_.rank(a.rank).bank(a.bank);
+        if (b.state() != dram::Bank::State::Active || b.openRow() != a.row)
+            continue;
+        bool auto_pre = config_.rowPolicy == RowPolicy::Closed &&
+                        !anotherHitQueued(a, it->req.token);
+        dram::CmdType type;
+        if (is_write)
+            type = auto_pre ? dram::CmdType::WRA : dram::CmdType::WR;
+        else
+            type = auto_pre ? dram::CmdType::RDA : dram::CmdType::RD;
+        dram::Command cmd{type, a};
+        if (!channel_.canIssue(cmd, now_))
+            continue;
+        classify(*it);
+        int open_row = b.openRow();
+        issue(cmd, nullptr);
+        if (auto_pre) {
+            recordPrechargeOf(a.rank, a.bank, open_row);
+            ++stats_.autoPres;
+        }
+        if (!is_write) {
+            PendingRead pr;
+            pr.req = std::move(it->req);
+            pr.done = channel_.readDataDone(now_);
+            pending_.push(std::move(pr));
+        }
+        queue.erase(it);
+        return true;
+    }
+
+    // Pass 2 (FCFS): oldest request drives PRE/ACT toward its row.
+    for (auto &qr : queue) {
+        const dram::DramAddr &a = qr.req.addr;
+        if (refresh_.due(a.rank, now_))
+            continue;
+        const dram::Bank &b = channel_.rank(a.rank).bank(a.bank);
+        if (b.state() == dram::Bank::State::Idle) {
+            dram::Command act{dram::CmdType::ACT, a};
+            if (channel_.canIssue(act, now_)) {
+                classify(qr);
+                issueAct(a, qr.req.coreId);
+                return true;
+            }
+        } else if (b.openRow() != a.row) {
+            dram::Command pre{dram::CmdType::PRE, a};
+            if (channel_.canIssue(pre, now_)) {
+                classify(qr);
+                int row = b.openRow();
+                issue(pre, nullptr);
+                recordPrechargeOf(a.rank, a.bank, row);
+                ++stats_.pres;
+                return true;
+            }
+        }
+        // Row already open and matching: waiting on tRCD/tCCD; no
+        // command needed on its behalf this cycle.
+    }
+    return false;
+}
+
+void
+MemoryController::tick()
+{
+    // Deliver finished read data.
+    while (!pending_.empty() && pending_.top().done <= now_) {
+        PendingRead pr = pending_.top();
+        pending_.pop();
+        ++stats_.reads;
+        stats_.readLatencySum += pr.done - pr.req.arrive;
+        if (pr.req.callback)
+            pr.req.callback(pr.req, pr.done);
+    }
+
+    // Write drain hysteresis.
+    if (!drainMode_ &&
+        writeQ_.size() >= static_cast<size_t>(config_.writeHighWatermark))
+        drainMode_ = true;
+    if (drainMode_ &&
+        writeQ_.size() <= static_cast<size_t>(config_.writeLowWatermark))
+        drainMode_ = false;
+
+    // Refresh has absolute priority once due.
+    if (tryRefresh()) {
+        ++now_;
+        return;
+    }
+
+    if (drainMode_ || trickleWrites())
+        serveQueue(writeQ_, true);
+    else
+        serveQueue(readQ_, false);
+
+    ++now_;
+}
+
+void
+MemoryController::resetStats()
+{
+    stats_ = CtrlStats();
+    provider_.resetStats();
+    if (rltl_)
+        rltl_->resetStats();
+}
+
+} // namespace ccsim::ctrl

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Cycle-accurate single-channel memory controller.
+ *
+ * Matches the configuration of Table 1 in the ChargeCache paper:
+ * 64-entry read/write request queues, FR-FCFS scheduling, open-row or
+ * closed-row policy, all-bank refresh every tREFI. Every ACT consults a
+ * chargecache::LatencyProvider for its effective tRCD/tRAS; every
+ * precharge (explicit or auto) notifies it — that is the complete
+ * integration surface of the paper's mechanism.
+ */
+
+#ifndef CCSIM_CTRL_CONTROLLER_HH
+#define CCSIM_CTRL_CONTROLLER_HH
+
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "chargecache/providers.hh"
+#include "common/types.hh"
+#include "ctrl/refresh.hh"
+#include "ctrl/request.hh"
+#include "ctrl/rltl.hh"
+#include "dram/channel.hh"
+
+namespace ccsim::ctrl {
+
+/** Row-buffer management policy (Section 3 / Table 1). */
+enum class RowPolicy {
+    Open,   ///< Keep rows open until a conflicting request arrives.
+    Closed, ///< Auto-precharge after the last queued row hit.
+};
+
+const char *rowPolicyName(RowPolicy policy);
+
+struct CtrlConfig {
+    int readQueueSize = 64;
+    int writeQueueSize = 64;
+    RowPolicy rowPolicy = RowPolicy::Open;
+    int writeHighWatermark = 48; ///< Enter drain mode at this depth.
+    int writeLowWatermark = 16;  ///< Leave drain mode at this depth.
+    bool trackRltl = false;
+    /** RLTL windows in milliseconds (Figure 4's sweep by default). */
+    std::vector<double> rltlWindowsMs = {0.125, 0.25, 0.5, 1.0, 8.0, 32.0};
+    double rltlRefreshWindowMs = 8.0;
+};
+
+/** Aggregate controller statistics. */
+struct CtrlStats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t acts = 0;
+    std::uint64_t pres = 0;   ///< Explicit PRE/PREA-closed banks.
+    std::uint64_t autoPres = 0;
+    std::uint64_t refs = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t rowConflicts = 0;
+    std::uint64_t readForwards = 0; ///< Reads served from the write queue.
+    std::uint64_t readLatencySum = 0; ///< Sum over reads, ctrl cycles.
+};
+
+class MemoryController
+{
+  public:
+    /**
+     * @param spec device spec (one channel's worth).
+     * @param config controller policy knobs.
+     * @param provider per-ACT latency decision (not owned).
+     * @param refresh refresh scheduler for this channel (not owned; it
+     *        is external so NUAT can be built against it first).
+     * @param channel_id this controller's channel index.
+     */
+    MemoryController(const dram::DramSpec &spec, const CtrlConfig &config,
+                     chargecache::LatencyProvider &provider,
+                     RefreshScheduler &refresh, int channel_id);
+
+    /** Attach a command observer (energy model, oracle...). */
+    void addListener(CommandListener *listener);
+
+    /** True if a read/write can be accepted this cycle. */
+    bool canAccept(ReqType type) const;
+
+    /**
+     * Enqueue a request (must canAccept). Reads complete via
+     * `req.callback`; writes are acknowledged immediately.
+     */
+    void enqueue(Request req);
+
+    /** Advance one controller (DRAM bus) cycle. */
+    void tick();
+
+    Cycle now() const { return now_; }
+
+    /** Outstanding queued requests (reads + writes). */
+    size_t queuedRequests() const
+    {
+        return readQ_.size() + writeQ_.size();
+    }
+
+    /** In-flight reads whose data has not yet returned. */
+    size_t pendingReads() const { return pending_.size(); }
+
+    const CtrlStats &stats() const { return stats_; }
+    void resetStats();
+
+    const dram::Channel &channel() const { return channel_; }
+    RefreshScheduler &refreshScheduler() { return refresh_; }
+    const RefreshScheduler &refreshScheduler() const { return refresh_; }
+    const CtrlConfig &config() const { return config_; }
+    RltlTracker *rltl() { return rltl_.get(); }
+    chargecache::LatencyProvider &provider() { return provider_; }
+
+  private:
+    struct QueuedReq {
+        Request req;
+        bool serviced = false; ///< Row hit/miss/conflict classified.
+    };
+
+    struct PendingRead {
+        Request req;
+        Cycle done;
+        bool operator>(const PendingRead &o) const { return done > o.done; }
+    };
+
+    /** One bank's controller-side bookkeeping. */
+    struct BankCtl {
+        int ownerCore = -1; ///< Core whose request opened the row.
+    };
+
+    void notify(const dram::Command &cmd, const dram::EffActTiming *eff);
+    void issue(const dram::Command &cmd, const dram::EffActTiming *eff);
+    void issueAct(const dram::DramAddr &addr, int core_id);
+    void recordPrechargeOf(int rank, int bank, int row);
+    bool tryRefresh();
+    bool trickleWrites() const;
+    bool serveQueue(std::deque<QueuedReq> &queue, bool is_write);
+    bool anotherHitQueued(const dram::DramAddr &addr,
+                          std::uint64_t skip_token) const;
+    void classify(QueuedReq &qr);
+
+    dram::DramSpec spec_;
+    CtrlConfig config_;
+    chargecache::LatencyProvider &provider_;
+    int channelId_;
+
+    dram::Channel channel_;
+    RefreshScheduler &refresh_;
+    std::unique_ptr<RltlTracker> rltl_;
+    std::vector<CommandListener *> listeners_;
+
+    std::deque<QueuedReq> readQ_;
+    std::deque<QueuedReq> writeQ_;
+    std::priority_queue<PendingRead, std::vector<PendingRead>,
+                        std::greater<>>
+        pending_;
+    std::vector<std::vector<BankCtl>> bankCtl_; ///< [rank][bank].
+
+    bool drainMode_ = false;
+    Cycle now_ = 0;
+    std::uint64_t tokenSeq_ = 1;
+    CtrlStats stats_;
+};
+
+} // namespace ccsim::ctrl
+
+#endif // CCSIM_CTRL_CONTROLLER_HH

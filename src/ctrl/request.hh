@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Memory requests exchanged between the cache hierarchy and the memory
+ * controller, and the command-observation hook used by the energy model
+ * and the protocol oracle.
+ */
+
+#ifndef CCSIM_CTRL_REQUEST_HH
+#define CCSIM_CTRL_REQUEST_HH
+
+#include <functional>
+
+#include "common/types.hh"
+#include "dram/command.hh"
+
+namespace ccsim::ctrl {
+
+enum class ReqType { Read, Write };
+
+/** A cache-line-granular memory request. */
+struct Request {
+    ReqType type = ReqType::Read;
+    Addr lineAddr = 0;       ///< Cache-line address (byte addr >> 6).
+    dram::DramAddr addr;     ///< Decoded DRAM coordinates.
+    int coreId = -1;         ///< Requesting core (-1: e.g. writeback).
+    Cycle arrive = 0;        ///< Controller-clock arrival cycle.
+    std::uint64_t token = 0; ///< Opaque caller cookie.
+
+    /** Invoked when read data is fully transferred (reads only). */
+    std::function<void(const Request &, Cycle done)> callback;
+};
+
+/** Observer of every DRAM command the controller issues. */
+class CommandListener
+{
+  public:
+    virtual ~CommandListener() = default;
+
+    /**
+     * @param cmd command and coordinates.
+     * @param cycle issue cycle (controller clock).
+     * @param eff effective ACT timing (non-null for ACT only).
+     */
+    virtual void onCommand(const dram::Command &cmd, Cycle cycle,
+                           const dram::EffActTiming *eff) = 0;
+};
+
+} // namespace ccsim::ctrl
+
+#endif // CCSIM_CTRL_REQUEST_HH

@@ -1,0 +1,70 @@
+#include "ctrl/rltl.hh"
+
+#include "common/log.hh"
+
+namespace ccsim::ctrl {
+
+RltlTracker::RltlTracker(std::vector<Cycle> thresholds_cycles,
+                         Cycle refresh_threshold_cycles,
+                         const chargecache::RefreshInfo *refresh)
+    : thresholds_(std::move(thresholds_cycles)),
+      refreshThreshold_(refresh_threshold_cycles),
+      refresh_(refresh)
+{
+    for (size_t i = 1; i < thresholds_.size(); ++i)
+        CCSIM_ASSERT(thresholds_[i] > thresholds_[i - 1],
+                     "RLTL thresholds must ascend");
+    withinThreshold_.assign(thresholds_.size(), 0);
+}
+
+void
+RltlTracker::onActivate(const dram::DramAddr &addr, Cycle now)
+{
+    ++activations_;
+    auto it = lastPre_.find(chargecache::rowKey(addr, addr.row));
+    if (it != lastPre_.end()) {
+        Cycle delta = now - it->second;
+        for (size_t i = 0; i < thresholds_.size(); ++i)
+            if (delta <= thresholds_[i])
+                ++withinThreshold_[i];
+    }
+    if (refresh_) {
+        std::int64_t last =
+            refresh_->lastRefreshCycle(addr.rank, addr.bank, addr.row, now);
+        std::int64_t age = static_cast<std::int64_t>(now) - last;
+        if (age >= 0 &&
+            age <= static_cast<std::int64_t>(refreshThreshold_))
+            ++withinRefresh_;
+    }
+}
+
+void
+RltlTracker::onPrecharge(const dram::DramAddr &addr, int row, Cycle now)
+{
+    lastPre_[chargecache::rowKey(addr, row)] = now;
+}
+
+void
+RltlTracker::resetStats()
+{
+    activations_ = 0;
+    withinRefresh_ = 0;
+    withinThreshold_.assign(thresholds_.size(), 0);
+}
+
+double
+RltlTracker::rltl(size_t threshold_idx) const
+{
+    CCSIM_ASSERT(threshold_idx < thresholds_.size(), "bad threshold index");
+    return activations_
+               ? double(withinThreshold_[threshold_idx]) / activations_
+               : 0.0;
+}
+
+double
+RltlTracker::afterRefreshFraction() const
+{
+    return activations_ ? double(withinRefresh_) / activations_ : 0.0;
+}
+
+} // namespace ccsim::ctrl

@@ -1,0 +1,114 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ccsim::dram {
+
+bool
+Bank::canIssue(CmdType type, int row, Cycle now) const
+{
+    switch (type) {
+      case CmdType::ACT:
+        return state_ == State::Idle && now >= nextAct_;
+      case CmdType::PRE:
+        // PRE to an idle bank is a legal no-op; to an active bank it
+        // must respect tRAS/tRTP/tWR windows folded into nextPre_.
+        return state_ == State::Idle || now >= nextPre_;
+      case CmdType::RD:
+      case CmdType::RDA:
+        return state_ == State::Active && openRow_ == row && now >= nextRd_;
+      case CmdType::WR:
+      case CmdType::WRA:
+        return state_ == State::Active && openRow_ == row && now >= nextWr_;
+      case CmdType::PREA:
+      case CmdType::REF:
+        // Rank-level commands; the bank only contributes its PRE/ACT
+        // readiness, checked by Rank.
+        return true;
+    }
+    return false;
+}
+
+Cycle
+Bank::earliest(CmdType type) const
+{
+    switch (type) {
+      case CmdType::ACT:
+        return nextAct_;
+      case CmdType::PRE:
+        return state_ == State::Idle ? 0 : nextPre_;
+      case CmdType::RD:
+      case CmdType::RDA:
+        return nextRd_;
+      case CmdType::WR:
+      case CmdType::WRA:
+        return nextWr_;
+      default:
+        return 0;
+    }
+}
+
+void
+Bank::issue(CmdType type, int row, Cycle now, const EffActTiming *eff)
+{
+    CCSIM_ASSERT(canIssue(type, row, now), "illegal ", cmdName(type),
+                 " at cycle ", now);
+    const DramTiming &t = timing_;
+    switch (type) {
+      case CmdType::ACT: {
+        CCSIM_ASSERT(eff != nullptr, "ACT requires effective timing");
+        CCSIM_ASSERT(eff->trcd >= 1 && eff->tras > eff->trcd,
+                     "nonsensical effective ACT timing");
+        state_ = State::Active;
+        openRow_ = row;
+        lastAct_ = now;
+        lastActTras_ = eff->tras;
+        nextRd_ = now + eff->trcd;
+        nextWr_ = now + eff->trcd;
+        nextPre_ = now + eff->tras;
+        // Same-bank ACT->ACT covers the (possibly reduced) row cycle.
+        nextAct_ = now + eff->tras + t.tRP;
+        break;
+      }
+      case CmdType::PRE: {
+        if (state_ == State::Active) {
+            state_ = State::Idle;
+            openRow_ = -1;
+        }
+        nextAct_ = std::max(nextAct_, now + t.tRP);
+        break;
+      }
+      case CmdType::RD: {
+        nextPre_ = std::max(nextPre_, now + t.tRTP);
+        break;
+      }
+      case CmdType::WR: {
+        nextPre_ = std::max(nextPre_, now + Cycle(t.writeToPre()));
+        break;
+      }
+      case CmdType::RDA: {
+        // Internal precharge fires at max(now + tRTP, lastAct + tRAS).
+        Cycle auto_pre =
+            std::max(now + Cycle(t.tRTP), lastAct_ + Cycle(lastActTras_));
+        state_ = State::Idle;
+        openRow_ = -1;
+        nextAct_ = std::max(nextAct_, auto_pre + t.tRP);
+        break;
+      }
+      case CmdType::WRA: {
+        Cycle auto_pre = std::max(now + Cycle(t.writeToPre()),
+                                  lastAct_ + Cycle(lastActTras_));
+        state_ = State::Idle;
+        openRow_ = -1;
+        nextAct_ = std::max(nextAct_, auto_pre + t.tRP);
+        break;
+      }
+      case CmdType::PREA:
+      case CmdType::REF:
+        CCSIM_PANIC("rank-level command routed to Bank::issue");
+    }
+}
+
+} // namespace ccsim::dram

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-bank DRAM state machine and bank-scope timing constraints.
+ *
+ * The bank tracks the open row and the earliest cycle at which each
+ * command class may next be issued. ACT accepts an EffActTiming so that
+ * a latency provider (ChargeCache/NUAT/LL-DRAM) can lower tRCD/tRAS for
+ * that specific activation.
+ */
+
+#ifndef CCSIM_DRAM_BANK_HH
+#define CCSIM_DRAM_BANK_HH
+
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/spec.hh"
+
+namespace ccsim::dram {
+
+class Bank
+{
+  public:
+    enum class State { Idle, Active };
+
+    explicit Bank(const DramTiming &timing) : timing_(timing) {}
+
+    State state() const { return state_; }
+    /** Row currently latched in the row buffer (-1 when idle). */
+    int openRow() const { return openRow_; }
+
+    /**
+     * Check bank-scope legality of `type` (with row `row` for column
+     * commands) at cycle `now`. Rank/channel constraints are layered on
+     * top by Rank/Channel.
+     */
+    bool canIssue(CmdType type, int row, Cycle now) const;
+
+    /** Earliest cycle at which `type` could be issued, bank-scope only. */
+    Cycle earliest(CmdType type) const;
+
+    /**
+     * Apply `cmd` at `now`. `eff` must be non-null for ACT and gives the
+     * effective tRCD/tRAS; it is ignored for other commands.
+     */
+    void issue(CmdType type, int row, Cycle now, const EffActTiming *eff);
+
+  private:
+    const DramTiming &timing_;
+
+    State state_ = State::Idle;
+    int openRow_ = -1;
+
+    Cycle nextAct_ = 0;
+    Cycle nextPre_ = 0;
+    Cycle nextRd_ = 0;
+    Cycle nextWr_ = 0;
+
+    /** Cycle of the most recent ACT (for auto-precharge tRAS check). */
+    Cycle lastAct_ = 0;
+    /** Effective tRAS of the most recent ACT. */
+    int lastActTras_ = 0;
+};
+
+} // namespace ccsim::dram
+
+#endif // CCSIM_DRAM_BANK_HH

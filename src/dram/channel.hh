@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Channel-scope DRAM model: owns the ranks behind one command/data bus
+ * and enforces cross-rank data-bus constraints (tRTRS). This is the
+ * device-facing API used by the memory controller.
+ */
+
+#ifndef CCSIM_DRAM_CHANNEL_HH
+#define CCSIM_DRAM_CHANNEL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/rank.hh"
+
+namespace ccsim::dram {
+
+class Channel
+{
+  public:
+    explicit Channel(const DramSpec &spec);
+
+    Rank &rank(int idx) { return ranks_[idx]; }
+    const Rank &rank(int idx) const { return ranks_[idx]; }
+    int numRanks() const { return static_cast<int>(ranks_.size()); }
+
+    const DramSpec &spec() const { return spec_; }
+
+    /** Full (channel+rank+bank scope) legality of `cmd` at `now`. */
+    bool canIssue(const Command &cmd, Cycle now) const;
+
+    /** Lower bound on the issue cycle of `cmd` (for scheduling). */
+    Cycle earliest(const Command &cmd) const;
+
+    /** Apply `cmd` at `now`; `eff` required for ACT. */
+    void issue(const Command &cmd, Cycle now, const EffActTiming *eff);
+
+    /** Cycle at which read data for a RD issued at `issue_cycle` is done. */
+    Cycle
+    readDataDone(Cycle issue_cycle) const
+    {
+        const DramTiming &t = spec_.timing;
+        return issue_cycle + t.tCL + t.tBL;
+    }
+
+  private:
+    DramSpec spec_;
+    std::vector<Rank> ranks_;
+
+    // Cross-rank data bus tracking. Within one rank tCCD/turnaround
+    // already spaces bursts; across ranks we add tRTRS.
+    Cycle busFreeAt_ = 0;
+    int lastBusRank_ = -1;
+};
+
+} // namespace ccsim::dram
+
+#endif // CCSIM_DRAM_CHANNEL_HH

@@ -1,0 +1,29 @@
+#include "dram/command.hh"
+
+namespace ccsim::dram {
+
+const char *
+cmdName(CmdType type)
+{
+    switch (type) {
+      case CmdType::ACT:
+        return "ACT";
+      case CmdType::PRE:
+        return "PRE";
+      case CmdType::PREA:
+        return "PREA";
+      case CmdType::RD:
+        return "RD";
+      case CmdType::WR:
+        return "WR";
+      case CmdType::RDA:
+        return "RDA";
+      case CmdType::WRA:
+        return "WRA";
+      case CmdType::REF:
+        return "REF";
+    }
+    return "?";
+}
+
+} // namespace ccsim::dram

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DRAM command set and per-ACT effective timing override.
+ *
+ * The EffActTiming struct is the hook through which ChargeCache (or NUAT,
+ * or LL-DRAM) lowers tRCD/tRAS for an individual activation without any
+ * change to the device model — exactly the paper's controller-only design.
+ */
+
+#ifndef CCSIM_DRAM_COMMAND_HH
+#define CCSIM_DRAM_COMMAND_HH
+
+#include "dram/addr.hh"
+
+namespace ccsim::dram {
+
+/** DDR command types modeled by the simulator. */
+enum class CmdType {
+    ACT,  ///< Activate a row.
+    PRE,  ///< Precharge one bank.
+    PREA, ///< Precharge all banks in a rank.
+    RD,   ///< Column read.
+    WR,   ///< Column write.
+    RDA,  ///< Column read with auto-precharge.
+    WRA,  ///< Column write with auto-precharge.
+    REF,  ///< All-bank refresh.
+};
+
+/** Printable command mnemonic. */
+const char *cmdName(CmdType type);
+
+/** True for RD/WR/RDA/WRA. */
+constexpr bool
+isColumnCmd(CmdType type)
+{
+    return type == CmdType::RD || type == CmdType::WR ||
+           type == CmdType::RDA || type == CmdType::WRA;
+}
+
+/** True for RD/RDA. */
+constexpr bool
+isReadCmd(CmdType type)
+{
+    return type == CmdType::RD || type == CmdType::RDA;
+}
+
+/** True for WR/WRA. */
+constexpr bool
+isWriteCmd(CmdType type)
+{
+    return type == CmdType::WR || type == CmdType::WRA;
+}
+
+/** True for RDA/WRA. */
+constexpr bool
+isAutoPre(CmdType type)
+{
+    return type == CmdType::RDA || type == CmdType::WRA;
+}
+
+/** A command addressed to specific DRAM coordinates. */
+struct Command {
+    CmdType type = CmdType::ACT;
+    DramAddr addr;
+};
+
+/**
+ * Effective activation timing for a single ACT.
+ *
+ * `reduced` records whether a latency-provider hit lowered the values;
+ * it feeds statistics only, the device model uses just trcd/tras.
+ */
+struct EffActTiming {
+    int trcd = 0;
+    int tras = 0;
+    bool reduced = false;
+};
+
+} // namespace ccsim::dram
+
+#endif // CCSIM_DRAM_COMMAND_HH

@@ -1,0 +1,234 @@
+#include "dram/oracle.hh"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace ccsim::dram {
+
+void
+TimingOracle::record(const Command &cmd, Cycle cycle, const EffActTiming *eff)
+{
+    OracleRecord r;
+    r.cmd = cmd;
+    r.cycle = cycle;
+    if (cmd.type == CmdType::ACT) {
+        CCSIM_ASSERT(eff, "oracle: ACT recorded without effective timing");
+        r.effTrcd = eff->trcd;
+        r.effTras = eff->tras;
+    }
+    trace_.push_back(r);
+}
+
+namespace {
+
+/** Oracle-side bank bookkeeping (separate from dram::Bank on purpose). */
+struct OBank {
+    bool active = false;
+    int row = -1;
+    Cycle actAt = 0;
+    int trcd = 0;
+    int tras = 0;
+    Cycle preDoneAt = 0;  ///< Cycle the most recent (auto-)PRE took effect.
+    bool everOpened = false;
+    Cycle lastRead = kNoCycle;  ///< Most recent RD/RDA issue cycle.
+    Cycle lastWrite = kNoCycle; ///< Most recent WR/WRA issue cycle.
+};
+
+/** Oracle-side rank bookkeeping. */
+struct ORank {
+    std::vector<OBank> banks;
+    std::vector<Cycle> acts;    ///< All ACT cycles (tRRD/tFAW audit).
+    Cycle lastRd = kNoCycle;
+    Cycle lastWr = kNoCycle;
+    Cycle refUntil = 0;
+};
+
+struct Violation {
+    std::ostringstream os;
+};
+
+} // namespace
+
+std::vector<std::string>
+TimingOracle::verify(size_t max_violations) const
+{
+    std::vector<std::string> out;
+    const DramTiming &t = spec_.timing;
+    const DramOrg &org = spec_.org;
+
+    auto fail = [&](const OracleRecord &r, const std::string &why) {
+        if (out.size() >= max_violations)
+            return;
+        std::ostringstream os;
+        os << "cycle " << r.cycle << " " << cmdName(r.cmd.type) << " ch"
+           << r.cmd.addr.channel << " ra" << r.cmd.addr.rank << " ba"
+           << r.cmd.addr.bank << " row" << r.cmd.addr.row << ": " << why;
+        out.push_back(os.str());
+    };
+
+    // Channel ids in the trace may be absolute (a per-channel
+    // controller records its own id); size state by what we saw.
+    int channels = org.channels;
+    for (const auto &r : trace_)
+        channels = std::max(channels, r.cmd.addr.channel + 1);
+
+    // state[channel][rank]
+    std::vector<std::vector<ORank>> state(channels);
+    for (auto &ch : state) {
+        ch.resize(org.ranksPerChannel);
+        for (auto &ra : ch)
+            ra.banks.resize(org.banksPerRank);
+    }
+    // Per-channel data bus: (done_cycle, rank) of the last burst.
+    std::vector<std::pair<Cycle, int>> bus(channels, {0, -1});
+
+    Cycle prev_cycle = 0;
+    bool first = true;
+    for (const auto &r : trace_) {
+        if (!first && r.cycle < prev_cycle) {
+            fail(r, "trace not sorted by cycle");
+            break;
+        }
+        first = false;
+        prev_cycle = r.cycle;
+
+        ORank &ra = state[r.cmd.addr.channel][r.cmd.addr.rank];
+        OBank &ba = ra.banks[r.cmd.addr.bank];
+        const Cycle c = r.cycle;
+
+        if (c < ra.refUntil && r.cmd.type != CmdType::REF)
+            fail(r, "issued inside tRFC window");
+
+        auto do_pre = [&](OBank &bk, Cycle eff_at, const char *kind) {
+            if (bk.active) {
+                if (eff_at < bk.actAt + Cycle(bk.tras)) {
+                    std::ostringstream os;
+                    os << kind << " violates effective tRAS (" << bk.tras
+                       << "): ACT at " << bk.actAt;
+                    fail(r, os.str());
+                }
+                if (bk.lastRead != kNoCycle &&
+                    eff_at < bk.lastRead + Cycle(t.tRTP))
+                    fail(r, "PRE violates tRTP");
+                if (bk.lastWrite != kNoCycle &&
+                    eff_at < bk.lastWrite + Cycle(t.writeToPre()))
+                    fail(r, "PRE violates tWR window");
+            }
+            bk.active = false;
+            bk.row = -1;
+            bk.preDoneAt = eff_at;
+        };
+
+        switch (r.cmd.type) {
+          case CmdType::ACT: {
+            if (ba.active)
+                fail(r, "ACT on already-active bank");
+            if (ba.everOpened && c < ba.preDoneAt + Cycle(t.tRP))
+                fail(r, "ACT violates tRP");
+            if (r.effTrcd < 1 || r.effTras <= r.effTrcd)
+                fail(r, "ACT with nonsensical effective timing");
+            if (r.effTrcd > t.tRCD || r.effTras > t.tRAS)
+                fail(r, "effective timing above the standard values");
+            if (!ra.acts.empty()) {
+                if (c < ra.acts.back() + Cycle(t.tRRD))
+                    fail(r, "ACT violates tRRD");
+                if (ra.acts.size() >= 4 &&
+                    c < ra.acts[ra.acts.size() - 4] + Cycle(t.tFAW))
+                    fail(r, "ACT violates tFAW");
+            }
+            ba.active = true;
+            ba.everOpened = true;
+            ba.row = r.cmd.addr.row;
+            ba.actAt = c;
+            ba.trcd = r.effTrcd;
+            ba.tras = r.effTras;
+            ba.lastRead = kNoCycle;
+            ba.lastWrite = kNoCycle;
+            ra.acts.push_back(c);
+            break;
+          }
+          case CmdType::PRE:
+            do_pre(ba, c, "PRE");
+            break;
+          case CmdType::PREA:
+            for (auto &bk : ra.banks)
+                do_pre(bk, c, "PREA");
+            break;
+          case CmdType::RD:
+          case CmdType::WR:
+          case CmdType::RDA:
+          case CmdType::WRA: {
+            const bool is_rd = isReadCmd(r.cmd.type);
+            if (!ba.active)
+                fail(r, "column command on precharged bank");
+            else if (ba.row != r.cmd.addr.row)
+                fail(r, "column command to the wrong row");
+            if (ba.active && c < ba.actAt + Cycle(ba.trcd))
+                fail(r, "column command violates effective tRCD");
+            if (is_rd) {
+                if (ra.lastRd != kNoCycle &&
+                    c < ra.lastRd + Cycle(t.tCCD))
+                    fail(r, "RD violates tCCD");
+                if (ra.lastWr != kNoCycle &&
+                    c < ra.lastWr + Cycle(t.writeToRead()))
+                    fail(r, "RD violates tWTR window");
+            } else {
+                if (ra.lastWr != kNoCycle &&
+                    c < ra.lastWr + Cycle(t.tCCD))
+                    fail(r, "WR violates tCCD");
+                if (ra.lastRd != kNoCycle &&
+                    c < ra.lastRd + Cycle(t.readToWrite()))
+                    fail(r, "WR violates RD->WR turnaround");
+            }
+            // Cross-rank data bus check (tRTRS).
+            auto &[bus_done, bus_rank] = bus[r.cmd.addr.channel];
+            Cycle data_start = c + (is_rd ? Cycle(t.tCL) : Cycle(t.tCWL));
+            if (bus_rank >= 0 && bus_rank != r.cmd.addr.rank &&
+                data_start < bus_done + Cycle(t.tRTRS))
+                fail(r, "data burst violates tRTRS");
+            bus_done = data_start + t.tBL;
+            bus_rank = r.cmd.addr.rank;
+
+            if (is_rd) {
+                ra.lastRd = c;
+                ba.lastRead = c;
+            } else {
+                ra.lastWr = c;
+                ba.lastWrite = c;
+            }
+            if (isAutoPre(r.cmd.type)) {
+                Cycle burst_pre =
+                    is_rd ? c + Cycle(t.tRTP) : c + Cycle(t.writeToPre());
+                Cycle eff_at = ba.active
+                                   ? std::max(burst_pre,
+                                              ba.actAt + Cycle(ba.tras))
+                                   : burst_pre;
+                ba.active = false;
+                ba.row = -1;
+                ba.preDoneAt = eff_at;
+            }
+            break;
+          }
+          case CmdType::REF: {
+            for (int i = 0; i < static_cast<int>(ra.banks.size()); ++i) {
+                const OBank &bk = ra.banks[i];
+                if (bk.active)
+                    fail(r, "REF with an open bank");
+                else if (bk.everOpened &&
+                         c < bk.preDoneAt + Cycle(t.tRP))
+                    fail(r, "REF inside a bank's tRP window");
+            }
+            ra.refUntil = c + t.tRFC;
+            break;
+          }
+        }
+        if (out.size() >= max_violations)
+            break;
+    }
+    return out;
+}
+
+} // namespace ccsim::dram

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Independent DRAM-protocol checker.
+ *
+ * The oracle records every command the controller issues and re-verifies
+ * the whole trace against the JEDEC-style rules with a *separate*
+ * implementation from Bank/Rank/Channel. Property tests drive random
+ * traffic through the controller and assert the oracle finds no
+ * violations — including that reduced-timing ACTs respect their own
+ * (reduced) constraints and never leak below them.
+ */
+
+#ifndef CCSIM_DRAM_ORACLE_HH
+#define CCSIM_DRAM_ORACLE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/spec.hh"
+
+namespace ccsim::dram {
+
+/** One observed command. */
+struct OracleRecord {
+    Command cmd;
+    Cycle cycle = 0;
+    int effTrcd = 0; ///< Valid for ACT only.
+    int effTras = 0; ///< Valid for ACT only.
+};
+
+class TimingOracle
+{
+  public:
+    explicit TimingOracle(const DramSpec &spec) : spec_(spec) {}
+
+    /** Record a command as issued by the controller. */
+    void record(const Command &cmd, Cycle cycle, const EffActTiming *eff);
+
+    /** Number of recorded commands. */
+    size_t size() const { return trace_.size(); }
+
+    const std::vector<OracleRecord> &trace() const { return trace_; }
+
+    /**
+     * Replay the trace and return a list of human-readable violations
+     * (empty means the trace is protocol-clean).
+     *
+     * @param max_violations stop after this many findings.
+     */
+    std::vector<std::string> verify(size_t max_violations = 32) const;
+
+  private:
+    DramSpec spec_;
+    std::vector<OracleRecord> trace_;
+};
+
+} // namespace ccsim::dram
+
+#endif // CCSIM_DRAM_ORACLE_HH

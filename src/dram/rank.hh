@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Rank-scope DRAM timing: tRRD, tFAW, column-to-column (tCCD), read/write
+ * turnaround, and all-bank refresh (tRFC). Owns the per-bank state
+ * machines.
+ */
+
+#ifndef CCSIM_DRAM_RANK_HH
+#define CCSIM_DRAM_RANK_HH
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/bank.hh"
+
+namespace ccsim::dram {
+
+class Rank
+{
+  public:
+    Rank(const DramOrg &org, const DramTiming &timing);
+
+    Bank &bank(int idx) { return banks_[idx]; }
+    const Bank &bank(int idx) const { return banks_[idx]; }
+    int numBanks() const { return static_cast<int>(banks_.size()); }
+
+    /** True when every bank is precharged. */
+    bool allBanksIdle() const;
+
+    /** True when any bank has an open row (for background energy). */
+    bool anyBankActive() const;
+
+    /** Rank+bank-scope legality of `cmd` at `now`. */
+    bool canIssue(const Command &cmd, Cycle now) const;
+
+    /**
+     * Lower bound (not necessarily tight for tFAW) on the cycle at which
+     * `cmd` could issue; used by schedulers for ordering decisions only.
+     */
+    Cycle earliest(const Command &cmd) const;
+
+    /** Apply `cmd` at `now`; `eff` required for ACT. */
+    void issue(const Command &cmd, Cycle now, const EffActTiming *eff);
+
+  private:
+    const DramTiming &timing_;
+    std::vector<Bank> banks_;
+
+    Cycle nextActRank_ = 0;        ///< tRRD gate.
+    std::deque<Cycle> actWindow_;  ///< Last up-to-4 ACT cycles (tFAW).
+    Cycle nextRd_ = 0;             ///< Column read gate (tCCD/WTR).
+    Cycle nextWr_ = 0;             ///< Column write gate (tCCD/RTW).
+    Cycle busyUntil_ = 0;          ///< tRFC window after REF.
+};
+
+} // namespace ccsim::dram
+
+#endif // CCSIM_DRAM_RANK_HH

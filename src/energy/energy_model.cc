@@ -1,0 +1,143 @@
+#include "energy/energy_model.hh"
+
+#include "common/log.hh"
+
+namespace ccsim::energy {
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    actPreNj += o.actPreNj;
+    readNj += o.readNj;
+    writeNj += o.writeNj;
+    refreshNj += o.refreshNj;
+    actStandbyNj += o.actStandbyNj;
+    preStandbyNj += o.preStandbyNj;
+    controllerNj += o.controllerNj;
+    return *this;
+}
+
+EnergyModel::EnergyModel(const dram::DramSpec &spec, const IddProfile &idd,
+                         double cc_static_mw, double cc_dyn_nj_per_event)
+    : spec_(spec),
+      idd_(idd),
+      ccStaticMw_(cc_static_mw),
+      ccDynNjPerEvent_(cc_dyn_nj_per_event)
+{
+    ranks_.resize(spec_.org.ranksPerChannel);
+    for (auto &r : ranks_)
+        r.openRow.assign(spec_.org.banksPerRank, -1);
+}
+
+void
+EnergyModel::accrueBackground(int rank, Cycle cycle)
+{
+    RankState &r = ranks_[rank];
+    if (cycle <= r.lastEdge)
+        return;
+    double ns = spec_.timing.cyclesToNs(cycle - r.lastEdge);
+    double chips = idd_.chipsPerRank;
+    if (r.openBanks > 0)
+        breakdown_.actStandbyNj += idd_.idd3n * idd_.vdd * ns * chips;
+    else
+        breakdown_.preStandbyNj += idd_.idd2n * idd_.vdd * ns * chips;
+    r.lastEdge = cycle;
+}
+
+void
+EnergyModel::onCommand(const dram::Command &cmd, Cycle cycle,
+                       const dram::EffActTiming *eff)
+{
+    using dram::CmdType;
+    const dram::DramTiming &t = spec_.timing;
+    RankState &r = ranks_[cmd.addr.rank];
+    const double chips = idd_.chipsPerRank;
+    const double vdd = idd_.vdd;
+    lastCycle_ = cycle;
+
+    auto close_bank = [&](int bank) {
+        if (r.openRow[bank] >= 0) {
+            r.openRow[bank] = -1;
+            --r.openBanks;
+        }
+    };
+
+    switch (cmd.type) {
+      case CmdType::ACT: {
+        CCSIM_ASSERT(eff, "energy model: ACT without effective timing");
+        accrueBackground(cmd.addr.rank, cycle);
+        // Row-active phase above active-standby for the effective tRAS,
+        // plus the precharge phase above precharge-standby for tRP.
+        double act_ns = t.cyclesToNs(eff->tras);
+        double pre_ns = t.cyclesToNs(t.tRP);
+        breakdown_.actPreNj +=
+            ((idd_.idd0 - idd_.idd3n) * act_ns +
+             (idd_.idd0 - idd_.idd2n) * pre_ns) *
+            vdd * chips;
+        if (r.openRow[cmd.addr.bank] < 0)
+            ++r.openBanks;
+        r.openRow[cmd.addr.bank] = cmd.addr.row;
+        breakdown_.controllerNj += ccDynNjPerEvent_; // HCRAC lookup.
+        break;
+      }
+      case CmdType::PRE:
+        accrueBackground(cmd.addr.rank, cycle);
+        close_bank(cmd.addr.bank);
+        breakdown_.controllerNj += ccDynNjPerEvent_; // HCRAC insert.
+        break;
+      case CmdType::PREA: {
+        accrueBackground(cmd.addr.rank, cycle);
+        for (int b = 0; b < spec_.org.banksPerRank; ++b)
+            close_bank(b);
+        breakdown_.controllerNj += ccDynNjPerEvent_;
+        break;
+      }
+      case CmdType::RD:
+      case CmdType::RDA:
+        breakdown_.readNj += (idd_.idd4r - idd_.idd3n) * vdd *
+                             t.cyclesToNs(t.tBL) * chips;
+        if (cmd.type == CmdType::RDA) {
+            accrueBackground(cmd.addr.rank, cycle);
+            close_bank(cmd.addr.bank);
+            breakdown_.controllerNj += ccDynNjPerEvent_;
+        }
+        break;
+      case CmdType::WR:
+      case CmdType::WRA:
+        breakdown_.writeNj += (idd_.idd4w - idd_.idd3n) * vdd *
+                              t.cyclesToNs(t.tBL) * chips;
+        if (cmd.type == CmdType::WRA) {
+            accrueBackground(cmd.addr.rank, cycle);
+            close_bank(cmd.addr.bank);
+            breakdown_.controllerNj += ccDynNjPerEvent_;
+        }
+        break;
+      case CmdType::REF:
+        accrueBackground(cmd.addr.rank, cycle);
+        breakdown_.refreshNj += (idd_.idd5b - idd_.idd2n) * vdd *
+                                t.cyclesToNs(t.tRFC) * chips;
+        break;
+    }
+}
+
+void
+EnergyModel::finalize(Cycle end_cycle)
+{
+    for (int rank = 0; rank < static_cast<int>(ranks_.size()); ++rank)
+        accrueBackground(rank, end_cycle);
+    // ChargeCache static power over the simulated wall-clock.
+    double ns = spec_.timing.cyclesToNs(end_cycle - start_);
+    breakdown_.controllerNj += ccStaticMw_ * 1e-3 /* W */ * ns;
+    lastCycle_ = end_cycle;
+}
+
+void
+EnergyModel::resetAt(Cycle cycle)
+{
+    breakdown_ = EnergyBreakdown();
+    start_ = cycle;
+    for (auto &r : ranks_)
+        r.lastEdge = cycle;
+}
+
+} // namespace ccsim::energy

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * DRAM energy accounting in the DRAMPower methodology: per-command
+ * incremental energies on top of a state-dependent background current,
+ * integrated from the controller's command stream.
+ *
+ * ChargeCache affects DRAM energy two ways, both captured here:
+ *  - a reduced-tRAS activation spends less time in the high-current
+ *    row-active phase (smaller per-ACT energy);
+ *  - shorter execution time shrinks background energy. The ChargeCache
+ *    structure's own static+dynamic power is added on top, so reported
+ *    savings are net of the mechanism's cost (Section 6.2/6.3).
+ */
+
+#ifndef CCSIM_ENERGY_ENERGY_MODEL_HH
+#define CCSIM_ENERGY_ENERGY_MODEL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "ctrl/request.hh"
+#include "dram/spec.hh"
+#include "energy/idd.hh"
+
+namespace ccsim::energy {
+
+/** Energy decomposition in nanojoules. */
+struct EnergyBreakdown {
+    double actPreNj = 0.0;
+    double readNj = 0.0;
+    double writeNj = 0.0;
+    double refreshNj = 0.0;
+    double actStandbyNj = 0.0;
+    double preStandbyNj = 0.0;
+    double controllerNj = 0.0; ///< ChargeCache structure overhead.
+
+    double
+    totalNj() const
+    {
+        return actPreNj + readNj + writeNj + refreshNj + actStandbyNj +
+               preStandbyNj + controllerNj;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o);
+};
+
+/** Per-channel energy model; attach as a controller CommandListener. */
+class EnergyModel : public ctrl::CommandListener
+{
+  public:
+    /**
+     * @param cc_static_mw ChargeCache static power to account (mW).
+     * @param cc_dyn_nj_per_event ChargeCache energy per lookup/insert.
+     */
+    EnergyModel(const dram::DramSpec &spec, const IddProfile &idd,
+                double cc_static_mw = 0.0,
+                double cc_dyn_nj_per_event = 0.0);
+
+    void onCommand(const dram::Command &cmd, Cycle cycle,
+                   const dram::EffActTiming *eff) override;
+
+    /** Close background-energy intervals up to `end_cycle`. */
+    void finalize(Cycle end_cycle);
+
+    /** Reset all accumulators and re-open intervals at `cycle`. */
+    void resetAt(Cycle cycle);
+
+    const EnergyBreakdown &breakdown() const { return breakdown_; }
+
+  private:
+    /** Accumulate rank background energy up to `cycle`. */
+    void accrueBackground(int rank, Cycle cycle);
+
+    dram::DramSpec spec_;
+    IddProfile idd_;
+    double ccStaticMw_;
+    double ccDynNjPerEvent_;
+
+    struct RankState {
+        int openBanks = 0;
+        std::vector<int> openRow; ///< Per bank; -1 when closed.
+        Cycle lastEdge = 0;
+    };
+    std::vector<RankState> ranks_;
+    EnergyBreakdown breakdown_;
+    Cycle start_ = 0;
+    Cycle lastCycle_ = 0;
+};
+
+} // namespace ccsim::energy
+
+#endif // CCSIM_ENERGY_ENERGY_MODEL_HH

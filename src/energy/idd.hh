@@ -1,0 +1,35 @@
+/**
+ * @file
+ * IDD current profile for the DRAM energy model.
+ *
+ * Values follow Micron 4 Gb x8 DDR3-1600 datasheet figures, the same
+ * device class the paper's DRAMPower configuration models. Currents are
+ * per chip; a rank multiplies them by chipsPerRank.
+ */
+
+#ifndef CCSIM_ENERGY_IDD_HH
+#define CCSIM_ENERGY_IDD_HH
+
+namespace ccsim::energy {
+
+struct IddProfile {
+    double vdd = 1.5;    ///< Supply voltage (V).
+    double idd0 = 0.055; ///< ACT-PRE cycling current (A).
+    double idd2n = 0.032; ///< Precharge standby (A).
+    double idd3n = 0.038; ///< Active standby (A).
+    double idd4r = 0.157; ///< Read burst (A).
+    double idd4w = 0.128; ///< Write burst (A).
+    double idd5b = 0.210; ///< Refresh burst (A).
+    int chipsPerRank = 8; ///< x8 chips on a 64-bit bus.
+
+    /** Micron 4Gb DDR3-1600 x8 (MT41J-class) profile. */
+    static IddProfile
+    micronDdr3_1600_4Gb()
+    {
+        return IddProfile{};
+    }
+};
+
+} // namespace ccsim::energy
+
+#endif // CCSIM_ENERGY_IDD_HH

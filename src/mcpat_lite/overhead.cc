@@ -1,0 +1,46 @@
+#include "mcpat_lite/overhead.hh"
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace ccsim::mcpat_lite {
+
+int
+entrySizeBits(const dram::DramOrg &org)
+{
+    // Eq. 2: tag identifies (rank, bank, row); +1 valid bit.
+    return log2Ceil(static_cast<std::uint64_t>(org.ranksPerChannel)) +
+           log2Ceil(static_cast<std::uint64_t>(org.banksPerRank)) +
+           log2Ceil(static_cast<std::uint64_t>(org.rowsPerBank)) + 1;
+}
+
+std::uint64_t
+storageBits(const ChargeCacheGeometry &geo, const dram::DramOrg &org)
+{
+    // Eq. 1.
+    return static_cast<std::uint64_t>(geo.cores) * geo.channels *
+           geo.entries *
+           static_cast<std::uint64_t>(entrySizeBits(org) + geo.lruBits);
+}
+
+OverheadReport
+estimateOverhead(const ChargeCacheGeometry &geo, const dram::DramOrg &org,
+                 double cc_accesses_per_sec, double llc_accesses_per_sec)
+{
+    SramTech tech = SramTech::calibrated22nm();
+    OverheadReport rep;
+    rep.bits = storageBits(geo, org);
+    rep.bytes = rep.bits / 8;
+    rep.bytesPerCore = rep.bytes / static_cast<std::uint64_t>(geo.cores);
+    rep.areaMm2 = sramAreaMm2(rep.bits, tech);
+    rep.powerMw = sramPowerMw(rep.bits, cc_accesses_per_sec, tech);
+
+    std::uint64_t llc_bits = cacheBits(4ull << 20, 64, 26);
+    rep.llcAreaMm2 = sramAreaMm2(llc_bits, tech);
+    rep.llcPowerMw = sramPowerMw(llc_bits, llc_accesses_per_sec, tech);
+    rep.areaFractionOfLlc = rep.areaMm2 / rep.llcAreaMm2;
+    rep.powerFractionOfLlc = rep.powerMw / rep.llcPowerMw;
+    return rep;
+}
+
+} // namespace ccsim::mcpat_lite

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ChargeCache hardware-overhead estimation: the paper's storage
+ * Equations (1) and (2) plus area/power via the calibrated SRAM model.
+ *
+ *   EntrySize = log2(R) + log2(B) + log2(Ro) + 1          (Eq. 2)
+ *   Storage   = C * MC * Entries * (EntrySize + LRUbits)  (Eq. 1)
+ */
+
+#ifndef CCSIM_MCPAT_LITE_OVERHEAD_HH
+#define CCSIM_MCPAT_LITE_OVERHEAD_HH
+
+#include <cstdint>
+
+#include "dram/spec.hh"
+#include "mcpat_lite/sram.hh"
+
+namespace ccsim::mcpat_lite {
+
+struct ChargeCacheGeometry {
+    int cores = 8;     ///< C in Eq. 1.
+    int channels = 2;  ///< MC in Eq. 1.
+    int entries = 128; ///< Entries per core per channel.
+    int lruBits = 1;   ///< Per entry (2-way LRU).
+};
+
+/** Eq. 2: bits per HCRAC entry (tag + valid). */
+int entrySizeBits(const dram::DramOrg &org);
+
+/** Eq. 1: total ChargeCache storage in bits. */
+std::uint64_t storageBits(const ChargeCacheGeometry &geo,
+                          const dram::DramOrg &org);
+
+struct OverheadReport {
+    std::uint64_t bits = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t bytesPerCore = 0;
+    double areaMm2 = 0.0;
+    double powerMw = 0.0;
+    double llcAreaMm2 = 0.0;
+    double llcPowerMw = 0.0;
+    double areaFractionOfLlc = 0.0;
+    double powerFractionOfLlc = 0.0;
+};
+
+/**
+ * Full Section 6.3 estimate.
+ *
+ * @param cc_accesses_per_sec HCRAC lookup+insert rate (ACTs + PREs).
+ * @param llc_accesses_per_sec LLC access rate for its power estimate.
+ */
+OverheadReport estimateOverhead(const ChargeCacheGeometry &geo,
+                                const dram::DramOrg &org,
+                                double cc_accesses_per_sec = 20e6,
+                                double llc_accesses_per_sec = 100e6);
+
+} // namespace ccsim::mcpat_lite
+
+#endif // CCSIM_MCPAT_LITE_OVERHEAD_HH

@@ -1,0 +1,78 @@
+#include "mcpat_lite/sram.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace ccsim::mcpat_lite {
+
+namespace {
+
+// Published anchors (Section 6.3 of the paper).
+constexpr double kCcBits = 43008.0;     // 5376 bytes.
+constexpr double kCcAreaMm2 = 0.022;
+constexpr double kLlcAreaMm2 = 9.17;    // 0.022 / 0.24%.
+
+} // namespace
+
+SramTech
+SramTech::calibrated22nm()
+{
+    SramTech tech;
+    // Solve [bits sqrt(bits)] [a1 a2]^T = area for the two anchors.
+    const double llc_bits =
+        static_cast<double>(cacheBits(4ull << 20, 64, 26));
+    const double b1 = kCcBits, s1 = std::sqrt(kCcBits);
+    const double b2 = llc_bits, s2 = std::sqrt(llc_bits);
+    const double r1 = kCcAreaMm2 * 1e6; // um^2
+    const double r2 = kLlcAreaMm2 * 1e6;
+    const double det = b1 * s2 - b2 * s1;
+    CCSIM_ASSERT(det != 0.0, "degenerate calibration anchors");
+    tech.areaLinearUm2PerBit = (r1 * s2 - r2 * s1) / det;
+    tech.areaPeriphUm2PerSqrtBit = (b1 * r2 - b2 * r1) / det;
+    CCSIM_ASSERT(tech.areaLinearUm2PerBit > 0 &&
+                     tech.areaPeriphUm2PerSqrtBit > 0,
+                 "area calibration produced negative coefficients");
+    return tech;
+}
+
+double
+sramAreaMm2(std::uint64_t bits, const SramTech &tech)
+{
+    double b = static_cast<double>(bits);
+    return (tech.areaLinearUm2PerBit * b +
+            tech.areaPeriphUm2PerSqrtBit * std::sqrt(b)) *
+           1e-6;
+}
+
+double
+sramLeakageMw(std::uint64_t bits, const SramTech &tech)
+{
+    return tech.leakNwPerBit * static_cast<double>(bits) * 1e-6;
+}
+
+double
+sramDynamicMw(std::uint64_t bits, double accesses_per_sec,
+              const SramTech &tech)
+{
+    double pj_per_access =
+        tech.dynPjPerAccessPerSqrtBit * std::sqrt(static_cast<double>(bits));
+    return pj_per_access * accesses_per_sec * 1e-9; // pJ/s -> mW.
+}
+
+double
+sramPowerMw(std::uint64_t bits, double accesses_per_sec,
+            const SramTech &tech)
+{
+    return sramLeakageMw(bits, tech) +
+           sramDynamicMw(bits, accesses_per_sec, tech);
+}
+
+std::uint64_t
+cacheBits(std::uint64_t capacity_bytes, int line_bytes, int tag_bits)
+{
+    std::uint64_t lines = capacity_bytes / static_cast<std::uint64_t>(line_bytes);
+    return capacity_bytes * 8 + lines * static_cast<std::uint64_t>(tag_bits);
+}
+
+} // namespace ccsim::mcpat_lite

@@ -1,0 +1,187 @@
+#include "mem/llc.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ccsim::mem {
+
+Llc::Llc(const LlcConfig &config, const dram::AddressMapper &mapper,
+         std::function<ctrl::MemoryController *(int channel)> route,
+         MissCallback on_miss_complete)
+    : config_(config),
+      mapper_(mapper),
+      route_(std::move(route)),
+      onMissComplete_(std::move(on_miss_complete))
+{
+    std::uint64_t lines =
+        config_.sizeBytes / static_cast<std::uint64_t>(config_.lineBytes);
+    CCSIM_ASSERT(lines % config_.ways == 0, "LLC geometry mismatch");
+    sets_ = static_cast<int>(lines / config_.ways);
+    CCSIM_ASSERT(isPow2(static_cast<std::uint64_t>(sets_)),
+                 "LLC set count must be a power of two");
+    lines_.resize(lines);
+    mshrInUse_.assign(64, 0); // up to 64 cores
+}
+
+Llc::Line *
+Llc::findLine(Addr line_addr)
+{
+    std::uint64_t set = line_addr & (sets_ - 1);
+    std::uint64_t tag = line_addr >> log2Exact(sets_);
+    Line *base = &lines_[set * config_.ways];
+    for (int w = 0; w < config_.ways; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    return nullptr;
+}
+
+Llc::Line *
+Llc::victimFor(Addr line_addr)
+{
+    std::uint64_t set = line_addr & (sets_ - 1);
+    Line *base = &lines_[set * config_.ways];
+    Line *victim = &base[0];
+    for (int w = 0; w < config_.ways; ++w) {
+        if (!base[w].valid)
+            return &base[w];
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    return victim;
+}
+
+void
+Llc::installLine(Addr line_addr, bool dirty)
+{
+    std::uint64_t set = line_addr & (sets_ - 1);
+    Line *victim = victimFor(line_addr);
+    if (victim->valid && victim->dirty) {
+        Addr victim_addr =
+            (victim->tag << log2Exact(sets_)) | set;
+        writebackQ_.push_back(victim_addr);
+        ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = line_addr >> log2Exact(sets_);
+    victim->lru = ++lruClock_;
+}
+
+bool
+Llc::sendFetch(Addr line_addr)
+{
+    auto it = mshrs_.find(line_addr);
+    CCSIM_ASSERT(it != mshrs_.end(), "fetch without MSHR");
+    ctrl::Request req;
+    req.type = ctrl::ReqType::Read;
+    req.lineAddr = line_addr;
+    req.addr = mapper_.decode(line_addr);
+    req.coreId = it->second.waiters.front().core;
+    req.callback = [this](const ctrl::Request &r, Cycle) {
+        onFill(r.lineAddr);
+    };
+    ctrl::MemoryController *mc = route_(req.addr.channel);
+    if (!mc->canAccept(ctrl::ReqType::Read))
+        return false;
+    // Mark before enqueue: `it` must not be touched afterwards (the
+    // controller owns the request from here on).
+    it->second.issued = true;
+    mc->enqueue(std::move(req));
+    return true;
+}
+
+Llc::Result
+Llc::access(int core, Addr line_addr, bool is_write, std::uint64_t token)
+{
+    ++stats_.accesses;
+    if (Line *line = findLine(line_addr)) {
+        line->lru = ++lruClock_;
+        line->dirty |= is_write;
+        ++stats_.hits;
+        return Result::Hit;
+    }
+    // Victim-buffer hit: the line was evicted dirty but not yet drained.
+    auto wb = std::find(writebackQ_.begin(), writebackQ_.end(), line_addr);
+    if (wb != writebackQ_.end()) {
+        writebackQ_.erase(wb);
+        installLine(line_addr, true);
+        ++stats_.hits;
+        return Result::Hit;
+    }
+    if (mshrInUse_[core] >= config_.mshrsPerCore) {
+        ++stats_.blockedMshr;
+        return Result::Blocked;
+    }
+    auto it = mshrs_.find(line_addr);
+    if (it != mshrs_.end()) {
+        it->second.waiters.push_back({core, token, is_write});
+        ++mshrInUse_[core];
+        ++stats_.mshrMerges;
+        return Result::Miss;
+    }
+    MshrEntry entry;
+    entry.waiters.push_back({core, token, is_write});
+    auto [ins, ok] = mshrs_.emplace(line_addr, std::move(entry));
+    CCSIM_ASSERT(ok, "duplicate MSHR");
+    (void)ins;
+    ++mshrInUse_[core];
+    ++stats_.misses;
+    if (!sendFetch(line_addr)) {
+        fetchRetryQ_.push_back(line_addr);
+        ++stats_.blockedMemQueue;
+    }
+    return Result::Miss;
+}
+
+void
+Llc::onFill(Addr line_addr)
+{
+    auto it = mshrs_.find(line_addr);
+    CCSIM_ASSERT(it != mshrs_.end(), "fill without MSHR");
+    bool dirty = false;
+    for (const auto &w : it->second.waiters)
+        dirty |= w.isWrite;
+    installLine(line_addr, dirty);
+    // Notify after erasing so callbacks can re-access the cache.
+    std::vector<MshrEntry::Waiter> waiters =
+        std::move(it->second.waiters);
+    mshrs_.erase(it);
+    for (const auto &w : waiters) {
+        --mshrInUse_[w.core];
+        CCSIM_ASSERT(mshrInUse_[w.core] >= 0, "MSHR accounting broke");
+        if (onMissComplete_)
+            onMissComplete_(w.core, w.token);
+    }
+}
+
+void
+Llc::tick()
+{
+    while (!fetchRetryQ_.empty()) {
+        Addr line_addr = fetchRetryQ_.front();
+        auto it = mshrs_.find(line_addr);
+        if (it == mshrs_.end() || it->second.issued) {
+            fetchRetryQ_.pop_front(); // stale entry
+            continue;
+        }
+        if (!sendFetch(line_addr))
+            break;
+        fetchRetryQ_.pop_front();
+    }
+    while (!writebackQ_.empty()) {
+        Addr line_addr = writebackQ_.front();
+        ctrl::Request req;
+        req.type = ctrl::ReqType::Write;
+        req.lineAddr = line_addr;
+        req.addr = mapper_.decode(line_addr);
+        req.coreId = -1;
+        ctrl::MemoryController *mc = route_(req.addr.channel);
+        if (!mc->canAccept(ctrl::ReqType::Write))
+            break;
+        mc->enqueue(std::move(req));
+        writebackQ_.pop_front();
+    }
+}
+
+} // namespace ccsim::mem

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared last-level cache with MSHRs, matching Table 1 of the paper:
+ * 4 MB, 16-way, 64 B lines, LRU, write-back/write-allocate, 8 MSHRs per
+ * core. Misses are sent to the per-channel memory controllers; dirty
+ * victims go through an internal writeback buffer that drains as the
+ * controller write queues accept them.
+ */
+
+#ifndef CCSIM_MEM_LLC_HH
+#define CCSIM_MEM_LLC_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "ctrl/controller.hh"
+#include "dram/addr.hh"
+
+namespace ccsim::mem {
+
+struct LlcConfig {
+    std::uint64_t sizeBytes = 4ull << 20;
+    int ways = 16;
+    int lineBytes = 64;
+    int mshrsPerCore = 8;
+    CpuCycle hitLatencyCpu = 20; ///< Load-to-use latency on an LLC hit.
+};
+
+struct LlcStats {
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;      ///< Distinct line fetches started.
+    std::uint64_t mshrMerges = 0;  ///< Accesses folded into a fetch.
+    std::uint64_t writebacks = 0;
+    std::uint64_t blockedMshr = 0;
+    std::uint64_t blockedMemQueue = 0;
+};
+
+class Llc
+{
+  public:
+    enum class Result {
+        Hit,     ///< Data after hitLatencyCpu (caller schedules).
+        Miss,    ///< Accepted; completion via the miss callback.
+        Blocked, ///< Resources exhausted; retry next cycle.
+    };
+
+    /** Invoked when a missing line returns from memory. */
+    using MissCallback =
+        std::function<void(int core, std::uint64_t token)>;
+
+    /**
+     * @param route maps a channel index to its memory controller.
+     * @param on_miss_complete completion notification for Miss results.
+     */
+    Llc(const LlcConfig &config, const dram::AddressMapper &mapper,
+        std::function<ctrl::MemoryController *(int channel)> route,
+        MissCallback on_miss_complete);
+
+    /**
+     * Access `line_addr` for `core`. On Miss, `token` is returned via
+     * the miss callback when data arrives. Writes allocate and are
+     * acknowledged by the same mechanism (stores occupy MSHRs too).
+     */
+    Result access(int core, Addr line_addr, bool is_write,
+                  std::uint64_t token);
+
+    /** Drain pending writebacks into the controller write queues. */
+    void tick();
+
+    /** True when no fetch or writeback is outstanding. */
+    bool
+    quiesced() const
+    {
+        return mshrs_.empty() && writebackQ_.empty();
+    }
+
+    const LlcStats &stats() const { return stats_; }
+    void resetStats() { stats_ = LlcStats(); }
+
+    int numSets() const { return sets_; }
+    const LlcConfig &config() const { return config_; }
+
+  private:
+    struct Line {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    struct MshrEntry {
+        struct Waiter {
+            int core;
+            std::uint64_t token;
+            bool isWrite;
+        };
+        std::vector<Waiter> waiters;
+        bool issued = false; ///< Fetch accepted by the controller.
+    };
+
+    Line *findLine(Addr line_addr);
+    Line *victimFor(Addr line_addr);
+    void installLine(Addr line_addr, bool dirty);
+    bool sendFetch(Addr line_addr);
+    void onFill(Addr line_addr);
+
+    LlcConfig config_;
+    const dram::AddressMapper &mapper_;
+    std::function<ctrl::MemoryController *(int)> route_;
+    MissCallback onMissComplete_;
+
+    int sets_;
+    std::vector<Line> lines_; ///< sets_ * ways, set-major.
+    std::uint64_t lruClock_ = 0;
+
+    std::unordered_map<Addr, MshrEntry> mshrs_; ///< By line address.
+    std::vector<int> mshrInUse_;                ///< Per core.
+    std::deque<Addr> fetchRetryQ_; ///< Misses awaiting queue space.
+    std::deque<Addr> writebackQ_;  ///< Dirty victims awaiting drain.
+
+    LlcStats stats_;
+};
+
+} // namespace ccsim::mem
+
+#endif // CCSIM_MEM_LLC_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Full-system simulation configuration, defaulting to Table 1 of the
+ * paper: 1-8 cores at 4 GHz, 3-wide issue, 128-entry window, 8
+ * MSHRs/core, 4 MB 16-way LLC, FR-FCFS, open-row (single-core) or
+ * closed-row (multi-core) policy, DDR3-1600 with 1-2 channels, and a
+ * 128-entry 2-way LRU ChargeCache with 1 ms caching duration and
+ * 4/8-cycle tRCD/tRAS reduction on hits.
+ */
+
+#ifndef CCSIM_SIM_CONFIG_HH
+#define CCSIM_SIM_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "chargecache/providers.hh"
+#include "circuit/timing_model.hh"
+#include "cpu/core.hh"
+#include "ctrl/controller.hh"
+#include "dram/addr.hh"
+#include "dram/spec.hh"
+#include "mem/llc.hh"
+
+namespace ccsim::sim {
+
+/** Latency scheme under evaluation (Section 6's four mechanisms). */
+enum class Scheme {
+    Baseline,
+    ChargeCache,
+    Nuat,
+    ChargeCacheNuat,
+    LlDram,
+};
+
+const char *schemeName(Scheme scheme);
+
+struct SimConfig {
+    int nCores = 1;
+    int channels = 1;
+    std::string dramStandard = "DDR3-1600";
+    dram::MapScheme mapping = dram::MapScheme::RoBaRaCoCh;
+
+    ctrl::CtrlConfig ctrl;
+    mem::LlcConfig llc;
+    cpu::CoreConfig core;
+    int cpuRatio = 5; ///< CPU cycles per DRAM bus cycle (4 GHz / 800 MHz).
+
+    std::uint64_t warmupInsts = 50000;  ///< Per core.
+    std::uint64_t targetInsts = 400000; ///< Per core, post-warm-up.
+    CpuCycle maxCpuCycles = 5000000000ull; ///< Runaway guard.
+
+    Scheme scheme = Scheme::Baseline;
+    chargecache::ChargeCacheParams cc;
+    double ccDurationMs = 1.0;
+    /** Derive hit timings from the circuit model instead of cc.*Reduced. */
+    bool ccUseTimingModel = false;
+    /** NUAT 5PB bin edges (ms); the last edge is the refresh window. */
+    std::vector<double> nuatBinEdgesMs = {6, 16, 32, 48, 64};
+
+    bool trackRltl = false;
+    bool modelEnergy = true;
+    bool attachOracle = false;
+    std::uint64_t seed = 42;
+
+    /** Paper single-core system: 1 channel, open-row. */
+    static SimConfig singleCore();
+    /** Paper eight-core system: 2 channels, closed-row. */
+    static SimConfig eightCore();
+
+    dram::DramSpec buildSpec() const;
+
+    /** Apply ccDurationMs: duration cycles and (optionally) timings. */
+    void finalizeChargeCache();
+};
+
+/**
+ * Build NUAT 5PB bins from the circuit timing model: rows refreshed
+ * within edge[i] get the worst-case timings for that age.
+ */
+chargecache::NuatParams makeNuatParams(const circuit::TimingModel &model,
+                                       const dram::DramTiming &timing,
+                                       const std::vector<double> &edges_ms);
+
+} // namespace ccsim::sim
+
+#endif // CCSIM_SIM_CONFIG_HH

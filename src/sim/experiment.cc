@@ -1,0 +1,106 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/log.hh"
+#include "workloads/profiles.hh"
+
+namespace ccsim::sim {
+
+namespace {
+
+std::uint64_t
+envU64(const char *name, std::uint64_t def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    char *end = nullptr;
+    std::uint64_t parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0')
+        CCSIM_FATAL("environment variable ", name, "='", v,
+                    "' is not an integer");
+    return parsed;
+}
+
+} // namespace
+
+ExpScale
+expScale()
+{
+    ExpScale s;
+    s.insts = envU64("CCSIM_INSTS", s.insts);
+    s.warmup = envU64("CCSIM_WARMUP", s.warmup);
+    return s;
+}
+
+SimConfig
+makeSingleConfig(Scheme scheme, const ExpScale &scale)
+{
+    SimConfig cfg = SimConfig::singleCore();
+    cfg.scheme = scheme;
+    cfg.targetInsts = scale.insts;
+    cfg.warmupInsts = scale.warmup;
+    cfg.finalizeChargeCache();
+    return cfg;
+}
+
+SimConfig
+makeEightConfig(Scheme scheme, const ExpScale &scale)
+{
+    SimConfig cfg = SimConfig::eightCore();
+    cfg.scheme = scheme;
+    cfg.targetInsts = scale.insts;
+    cfg.warmupInsts = scale.warmup;
+    cfg.finalizeChargeCache();
+    return cfg;
+}
+
+SystemResult
+runSingle(const std::string &workload, Scheme scheme,
+          const ConfigTweak &tweak)
+{
+    SimConfig cfg = makeSingleConfig(scheme, expScale());
+    if (tweak)
+        tweak(cfg);
+    System system(cfg, std::vector<std::string>{workload});
+    return system.run();
+}
+
+SystemResult
+runMix(int mix_id, Scheme scheme, const ConfigTweak &tweak)
+{
+    SimConfig cfg = makeEightConfig(scheme, expScale());
+    if (tweak)
+        tweak(cfg);
+    System system(cfg, workloads::mixWorkloads(mix_id, cfg.nCores));
+    return system.run();
+}
+
+double
+aloneIpc(const std::string &workload)
+{
+    static std::map<std::string, double> memo;
+    auto it = memo.find(workload);
+    if (it != memo.end())
+        return it->second;
+    SystemResult r = runSingle(workload, Scheme::Baseline);
+    double ipc = r.ipc.at(0);
+    memo[workload] = ipc;
+    return ipc;
+}
+
+double
+weightedSpeedup(const std::vector<std::string> &mix,
+                const std::vector<double> &ipc_shared)
+{
+    CCSIM_ASSERT(mix.size() == ipc_shared.size(),
+                 "mix/IPC size mismatch");
+    double ws = 0.0;
+    for (size_t i = 0; i < mix.size(); ++i)
+        ws += ipc_shared[i] / aloneIpc(mix[i]);
+    return ws;
+}
+
+} // namespace ccsim::sim

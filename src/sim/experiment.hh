@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared experiment plumbing for the reproduction harness (bench/):
+ * canonical single-core and eight-core configurations, scheme sweeps,
+ * alone-IPC memoisation and weighted speedup (the paper's multi-core
+ * metric [Snavely & Tullsen, ASPLOS 2000]).
+ *
+ * Scale knobs come from the environment so the full suite finishes on a
+ * laptop while remaining faithful in shape:
+ *   CCSIM_INSTS  - instructions per core after warm-up (default 100k)
+ *   CCSIM_WARMUP - warm-up instructions per core (default 10k)
+ */
+
+#ifndef CCSIM_SIM_EXPERIMENT_HH
+#define CCSIM_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace ccsim::sim {
+
+/** Scale parameters (env-overridable). */
+struct ExpScale {
+    std::uint64_t insts = 100000;
+    std::uint64_t warmup = 10000;
+};
+
+/** Read CCSIM_INSTS / CCSIM_WARMUP from the environment. */
+ExpScale expScale();
+
+/** Optional config mutation applied before a run. */
+using ConfigTweak = std::function<void(SimConfig &)>;
+
+/** Canonical Table 1 single-core config for `scheme`. */
+SimConfig makeSingleConfig(Scheme scheme, const ExpScale &scale);
+
+/** Canonical Table 1 eight-core config for `scheme`. */
+SimConfig makeEightConfig(Scheme scheme, const ExpScale &scale);
+
+/** Run one single-core workload. */
+SystemResult runSingle(const std::string &workload, Scheme scheme,
+                       const ConfigTweak &tweak = nullptr);
+
+/** Run one eight-core mix (1..20). */
+SystemResult runMix(int mix_id, Scheme scheme,
+                    const ConfigTweak &tweak = nullptr);
+
+/**
+ * Baseline single-core IPC of `workload` (memoised across calls within
+ * one process) — the denominator of weighted speedup.
+ */
+double aloneIpc(const std::string &workload);
+
+/** Weighted speedup of a mix run: sum_i IPCshared_i / IPCalone_i. */
+double weightedSpeedup(const std::vector<std::string> &mix,
+                       const std::vector<double> &ipc_shared);
+
+} // namespace ccsim::sim
+
+#endif // CCSIM_SIM_EXPERIMENT_HH

@@ -1,0 +1,338 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "mcpat_lite/overhead.hh"
+#include "workloads/profiles.hh"
+
+namespace ccsim::sim {
+
+System::System(const SimConfig &config,
+               const std::vector<std::string> &workloads)
+    : config_(config), spec_(config.buildSpec())
+{
+    CCSIM_ASSERT(static_cast<int>(workloads.size()) == config_.nCores,
+                 "need one workload per core");
+    mapper_ = std::make_unique<dram::AddressMapper>(spec_.org,
+                                                    config_.mapping);
+    Addr capacity = mapper_->numLines();
+    Addr region = capacity / static_cast<Addr>(config_.nCores);
+    std::vector<cpu::TraceSource *> traces;
+    for (int i = 0; i < config_.nCores; ++i) {
+        const auto &profile = workloads::profileByName(workloads[i]);
+        ownedTraces_.push_back(std::make_unique<workloads::SyntheticTrace>(
+            profile, config_.seed + 0x9E37 * (i + 1), region * i,
+            capacity));
+        traces.push_back(ownedTraces_.back().get());
+    }
+    build(traces);
+}
+
+System::System(const SimConfig &config,
+               const std::vector<cpu::TraceSource *> &traces)
+    : config_(config), spec_(config.buildSpec())
+{
+    CCSIM_ASSERT(static_cast<int>(traces.size()) == config_.nCores,
+                 "need one trace per core");
+    mapper_ = std::make_unique<dram::AddressMapper>(spec_.org,
+                                                    config_.mapping);
+    build(traces);
+}
+
+System::~System() = default;
+
+void
+System::makeProviders()
+{
+    using namespace chargecache;
+    circuit::TimingModel model;
+    for (int ch = 0; ch < config_.channels; ++ch) {
+        std::unique_ptr<LatencyProvider> p;
+        switch (config_.scheme) {
+          case Scheme::Baseline:
+            p = std::make_unique<StandardProvider>(spec_.timing);
+            break;
+          case Scheme::ChargeCache:
+            p = std::make_unique<ChargeCacheProvider>(
+                spec_.timing, config_.cc, config_.nCores);
+            break;
+          case Scheme::Nuat:
+            p = std::make_unique<NuatProvider>(
+                spec_.timing,
+                makeNuatParams(model, spec_.timing,
+                               config_.nuatBinEdgesMs),
+                *refresh_[ch]);
+            break;
+          case Scheme::ChargeCacheNuat: {
+            auto cc = std::make_unique<ChargeCacheProvider>(
+                spec_.timing, config_.cc, config_.nCores);
+            auto nuat = std::make_unique<NuatProvider>(
+                spec_.timing,
+                makeNuatParams(model, spec_.timing,
+                               config_.nuatBinEdgesMs),
+                *refresh_[ch]);
+            p = std::make_unique<CombinedProvider>(std::move(cc),
+                                                   std::move(nuat));
+            break;
+          }
+          case Scheme::LlDram:
+            p = std::make_unique<LowLatencyDramProvider>(
+                config_.cc.trcdReduced, config_.cc.trasReduced);
+            break;
+        }
+        providers_.push_back(std::move(p));
+    }
+}
+
+void
+System::build(const std::vector<cpu::TraceSource *> &traces)
+{
+    // Per-channel refresh schedulers first (NUAT is built against them).
+    dram::DramSpec chan_spec = spec_;
+    chan_spec.org.channels = 1; // Controllers are per-channel.
+    for (int ch = 0; ch < config_.channels; ++ch)
+        refresh_.push_back(
+            std::make_unique<ctrl::RefreshScheduler>(chan_spec));
+
+    makeProviders();
+
+    // ChargeCache structure power (Section 6.3), split per channel.
+    double cc_static_mw = 0.0;
+    if (config_.scheme == Scheme::ChargeCache ||
+        config_.scheme == Scheme::ChargeCacheNuat) {
+        mcpat_lite::ChargeCacheGeometry geo;
+        geo.cores = config_.nCores;
+        geo.channels = config_.channels;
+        geo.entries = config_.cc.table.entries;
+        geo.lruBits = 1;
+        cc_static_mw =
+            mcpat_lite::estimateOverhead(geo, spec_.org).powerMw /
+            config_.channels;
+    }
+
+    for (int ch = 0; ch < config_.channels; ++ch) {
+        controllers_.push_back(std::make_unique<ctrl::MemoryController>(
+            chan_spec, config_.ctrl, *providers_[ch], *refresh_[ch], ch));
+        if (config_.modelEnergy) {
+            energy_.push_back(std::make_unique<energy::EnergyModel>(
+                chan_spec, energy::IddProfile::micronDdr3_1600_4Gb(),
+                cc_static_mw));
+            controllers_.back()->addListener(energy_.back().get());
+        }
+        if (config_.attachOracle) {
+            oracles_.push_back(std::make_unique<OracleListener>(chan_spec));
+            controllers_.back()->addListener(oracles_.back().get());
+        }
+    }
+
+    llc_ = std::make_unique<mem::Llc>(
+        config_.llc, *mapper_,
+        [this](int ch) { return controllers_[ch].get(); },
+        [this](int core, std::uint64_t token) {
+            cores_[core]->onMissComplete(token);
+        });
+
+    cpu::CoreConfig core_cfg = config_.core;
+    core_cfg.targetInsts = config_.targetInsts;
+    for (int i = 0; i < config_.nCores; ++i)
+        cores_.push_back(
+            std::make_unique<cpu::Core>(i, core_cfg, *traces[i], *llc_));
+}
+
+ctrl::MemoryController &
+System::controller(int channel)
+{
+    return *controllers_[channel];
+}
+
+chargecache::LatencyProvider &
+System::provider(int channel)
+{
+    return *providers_[channel];
+}
+
+OracleListener *
+System::oracleListener(int channel)
+{
+    if (oracles_.empty())
+        return nullptr;
+    return oracles_[channel].get();
+}
+
+void
+System::resetAllStats(CpuCycle now)
+{
+    for (auto &mc : controllers_)
+        mc->resetStats();
+    llc_->resetStats();
+    for (auto &core : cores_)
+        core->resetStats(now);
+    for (size_t ch = 0; ch < energy_.size(); ++ch)
+        energy_[ch]->resetAt(controllers_[ch]->now());
+}
+
+SystemResult
+System::run()
+{
+    CpuCycle now = 0;
+    bool warm = false;
+    CpuCycle warm_end = 0;
+
+    auto all_retired_at_least = [&](std::uint64_t n) {
+        for (const auto &core : cores_)
+            if (core->stats().retired < n)
+                return false;
+        return true;
+    };
+
+    // Forward-progress watchdog: if no core retires anything for this
+    // many CPU cycles, the system is deadlocked — dump state and abort.
+    constexpr CpuCycle kStallLimit = 10000000;
+    std::uint64_t last_retired_sum = 0;
+    CpuCycle last_progress = 0;
+    auto check_progress = [&]() {
+        std::uint64_t retired = 0;
+        for (const auto &core : cores_)
+            retired += core->stats().retired;
+        if (retired != last_retired_sum) {
+            last_retired_sum = retired;
+            last_progress = now;
+            return;
+        }
+        if (now - last_progress < kStallLimit)
+            return;
+        std::string dump;
+        for (size_t ch = 0; ch < controllers_.size(); ++ch) {
+            dump += " ch" + std::to_string(ch) +
+                    "{queued=" +
+                    std::to_string(controllers_[ch]->queuedRequests()) +
+                    ",pending=" +
+                    std::to_string(controllers_[ch]->pendingReads()) + "}";
+        }
+        dump += " llc{quiesced=" +
+                std::to_string(llc_->quiesced() ? 1 : 0) +
+                ",blockedMshr=" +
+                std::to_string(llc_->stats().blockedMshr) + "}";
+        for (const auto &core : cores_)
+            dump += " core" + std::to_string(core->id()) + "{retired=" +
+                    std::to_string(core->stats().retired) + "}";
+        CCSIM_PANIC("no forward progress for ", kStallLimit,
+                    " cpu cycles at cycle ", now, ":", dump);
+    };
+
+    while (true) {
+        if (!warm && all_retired_at_least(config_.warmupInsts)) {
+            warm = true;
+            warm_end = now;
+            resetAllStats(now);
+        }
+        if (warm) {
+            bool done = true;
+            for (const auto &core : cores_)
+                if (!core->reachedTarget())
+                    done = false;
+            if (done)
+                break;
+        }
+        if (now % static_cast<CpuCycle>(config_.cpuRatio) == 0) {
+            for (auto &mc : controllers_)
+                mc->tick();
+            llc_->tick();
+        }
+        for (auto &core : cores_)
+            core->tick(now);
+        ++now;
+        if (now % 65536 == 0)
+            check_progress();
+        if (now > config_.maxCpuCycles)
+            CCSIM_FATAL("simulation exceeded maxCpuCycles=",
+                        config_.maxCpuCycles,
+                        "; workload cannot make progress?");
+    }
+
+    SystemResult res;
+    res.cpuCycles = now - warm_end;
+    for (const auto &core : cores_) {
+        CpuCycle c = core->targetCycle() - warm_end;
+        res.ipc.push_back(double(config_.targetInsts) / double(c ? c : 1));
+    }
+
+    std::uint64_t reduced = 0;
+    for (auto &p : providers_) {
+        res.activations += p->activations;
+        reduced += p->reducedActivations;
+    }
+    res.providerHitRate =
+        res.activations ? double(reduced) / res.activations : 0.0;
+
+    chargecache::Hcrac::Stats hs;
+    double unlimited_hits = 0, unlimited_lookups = 0;
+    for (auto &p : providers_) {
+        chargecache::ChargeCacheProvider *cc = nullptr;
+        if (auto *d =
+                dynamic_cast<chargecache::ChargeCacheProvider *>(p.get()))
+            cc = d;
+        else if (auto *co =
+                     dynamic_cast<chargecache::CombinedProvider *>(p.get()))
+            cc = &co->chargeCache();
+        if (cc) {
+            auto s = cc->tableStats();
+            hs.lookups += s.lookups;
+            hs.hits += s.hits;
+            unlimited_hits += cc->unlimitedHitRate() * s.lookups;
+            unlimited_lookups += s.lookups;
+        }
+    }
+    res.hcracHitRate = hs.lookups ? double(hs.hits) / hs.lookups : 0.0;
+    res.unlimitedHitRate =
+        unlimited_lookups ? unlimited_hits / unlimited_lookups : 0.0;
+
+    for (auto &mc : controllers_) {
+        const auto &s = mc->stats();
+        res.ctrl.reads += s.reads;
+        res.ctrl.writes += s.writes;
+        res.ctrl.acts += s.acts;
+        res.ctrl.pres += s.pres;
+        res.ctrl.autoPres += s.autoPres;
+        res.ctrl.refs += s.refs;
+        res.ctrl.rowHits += s.rowHits;
+        res.ctrl.rowMisses += s.rowMisses;
+        res.ctrl.rowConflicts += s.rowConflicts;
+        res.ctrl.readForwards += s.readForwards;
+        res.ctrl.readLatencySum += s.readLatencySum;
+    }
+    res.llc = llc_->stats();
+    res.rmpkc = res.cpuCycles
+                    ? double(res.ctrl.acts) / (res.cpuCycles / 1000.0)
+                    : 0.0;
+
+    if (config_.modelEnergy) {
+        for (size_t ch = 0; ch < energy_.size(); ++ch) {
+            energy_[ch]->finalize(controllers_[ch]->now());
+            res.energy += energy_[ch]->breakdown();
+        }
+    }
+
+    if (config_.ctrl.trackRltl) {
+        res.rltlWindowsMs = config_.ctrl.rltlWindowsMs;
+        size_t n = res.rltlWindowsMs.size();
+        std::vector<double> within(n, 0.0);
+        double acts = 0, after_ref = 0;
+        for (auto &mc : controllers_) {
+            ctrl::RltlTracker *t = mc->rltl();
+            CCSIM_ASSERT(t, "RLTL tracking not enabled");
+            double a = double(t->activations());
+            acts += a;
+            after_ref += t->afterRefreshFraction() * a;
+            for (size_t i = 0; i < n; ++i)
+                within[i] += t->rltl(i) * a;
+        }
+        for (size_t i = 0; i < n; ++i)
+            res.rltl.push_back(acts ? within[i] / acts : 0.0);
+        res.afterRefresh8ms = acts ? after_ref / acts : 0.0;
+    }
+    return res;
+}
+
+} // namespace ccsim::sim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Full-system wiring: trace-driven cores -> shared LLC -> per-channel
+ * memory controllers with a latency provider (Baseline / ChargeCache /
+ * NUAT / CC+NUAT / LL-DRAM), refresh, energy accounting, and RLTL
+ * instrumentation. One System::run() produces every metric the paper's
+ * figures need.
+ */
+
+#ifndef CCSIM_SIM_SYSTEM_HH
+#define CCSIM_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "ctrl/controller.hh"
+#include "dram/oracle.hh"
+#include "energy/energy_model.hh"
+#include "mem/llc.hh"
+#include "sim/config.hh"
+#include "workloads/synthetic.hh"
+
+namespace ccsim::sim {
+
+/** Command listener that feeds the protocol oracle (tests/debug). */
+class OracleListener : public ctrl::CommandListener
+{
+  public:
+    explicit OracleListener(const dram::DramSpec &spec) : oracle_(spec) {}
+
+    void
+    onCommand(const dram::Command &cmd, Cycle cycle,
+              const dram::EffActTiming *eff) override
+    {
+        oracle_.record(cmd, cycle, eff);
+    }
+
+    dram::TimingOracle &oracle() { return oracle_; }
+
+  private:
+    dram::TimingOracle oracle_;
+};
+
+/** Everything a figure could want from one run. */
+struct SystemResult {
+    std::vector<double> ipc; ///< Per core, post-warm-up.
+    CpuCycle cpuCycles = 0;  ///< Warm-up end to last target.
+
+    std::uint64_t activations = 0;
+    double providerHitRate = 0.0; ///< Reduced ACTs / all ACTs.
+    double hcracHitRate = 0.0;    ///< HCRAC lookup hit rate.
+    double unlimitedHitRate = 0.0;
+    double rmpkc = 0.0; ///< Activations per kilo CPU cycle.
+
+    ctrl::CtrlStats ctrl; ///< Summed over channels.
+    mem::LlcStats llc;
+    energy::EnergyBreakdown energy;
+
+    std::vector<double> rltl; ///< Per configured window.
+    std::vector<double> rltlWindowsMs;
+    double afterRefresh8ms = 0.0;
+
+    double
+    ipcSum() const
+    {
+        double s = 0;
+        for (double v : ipc)
+            s += v;
+        return s;
+    }
+};
+
+class System
+{
+  public:
+    /** Build with named synthetic workloads (one per core). */
+    System(const SimConfig &config,
+           const std::vector<std::string> &workloads);
+
+    /** Build with externally-owned trace sources (tests). */
+    System(const SimConfig &config,
+           const std::vector<cpu::TraceSource *> &traces);
+
+    ~System();
+
+    /** Run warm-up + measurement; return all metrics. */
+    SystemResult run();
+
+    // Component access for tests.
+    ctrl::MemoryController &controller(int channel);
+    mem::Llc &llc() { return *llc_; }
+    cpu::Core &core(int idx) { return *cores_[idx]; }
+    chargecache::LatencyProvider &provider(int channel);
+    OracleListener *oracleListener(int channel);
+    const SimConfig &config() const { return config_; }
+
+  private:
+    void build(const std::vector<cpu::TraceSource *> &traces);
+    void makeProviders();
+    void resetAllStats(CpuCycle now);
+
+    SimConfig config_;
+    dram::DramSpec spec_;
+    std::unique_ptr<dram::AddressMapper> mapper_;
+
+    std::vector<std::unique_ptr<workloads::SyntheticTrace>> ownedTraces_;
+    std::vector<std::unique_ptr<ctrl::RefreshScheduler>> refresh_;
+    std::vector<std::unique_ptr<chargecache::LatencyProvider>> providers_;
+    std::vector<std::unique_ptr<ctrl::MemoryController>> controllers_;
+    std::vector<std::unique_ptr<energy::EnergyModel>> energy_;
+    std::vector<std::unique_ptr<OracleListener>> oracles_;
+    std::unique_ptr<mem::Llc> llc_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+};
+
+} // namespace ccsim::sim
+
+#endif // CCSIM_SIM_SYSTEM_HH

@@ -1,0 +1,152 @@
+#include "workloads/profiles.hh"
+
+#include <map>
+
+#include "common/log.hh"
+#include "common/random.hh"
+
+namespace ccsim::workloads {
+
+namespace {
+
+/**
+ * Global memory-intensity scale. Calibrated so eight-core mixes land in
+ * the paper's RMPKC range (Figure 7b: roughly 10-30 activations per
+ * kilo-cycle); without it the mixes saturate the two channels and
+ * queueing delay hides the latency reduction under study.
+ */
+constexpr double kMpiScale = 0.5;
+
+SyntheticProfile
+make(const std::string &name, double mpi, double wr, std::uint64_t hot_rows,
+     double hot_w, std::uint64_t pool_rows, double pool_w,
+     std::vector<StreamSpec> streams)
+{
+    SyntheticProfile p;
+    p.name = name;
+    p.memPerInst = mpi * kMpiScale;
+    p.writeFraction = wr;
+    p.hotRows = hot_rows;
+    p.hotWeight = hot_w;
+    p.poolRows = pool_rows;
+    p.poolWeight = pool_w;
+    p.streams = std::move(streams);
+    return p;
+}
+
+/** N identical streams sharing total weight `w`. */
+std::vector<StreamSpec>
+streams(int n, double w, double seq, std::uint64_t region_lines)
+{
+    std::vector<StreamSpec> v;
+    for (int i = 0; i < n; ++i)
+        v.push_back({w / n, seq, region_lines});
+    return v;
+}
+
+std::vector<SyntheticProfile>
+buildProfiles()
+{
+    const std::uint64_t K = 1024;
+    std::vector<SyntheticProfile> p;
+    // Scan-heavy TPC-H query with a probe pool.
+    p.push_back(make("tpch6", 0.20, 0.10, 0, 0, 6 * K, 0.25,
+                     streams(4, 0.75, 0.97, 512 * K)));
+    // Web serving: request-local hot data + wide object pool.
+    p.push_back(make("apache20", 0.15, 0.25, 2 * K, 0.20, 12 * K, 0.40,
+                     streams(2, 0.40, 0.90, 256 * K)));
+    // Stencil over large grids.
+    p.push_back(make("GemsFDTD", 0.22, 0.30, 0, 0, 2 * K, 0.10,
+                     streams(6, 0.90, 0.92, 1024 * K)));
+    // Pointer chasing over a huge graph: very high row-reuse distance.
+    p.push_back(make("mcf", 0.30, 0.25, 0, 0, 24 * K, 0.85,
+                     streams(1, 0.15, 0.90, 128 * K)));
+    // Acoustic model scoring: medium pools + streams.
+    p.push_back(make("sphinx3", 0.12, 0.15, 1 * K, 0.30, 6 * K, 0.30,
+                     streams(2, 0.40, 0.95, 256 * K)));
+    p.push_back(make("tpch2", 0.18, 0.15, 0, 0, 10 * K, 0.50,
+                     streams(3, 0.50, 0.96, 512 * K)));
+    // Path search: working set with locality.
+    p.push_back(make("astar", 0.10, 0.30, 1536, 0.40, 8 * K, 0.40,
+                     streams(1, 0.20, 0.90, 128 * K)));
+    // Fully cache-resident (paper footnote 1: no main-memory requests).
+    // Small enough that warm-up covers the footprint quickly.
+    p.push_back(make("hmmer", 0.25, 0.35, 4, 1.0, 0, 0, {}));
+    p.push_back(make("milc", 0.20, 0.30, 0, 0, 4 * K, 0.25,
+                     streams(4, 0.75, 0.93, 1024 * K)));
+    p.push_back(make("bwaves", 0.22, 0.25, 0, 0, 0, 0,
+                     streams(5, 1.0, 0.97, 2048 * K)));
+    p.push_back(make("lbm", 0.25, 0.45, 0, 0, 0, 0,
+                     streams(8, 1.0, 0.95, 1024 * K)));
+    // Discrete-event simulation: scattered heap objects.
+    p.push_back(make("omnetpp", 0.25, 0.30, 0, 0, 28 * K, 0.80,
+                     streams(2, 0.20, 0.90, 128 * K)));
+    p.push_back(make("tonto", 0.06, 0.30, 512, 0.50, 2 * K, 0.30,
+                     streams(1, 0.20, 0.95, 64 * K)));
+    p.push_back(make("bzip2", 0.08, 0.35, 800, 0.50, 0, 0,
+                     streams(1, 0.50, 0.90, 96 * K)));
+    p.push_back(make("leslie3d", 0.20, 0.30, 0, 0, 0, 0,
+                     streams(6, 1.0, 0.95, 1024 * K)));
+    p.push_back(make("sjeng", 0.05, 0.30, 0, 0, 3 * K, 0.70,
+                     streams(1, 0.30, 0.80, 64 * K)));
+    // OLTP: random index/tuple touches over a big table pool.
+    p.push_back(make("tpcc64", 0.15, 0.35, 0, 0, 40 * K, 0.80,
+                     streams(1, 0.20, 0.90, 64 * K)));
+    p.push_back(make("cactusADM", 0.08, 0.30, 0, 0, 0, 0,
+                     streams(4, 1.0, 0.96, 512 * K)));
+    // Pure sequential sweep over a large vector.
+    p.push_back(make("libquantum", 0.25, 0.20, 0, 0, 0, 0,
+                     streams(1, 1.0, 0.995, 4096 * K)));
+    p.push_back(make("soplex", 0.18, 0.20, 0, 0, 12 * K, 0.40,
+                     streams(3, 0.60, 0.95, 512 * K)));
+    p.push_back(make("tpch17", 0.20, 0.15, 0, 0, 8 * K, 0.35,
+                     streams(3, 0.65, 0.96, 768 * K)));
+    // copy: one read stream, one write stream.
+    p.push_back(make("STREAMcopy", 0.33, 0.45, 0, 0, 0, 0,
+                     streams(2, 1.0, 0.995, 4096 * K)));
+    return p;
+}
+
+} // namespace
+
+const std::vector<SyntheticProfile> &
+allProfiles()
+{
+    static const std::vector<SyntheticProfile> profiles = buildProfiles();
+    return profiles;
+}
+
+const std::vector<std::string> &
+allProfileNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &p : allProfiles())
+            v.push_back(p.name);
+        return v;
+    }();
+    return names;
+}
+
+const SyntheticProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : allProfiles())
+        if (p.name == name)
+            return p;
+    CCSIM_FATAL("unknown workload profile '", name, "'");
+}
+
+std::vector<std::string>
+mixWorkloads(int mix_id, int cores)
+{
+    CCSIM_ASSERT(mix_id >= 1, "mix ids start at 1");
+    Rng rng(0xC0FFEE + static_cast<std::uint64_t>(mix_id) * 7919);
+    const auto &names = allProfileNames();
+    std::vector<std::string> mix;
+    for (int c = 0; c < cores; ++c)
+        mix.push_back(names[rng.below(names.size())]);
+    return mix;
+}
+
+} // namespace ccsim::workloads

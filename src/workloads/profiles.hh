@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Named synthetic workload profiles, one per application in the paper's
+ * evaluation (SPEC CPU2006 / TPC / STREAM, Section 5).
+ *
+ * Parameters are calibrated to reproduce each application's *relative*
+ * memory behaviour as characterised by the paper (Figures 3, 4, 7):
+ * memory intensity (RMPKC ordering), row-level temporal locality, and
+ * row-reuse distance (e.g. mcf/omnetpp revisit rows well outside a
+ * small table's reach; hmmer is fully cache-resident and produces no
+ * DRAM traffic; STREAM/lbm/bwaves are stream-dominated).
+ */
+
+#ifndef CCSIM_WORKLOADS_PROFILES_HH
+#define CCSIM_WORKLOADS_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/synthetic.hh"
+
+namespace ccsim::workloads {
+
+/** All 22 single-core workload names, in the paper's Figure 4a order. */
+const std::vector<std::string> &allProfileNames();
+
+/** Lookup a profile; throws FatalError for unknown names. */
+const SyntheticProfile &profileByName(const std::string &name);
+
+/** All profiles. */
+const std::vector<SyntheticProfile> &allProfiles();
+
+/**
+ * The paper's 20 eight-core multiprogrammed mixes (w1..w20): a
+ * randomly-chosen application per core, deterministic per mix id.
+ *
+ * @param mix_id 1..20.
+ */
+std::vector<std::string> mixWorkloads(int mix_id, int cores = 8);
+
+} // namespace ccsim::workloads
+
+#endif // CCSIM_WORKLOADS_PROFILES_HH

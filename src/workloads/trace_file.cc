@@ -1,0 +1,58 @@
+#include "workloads/trace_file.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace ccsim::workloads {
+
+RamulatorTraceReader::RamulatorTraceReader(const std::string &path)
+    : path_(path), in_(path)
+{
+    if (!in_)
+        CCSIM_FATAL("cannot open trace file '", path, "'");
+}
+
+void
+RamulatorTraceReader::reset()
+{
+    in_.clear();
+    in_.seekg(0);
+    pendingWrite_.reset();
+}
+
+bool
+RamulatorTraceReader::next(cpu::TraceRecord &record)
+{
+    if (pendingWrite_) {
+        record = *pendingWrite_;
+        pendingWrite_.reset();
+        return true;
+    }
+    std::string line;
+    while (std::getline(in_, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::uint64_t gap = 0;
+        std::string rd, wr;
+        if (!(ss >> gap >> rd))
+            CCSIM_FATAL("malformed trace line '", line, "' in ", path_);
+        ss >> wr;
+        ++linesParsed_;
+        record.nonMemInsts = static_cast<std::uint32_t>(gap);
+        record.addr = std::stoull(rd, nullptr, 0);
+        record.isWrite = false;
+        if (!wr.empty()) {
+            cpu::TraceRecord w;
+            w.nonMemInsts = 0;
+            w.addr = std::stoull(wr, nullptr, 0);
+            w.isWrite = true;
+            pendingWrite_ = w;
+        }
+        return true;
+    }
+    return false;
+}
+
+} // namespace ccsim::workloads

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ramulator-format CPU trace reader, for users with real Pintool
+ * traces. Each line is
+ *
+ *     <num-cpu-inst> <read-addr> [<write-addr>]
+ *
+ * (decimal or 0x-prefixed hex). A line expands into a read record and,
+ * when the third field is present, a write record.
+ */
+
+#ifndef CCSIM_WORKLOADS_TRACE_FILE_HH
+#define CCSIM_WORKLOADS_TRACE_FILE_HH
+
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "cpu/trace.hh"
+
+namespace ccsim::workloads {
+
+class RamulatorTraceReader : public cpu::TraceSource
+{
+  public:
+    explicit RamulatorTraceReader(const std::string &path);
+
+    bool next(cpu::TraceRecord &record) override;
+    void reset() override;
+
+    std::uint64_t linesParsed() const { return linesParsed_; }
+
+  private:
+    std::string path_;
+    std::ifstream in_;
+    std::optional<cpu::TraceRecord> pendingWrite_;
+    std::uint64_t linesParsed_ = 0;
+};
+
+} // namespace ccsim::workloads
+
+#endif // CCSIM_WORKLOADS_TRACE_FILE_HH

@@ -1,0 +1,214 @@
+/** @file Circuit model tests: calibration, prediction, ODE behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/bitline.hh"
+#include "circuit/fit.hh"
+#include "circuit/timing_model.hh"
+#include "common/log.hh"
+#include "dram/spec.hh"
+
+namespace ccsim::circuit {
+namespace {
+
+TEST(Fit, PassesThroughAnchorsExactly)
+{
+    StretchedFit f = fitStretched(8.0, 11.0, 13.75);
+    EXPECT_NEAR(f.eval(1.0), 8.0, 1e-6);
+    EXPECT_NEAR(f.eval(16.0), 11.0, 1e-6);
+    EXPECT_NEAR(f.eval(64.0), 13.75, 1e-6);
+}
+
+TEST(Fit, IsMonotoneIncreasing)
+{
+    StretchedFit f = fitStretched(8.0, 11.0, 13.75);
+    double prev = f.eval(0.01);
+    for (double a = 0.1; a <= 64.0; a *= 1.3) {
+        double v = f.eval(a);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Fit, SublinearBeta)
+{
+    StretchedFit f = fitStretched(8.0, 11.0, 13.75);
+    EXPECT_GT(f.beta, 0.0);
+    EXPECT_LT(f.beta, 1.0);
+}
+
+TEST(Fit, BadAnchorsThrow)
+{
+    EXPECT_THROW(fitStretched(10.0, 9.0, 13.0), PanicError);
+    EXPECT_THROW(fitStretched(0.0, 9.0, 13.0), PanicError);
+}
+
+TEST(TimingModel, ReproducesTable2Anchors)
+{
+    TimingModel m;
+    EXPECT_NEAR(m.trcdNs(1.0), 8.0, 1e-6);
+    EXPECT_NEAR(m.trcdNs(16.0), 11.0, 1e-6);
+    EXPECT_NEAR(m.trcdNs(64.0), 13.75, 1e-6);
+    EXPECT_NEAR(m.trasNs(1.0), 22.0, 1e-6);
+    EXPECT_NEAR(m.trasNs(16.0), 28.0, 1e-6);
+    EXPECT_NEAR(m.trasNs(64.0), 35.0, 1e-6);
+}
+
+TEST(TimingModel, PredictsTable2FourMsRow)
+{
+    // 4 ms is NOT a fit anchor: the paper reports (9, 24) ns. A genuine
+    // cross-validation of the model: prediction within 0.5 ns.
+    TimingModel m;
+    EXPECT_NEAR(m.trcdNs(4.0), 9.0, 0.5);
+    EXPECT_NEAR(m.trasNs(4.0), 24.0, 0.5);
+}
+
+TEST(TimingModel, OneMsMatchesPaperCycleOperatingPoint)
+{
+    // Section 4.3: "4/8 cycle reduction in tRCD/tRAS" at 1 ms.
+    TimingModel m;
+    dram::DramTiming t;
+    DerivedTimings d = m.timingsForDuration(1.0, t);
+    EXPECT_EQ(d.trcdCycles, 7);  // 11 - 4.
+    EXPECT_EQ(d.trasCycles, 20); // 28 - 8.
+}
+
+TEST(TimingModel, LongerDurationGivesSmallerReduction)
+{
+    TimingModel m;
+    dram::DramTiming t;
+    DerivedTimings d1 = m.timingsForDuration(1.0, t);
+    DerivedTimings d4 = m.timingsForDuration(4.0, t);
+    DerivedTimings d16 = m.timingsForDuration(16.0, t);
+    EXPECT_LE(d1.trcdCycles, d4.trcdCycles);
+    EXPECT_LE(d4.trcdCycles, d16.trcdCycles);
+    EXPECT_LE(d1.trasCycles, d4.trasCycles);
+    EXPECT_LE(d4.trasCycles, d16.trasCycles);
+}
+
+TEST(TimingModel, ClampsToStandardAtFullRetentionAge)
+{
+    TimingModel m;
+    dram::DramTiming t;
+    DerivedTimings d = m.timingsForDuration(64.0, t);
+    EXPECT_EQ(d.trcdCycles, t.tRCD);
+    EXPECT_EQ(d.trasCycles, t.tRAS);
+}
+
+TEST(TimingModel, PairStaysConsistent)
+{
+    TimingModel m;
+    dram::DramTiming t;
+    for (double ms : {0.125, 0.5, 1.0, 2.0, 8.0, 32.0, 64.0}) {
+        DerivedTimings d = m.timingsForDuration(ms, t);
+        EXPECT_GE(d.trcdCycles, 1);
+        EXPECT_GT(d.trasCycles, d.trcdCycles) << "at " << ms << " ms";
+        EXPECT_LE(d.trcdCycles, t.tRCD);
+        EXPECT_LE(d.trasCycles, t.tRAS);
+    }
+}
+
+TEST(TimingModel, RejectsNonPositiveDuration)
+{
+    TimingModel m;
+    dram::DramTiming t;
+    EXPECT_THROW(m.timingsForDuration(0.0, t), PanicError);
+}
+
+// ---------------------------------------------------------------------
+// Bitline ODE (Figure 6).
+
+TEST(Bitline, LeakageDecaysMonotonically)
+{
+    BitlineSim sim;
+    double prev = sim.cellVoltageAtAge(0.0);
+    EXPECT_NEAR(prev, sim.params().vdd, 1e-9);
+    for (double a = 1.0; a <= 64.0; a *= 2.0) {
+        double v = sim.cellVoltageAtAge(a);
+        EXPECT_LT(v, prev);
+        EXPECT_GT(v, sim.params().vdd / 2.0);
+        prev = v;
+    }
+}
+
+TEST(Bitline, FullyChargedCellReadyNearTenNs)
+{
+    // Figure 6: fully-charged cell reaches ready-to-access in ~10 ns.
+    BitlineSim sim;
+    BitlineTrace t = sim.simulate(sim.params().vdd);
+    EXPECT_NEAR(t.tReadyNs, 10.0, 1.0);
+}
+
+TEST(Bitline, MaxAgedCellReadyNearFourteenAndAHalfNs)
+{
+    // Figure 6: partially-charged (64 ms) cell needs ~14.5 ns.
+    BitlineSim sim;
+    BitlineTrace t = sim.simulateAge(64.0);
+    EXPECT_NEAR(t.tReadyNs, 14.5, 1.0);
+}
+
+TEST(Bitline, TrcdReductionMatchesFigure6)
+{
+    // 14.5 - 10 = 4.5 ns tRCD reduction headroom.
+    BitlineSim sim;
+    double full = sim.simulate(sim.params().vdd).tReadyNs;
+    double aged = sim.simulateAge(64.0).tReadyNs;
+    EXPECT_NEAR(aged - full, 4.5, 1.0);
+}
+
+TEST(Bitline, RestoreTakesLongerForAgedCells)
+{
+    BitlineSim sim;
+    BitlineTrace full = sim.simulate(sim.params().vdd);
+    BitlineTrace aged = sim.simulateAge(64.0);
+    ASSERT_GT(full.tRestoredNs, 0.0);
+    ASSERT_GT(aged.tRestoredNs, 0.0);
+    // Figure 6 reports a 9.6 ns tRAS reduction; our ODE should land in
+    // the same regime (generous band — see EXPERIMENTS.md).
+    double reduction = aged.tRestoredNs - full.tRestoredNs;
+    EXPECT_GT(reduction, 3.0);
+    EXPECT_LT(reduction, 15.0);
+}
+
+TEST(Bitline, ReadyTimeMonotoneInAge)
+{
+    BitlineSim sim;
+    double prev = sim.simulateAge(0.001).tReadyNs;
+    for (double a : {1.0, 4.0, 16.0, 64.0}) {
+        double t = sim.simulateAge(a).tReadyNs;
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Bitline, TraceRecordingProducesWaveform)
+{
+    BitlineSim sim;
+    BitlineTrace t = sim.simulate(sim.params().vdd, true);
+    ASSERT_GT(t.timeNs.size(), 1000u);
+    ASSERT_EQ(t.timeNs.size(), t.vBitline.size());
+    ASSERT_EQ(t.timeNs.size(), t.vCell.size());
+    // Bitline rises monotonically toward Vdd after charge sharing.
+    EXPECT_LT(t.vBitline.front(), t.vBitline.back());
+    EXPECT_LE(t.vBitline.back(), sim.params().vdd + 1e-9);
+}
+
+TEST(Bitline, ChargeSharingLevelMatchesCapacitorRatio)
+{
+    BitlineSim sim;
+    BitlineTrace t = sim.simulate(sim.params().vdd, true);
+    const auto &p = sim.params();
+    double expected =
+        p.vdd / 2 + p.chargeShareRatio * (p.vdd - p.vdd / 2);
+    EXPECT_NEAR(t.vBitline.front(), expected, 1e-3);
+}
+
+TEST(Bitline, RejectsNonsenseInitialVoltage)
+{
+    BitlineSim sim;
+    EXPECT_THROW(sim.simulate(0.1), PanicError);
+    EXPECT_THROW(sim.simulate(2.0), PanicError);
+}
+
+} // namespace
+} // namespace ccsim::circuit

@@ -1,0 +1,256 @@
+/** @file Unit tests for common utilities. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ccsim {
+namespace {
+
+TEST(Log2, ExactPowers)
+{
+    EXPECT_EQ(log2Exact(1), 0);
+    EXPECT_EQ(log2Exact(2), 1);
+    EXPECT_EQ(log2Exact(65536), 16);
+    EXPECT_EQ(log2Exact(1ull << 40), 40);
+}
+
+TEST(Log2, NonPowersReturnMinusOne)
+{
+    EXPECT_EQ(log2Exact(0), -1);
+    EXPECT_EQ(log2Exact(3), -1);
+    EXPECT_EQ(log2Exact(65535), -1);
+}
+
+TEST(Log2, Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0);
+    EXPECT_EQ(log2Ceil(2), 1);
+    EXPECT_EQ(log2Ceil(3), 2);
+    EXPECT_EQ(log2Ceil(65536), 16);
+    EXPECT_EQ(log2Ceil(65537), 17);
+}
+
+TEST(IsPow2, Basic)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(1023));
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(11);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.below(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(5);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(9);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(double(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ReseedReproduces)
+{
+    Rng rng(77);
+    std::uint64_t first = rng.next64();
+    rng.next64();
+    rng.reseed(77);
+    EXPECT_EQ(rng.next64(), first);
+}
+
+TEST(Panic, ThrowsPanicError)
+{
+    EXPECT_THROW(CCSIM_PANIC("boom ", 42), PanicError);
+}
+
+TEST(Fatal, ThrowsFatalError)
+{
+    EXPECT_THROW(CCSIM_FATAL("bad config"), FatalError);
+}
+
+TEST(Assert, PassAndFail)
+{
+    EXPECT_NO_THROW(CCSIM_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(CCSIM_ASSERT(1 + 1 == 3, "nope"), PanicError);
+}
+
+TEST(Config, ParseToken)
+{
+    Config cfg;
+    EXPECT_TRUE(cfg.parseToken("a=1"));
+    EXPECT_TRUE(cfg.parseToken("name = hello "));
+    EXPECT_FALSE(cfg.parseToken("novalue"));
+    EXPECT_FALSE(cfg.parseToken("=x"));
+    EXPECT_EQ(cfg.getInt("a", 0), 1);
+    EXPECT_EQ(cfg.getString("name", ""), "hello");
+}
+
+TEST(Config, TypedGettersWithDefaults)
+{
+    Config cfg;
+    cfg.set("i", "42");
+    cfg.set("d", "2.5");
+    cfg.set("b", "true");
+    EXPECT_EQ(cfg.getInt("i", 0), 42);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("d", 0), 2.5);
+    EXPECT_TRUE(cfg.getBool("b", false));
+    EXPECT_EQ(cfg.getInt("missing", 7), 7);
+    EXPECT_FALSE(cfg.getBool("missing2", false));
+}
+
+TEST(Config, MalformedValuesThrow)
+{
+    Config cfg;
+    cfg.set("i", "notanint");
+    cfg.set("b", "maybe");
+    EXPECT_THROW(cfg.getInt("i", 0), FatalError);
+    EXPECT_THROW(cfg.getBool("b", false), FatalError);
+}
+
+TEST(Config, ParseArgsReturnsUnparsed)
+{
+    Config cfg;
+    const char *argv[] = {"k=v", "positional", "x=y"};
+    auto rest = cfg.parseArgs(3, argv);
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest[0], "positional");
+    EXPECT_EQ(cfg.getString("k", ""), "v");
+    EXPECT_EQ(cfg.getString("x", ""), "y");
+}
+
+TEST(Config, ParseFileWithComments)
+{
+    std::string path = ::testing::TempDir() + "/ccsim_cfg_test.cfg";
+    {
+        std::ofstream out(path);
+        out << "# comment\nalpha = 3\n\nbeta = x # trailing\n";
+    }
+    Config cfg;
+    cfg.parseFile(path);
+    EXPECT_EQ(cfg.getInt("alpha", 0), 3);
+    EXPECT_EQ(cfg.getString("beta", ""), "x");
+    std::remove(path.c_str());
+}
+
+TEST(Config, MissingFileThrows)
+{
+    Config cfg;
+    EXPECT_THROW(cfg.parseFile("/nonexistent/xyz.cfg"), FatalError);
+}
+
+TEST(Config, UnusedKeysReported)
+{
+    Config cfg;
+    cfg.set("used", "1");
+    cfg.set("unused", "2");
+    cfg.getInt("used", 0);
+    auto unused = cfg.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "unused");
+}
+
+TEST(Stats, CounterBasics)
+{
+    StatRegistry reg;
+    Counter &c = reg.counter("x");
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    EXPECT_EQ(reg.counter("x").value(), 5u); // same object
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    Distribution d;
+    d.sample(1);
+    d.sample(3);
+    d.sample(2);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(d.minimum(), 1.0);
+    EXPECT_DOUBLE_EQ(d.maximum(), 3.0);
+}
+
+TEST(Stats, ResetAllZeroes)
+{
+    StatRegistry reg;
+    reg.counter("a") += 10;
+    reg.distribution("d").sample(5);
+    reg.resetAll();
+    EXPECT_EQ(reg.counter("a").value(), 0u);
+    EXPECT_EQ(reg.distribution("d").count(), 0u);
+}
+
+TEST(Stats, DumpContainsNames)
+{
+    StatRegistry reg;
+    reg.counter("ctrl.acts") += 2;
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("ctrl.acts 2"), std::string::npos);
+}
+
+TEST(Mix64, DistinctInputsDistinctOutputs)
+{
+    // Sanity: no collisions over a small dense range.
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        seen.insert(mix64(i));
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+} // namespace
+} // namespace ccsim

@@ -1,0 +1,230 @@
+/** @file Energy model and McPAT-lite overhead tests. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+#include "mcpat_lite/overhead.hh"
+#include "mcpat_lite/sram.hh"
+
+namespace ccsim {
+namespace {
+
+using dram::CmdType;
+using dram::Command;
+using dram::EffActTiming;
+
+struct EnergyTest : ::testing::Test {
+    dram::DramSpec spec = dram::DramSpec::ddr3_1600(1);
+    energy::IddProfile idd = energy::IddProfile::micronDdr3_1600_4Gb();
+    energy::EnergyModel model{spec, idd};
+    EffActTiming std_t{11, 28, false};
+    EffActTiming fast{7, 20, true};
+
+    Command
+    cmd(CmdType type, int bank = 0, int row = 0)
+    {
+        Command c;
+        c.type = type;
+        c.addr.bank = bank;
+        c.addr.row = row;
+        return c;
+    }
+};
+
+TEST_F(EnergyTest, IdleSystemBurnsOnlyPrechargeStandby)
+{
+    model.finalize(1000);
+    const auto &b = model.breakdown();
+    EXPECT_GT(b.preStandbyNj, 0.0);
+    EXPECT_DOUBLE_EQ(b.actPreNj, 0.0);
+    EXPECT_DOUBLE_EQ(b.readNj, 0.0);
+    EXPECT_DOUBLE_EQ(b.refreshNj, 0.0);
+    EXPECT_DOUBLE_EQ(b.actStandbyNj, 0.0);
+}
+
+TEST_F(EnergyTest, ActivationCostsEnergy)
+{
+    model.onCommand(cmd(CmdType::ACT, 0, 1), 100, &std_t);
+    model.onCommand(cmd(CmdType::PRE, 0), 128, nullptr);
+    model.finalize(1000);
+    EXPECT_GT(model.breakdown().actPreNj, 0.0);
+    EXPECT_GT(model.breakdown().actStandbyNj, 0.0);
+}
+
+TEST_F(EnergyTest, ReducedTrasActivationCostsLess)
+{
+    energy::EnergyModel m2(spec, idd);
+    model.onCommand(cmd(CmdType::ACT, 0, 1), 0, &std_t);
+    m2.onCommand(cmd(CmdType::ACT, 0, 1), 0, &fast);
+    EXPECT_LT(m2.breakdown().actPreNj, model.breakdown().actPreNj);
+}
+
+TEST_F(EnergyTest, MoreReadsMoreEnergy)
+{
+    model.onCommand(cmd(CmdType::ACT, 0, 1), 0, &std_t);
+    model.onCommand(cmd(CmdType::RD, 0, 1), 11, nullptr);
+    double one = model.breakdown().readNj;
+    model.onCommand(cmd(CmdType::RD, 0, 1), 15, nullptr);
+    EXPECT_NEAR(model.breakdown().readNj, 2 * one, 1e-9);
+    EXPECT_GT(one, 0.0);
+}
+
+TEST_F(EnergyTest, WritesAccountedSeparately)
+{
+    model.onCommand(cmd(CmdType::ACT, 0, 1), 0, &std_t);
+    model.onCommand(cmd(CmdType::WR, 0, 1), 11, nullptr);
+    EXPECT_GT(model.breakdown().writeNj, 0.0);
+    EXPECT_DOUBLE_EQ(model.breakdown().readNj, 0.0);
+}
+
+TEST_F(EnergyTest, RefreshEnergyPerRef)
+{
+    model.onCommand(cmd(CmdType::REF), 0, nullptr);
+    double one = model.breakdown().refreshNj;
+    model.onCommand(cmd(CmdType::REF), 10000, nullptr);
+    EXPECT_NEAR(model.breakdown().refreshNj, 2 * one, 1e-9);
+    double expected = (idd.idd5b - idd.idd2n) * idd.vdd *
+                      spec.timing.cyclesToNs(spec.timing.tRFC) *
+                      idd.chipsPerRank;
+    EXPECT_NEAR(one, expected, 1e-9);
+}
+
+TEST_F(EnergyTest, BackgroundSplitsByBankState)
+{
+    // 0..100 precharged, 100..200 active, 200..300 precharged.
+    model.onCommand(cmd(CmdType::ACT, 0, 1), 100, &std_t);
+    model.onCommand(cmd(CmdType::PRE, 0), 200, nullptr);
+    model.finalize(300);
+    const auto &b = model.breakdown();
+    double pre_ns = spec.timing.cyclesToNs(200);
+    double act_ns = spec.timing.cyclesToNs(100);
+    EXPECT_NEAR(b.preStandbyNj,
+                idd.idd2n * idd.vdd * pre_ns * idd.chipsPerRank, 1e-6);
+    EXPECT_NEAR(b.actStandbyNj,
+                idd.idd3n * idd.vdd * act_ns * idd.chipsPerRank, 1e-6);
+}
+
+TEST_F(EnergyTest, TotalIsSumOfParts)
+{
+    model.onCommand(cmd(CmdType::ACT, 0, 1), 10, &std_t);
+    model.onCommand(cmd(CmdType::RD, 0, 1), 21, nullptr);
+    model.onCommand(cmd(CmdType::PRE, 0), 40, nullptr);
+    model.finalize(500);
+    const auto &b = model.breakdown();
+    EXPECT_NEAR(b.totalNj(),
+                b.actPreNj + b.readNj + b.writeNj + b.refreshNj +
+                    b.actStandbyNj + b.preStandbyNj + b.controllerNj,
+                1e-9);
+}
+
+TEST_F(EnergyTest, ControllerOverheadScalesWithTime)
+{
+    energy::EnergyModel m(spec, idd, /*cc_static_mw=*/0.149);
+    m.finalize(800000); // 1 ms.
+    // 0.149 mW for 1 ms = 149 nJ.
+    EXPECT_NEAR(m.breakdown().controllerNj, 149.0, 1.0);
+}
+
+TEST_F(EnergyTest, ResetClearsAndRebases)
+{
+    model.onCommand(cmd(CmdType::ACT, 0, 1), 10, &std_t);
+    model.resetAt(500);
+    model.finalize(600);
+    const auto &b = model.breakdown();
+    EXPECT_DOUBLE_EQ(b.actPreNj, 0.0);
+    // Only 100 cycles of background after the reset... but the bank is
+    // still open, so it accrues as active standby.
+    EXPECT_GT(b.actStandbyNj, 0.0);
+    EXPECT_DOUBLE_EQ(b.preStandbyNj, 0.0);
+}
+
+TEST_F(EnergyTest, BreakdownAddition)
+{
+    energy::EnergyBreakdown a, b;
+    a.readNj = 1;
+    b.readNj = 2;
+    b.refreshNj = 3;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.readNj, 3.0);
+    EXPECT_DOUBLE_EQ(a.refreshNj, 3.0);
+}
+
+// ---------------------------------------------------------------------
+// McPAT-lite (Section 6.3).
+
+TEST(Overhead, Equation2EntrySize)
+{
+    dram::DramOrg org = dram::DramSpec::ddr3_1600(1).org;
+    // log2(1 rank) + log2(8 banks) + log2(64K rows) + 1 = 0+3+16+1.
+    EXPECT_EQ(mcpat_lite::entrySizeBits(org), 20);
+}
+
+TEST(Overhead, Equation1StorageMatchesPaper)
+{
+    // 8 cores x 2 channels x 128 entries x (20+1) bits = 43008 bits
+    // = 5376 bytes (paper Section 6.3).
+    mcpat_lite::ChargeCacheGeometry geo;
+    dram::DramOrg org = dram::DramSpec::ddr3_1600(2).org;
+    EXPECT_EQ(mcpat_lite::storageBits(geo, org), 43008u);
+}
+
+TEST(Overhead, PerCoreStorageIs672Bytes)
+{
+    mcpat_lite::ChargeCacheGeometry geo;
+    dram::DramOrg org = dram::DramSpec::ddr3_1600(2).org;
+    auto rep = mcpat_lite::estimateOverhead(geo, org);
+    EXPECT_EQ(rep.bytes, 5376u);
+    EXPECT_EQ(rep.bytesPerCore, 672u);
+}
+
+TEST(Overhead, AreaMatchesPaperAnchor)
+{
+    mcpat_lite::ChargeCacheGeometry geo;
+    dram::DramOrg org = dram::DramSpec::ddr3_1600(2).org;
+    auto rep = mcpat_lite::estimateOverhead(geo, org);
+    EXPECT_NEAR(rep.areaMm2, 0.022, 0.001);
+    // "only 0.24% of a 4MB cache".
+    EXPECT_NEAR(rep.areaFractionOfLlc, 0.0024, 0.0002);
+}
+
+TEST(Overhead, PowerNearPaperAnchor)
+{
+    mcpat_lite::ChargeCacheGeometry geo;
+    dram::DramOrg org = dram::DramSpec::ddr3_1600(2).org;
+    auto rep = mcpat_lite::estimateOverhead(geo, org);
+    EXPECT_NEAR(rep.powerMw, 0.149, 0.05);
+    EXPECT_NEAR(rep.powerFractionOfLlc, 0.0023, 0.001);
+}
+
+TEST(Overhead, AreaScalesSuperlinearlyDownward)
+{
+    // Small arrays pay proportionally more periphery.
+    auto tech = mcpat_lite::SramTech::calibrated22nm();
+    double a1 = mcpat_lite::sramAreaMm2(1000, tech);
+    double a2 = mcpat_lite::sramAreaMm2(2000, tech);
+    EXPECT_LT(a2, 2 * a1);
+    EXPECT_GT(a2, a1);
+}
+
+TEST(Overhead, CacheBitsIncludesTags)
+{
+    // 4 MB data + 64K lines x 26 tag bits.
+    std::uint64_t bits = mcpat_lite::cacheBits(4ull << 20, 64, 26);
+    EXPECT_EQ(bits, (4ull << 20) * 8 + 65536ull * 26);
+}
+
+TEST(Overhead, LargerTablesCostMore)
+{
+    mcpat_lite::ChargeCacheGeometry small, large;
+    small.entries = 128;
+    large.entries = 1024;
+    dram::DramOrg org = dram::DramSpec::ddr3_1600(2).org;
+    auto rs = mcpat_lite::estimateOverhead(small, org);
+    auto rl = mcpat_lite::estimateOverhead(large, org);
+    EXPECT_GT(rl.areaMm2, rs.areaMm2);
+    EXPECT_GT(rl.powerMw, rs.powerMw);
+    EXPECT_EQ(rl.bits, rs.bits * 8);
+}
+
+} // namespace
+} // namespace ccsim

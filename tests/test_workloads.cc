@@ -1,0 +1,245 @@
+/** @file Workload generator and trace-reader tests. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "common/log.hh"
+#include "workloads/profiles.hh"
+#include "workloads/synthetic.hh"
+#include "workloads/trace_file.hh"
+
+namespace ccsim::workloads {
+namespace {
+
+TEST(Profiles, TwentyTwoNamedWorkloads)
+{
+    EXPECT_EQ(allProfileNames().size(), 22u);
+    std::set<std::string> unique(allProfileNames().begin(),
+                                 allProfileNames().end());
+    EXPECT_EQ(unique.size(), 22u);
+}
+
+TEST(Profiles, LookupByNameWorksAndThrowsOnUnknown)
+{
+    EXPECT_EQ(profileByName("mcf").name, "mcf");
+    EXPECT_EQ(profileByName("STREAMcopy").name, "STREAMcopy");
+    EXPECT_THROW(profileByName("doom"), FatalError);
+}
+
+TEST(Profiles, HmmerIsCacheResident)
+{
+    // Paper footnote 1: hmmer produces no main-memory traffic. Its
+    // footprint must sit well inside the 4 MB LLC.
+    const SyntheticProfile &p = profileByName("hmmer");
+    EXPECT_LT(p.footprintLines() * 64, 4ull << 20);
+}
+
+TEST(Profiles, OthersExceedTheLlc)
+{
+    for (const auto &p : allProfiles()) {
+        if (p.name == "hmmer")
+            continue;
+        EXPECT_GT(p.footprintLines() * 64, 8ull << 20) << p.name;
+    }
+}
+
+TEST(Profiles, McfLikePoolDominates)
+{
+    const SyntheticProfile &p = profileByName("mcf");
+    EXPECT_GT(p.poolWeight, 0.5);
+    EXPECT_GT(p.poolRows, 10000u);
+}
+
+TEST(Profiles, StreamCopyIsStreamDominated)
+{
+    const SyntheticProfile &p = profileByName("STREAMcopy");
+    EXPECT_EQ(p.poolWeight + p.hotWeight, 0.0);
+    ASSERT_FALSE(p.streams.empty());
+    EXPECT_GT(p.streams[0].seqProb, 0.99);
+}
+
+TEST(Mixes, DeterministicAndValid)
+{
+    auto m1 = mixWorkloads(1);
+    auto m2 = mixWorkloads(1);
+    EXPECT_EQ(m1, m2);
+    EXPECT_EQ(m1.size(), 8u);
+    for (const auto &name : m1)
+        EXPECT_NO_THROW(profileByName(name));
+}
+
+TEST(Mixes, DifferentIdsDiffer)
+{
+    int identical = 0;
+    for (int i = 1; i < 20; ++i)
+        identical += mixWorkloads(i) == mixWorkloads(i + 1);
+    EXPECT_LT(identical, 3);
+}
+
+TEST(Synthetic, DeterministicForSameSeed)
+{
+    const SyntheticProfile &p = profileByName("tpch6");
+    SyntheticTrace a(p, 7, 0, 1 << 26), b(p, 7, 0, 1 << 26);
+    for (int i = 0; i < 1000; ++i) {
+        cpu::TraceRecord ra, rb;
+        a.next(ra);
+        b.next(rb);
+        ASSERT_EQ(ra.addr, rb.addr);
+        ASSERT_EQ(ra.nonMemInsts, rb.nonMemInsts);
+        ASSERT_EQ(ra.isWrite, rb.isWrite);
+    }
+}
+
+TEST(Synthetic, DifferentSeedsProduceDifferentStreams)
+{
+    const SyntheticProfile &p = profileByName("tpch6");
+    SyntheticTrace a(p, 1, 0, 1 << 26), b(p, 2, 0, 1 << 26);
+    int same = 0;
+    for (int i = 0; i < 200; ++i) {
+        cpu::TraceRecord ra, rb;
+        a.next(ra);
+        b.next(rb);
+        same += ra.addr == rb.addr;
+    }
+    EXPECT_LT(same, 20);
+}
+
+TEST(Synthetic, ResetReplaysFromTheStart)
+{
+    const SyntheticProfile &p = profileByName("mcf");
+    SyntheticTrace t(p, 5, 0, 1 << 26);
+    cpu::TraceRecord first;
+    t.next(first);
+    for (int i = 0; i < 100; ++i) {
+        cpu::TraceRecord r;
+        t.next(r);
+    }
+    t.reset();
+    cpu::TraceRecord again;
+    t.next(again);
+    EXPECT_EQ(first.addr, again.addr);
+}
+
+TEST(Synthetic, MeanComputeGapMatchesMemPerInst)
+{
+    const SyntheticProfile &p = profileByName("libquantum");
+    SyntheticTrace t(p, 9, 0, 1 << 26);
+    double total_gap = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        cpu::TraceRecord r;
+        t.next(r);
+        total_gap += r.nonMemInsts;
+    }
+    double expected = 1.0 / p.memPerInst - 1.0;
+    EXPECT_NEAR(total_gap / n, expected, 0.05 * expected + 0.1);
+}
+
+TEST(Synthetic, WriteFractionHonored)
+{
+    const SyntheticProfile &p = profileByName("lbm"); // 45% writes.
+    SyntheticTrace t(p, 13, 0, 1 << 26);
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        cpu::TraceRecord r;
+        t.next(r);
+        writes += r.isWrite;
+    }
+    EXPECT_NEAR(double(writes) / n, 0.45, 0.02);
+}
+
+TEST(Synthetic, AddressesStayWithinCapacity)
+{
+    const SyntheticProfile &p = profileByName("bwaves");
+    const Addr capacity_lines = 1 << 20;
+    SyntheticTrace t(p, 3, capacity_lines / 2, capacity_lines);
+    for (int i = 0; i < 20000; ++i) {
+        cpu::TraceRecord r;
+        t.next(r);
+        ASSERT_LT(r.addr / 64, capacity_lines);
+    }
+}
+
+TEST(Synthetic, HotComponentConcentratesRows)
+{
+    SyntheticProfile p;
+    p.name = "hot-only";
+    p.memPerInst = 1.0;
+    p.writeFraction = 0;
+    p.hotRows = 4;
+    p.hotWeight = 1.0;
+    SyntheticTrace t(p, 21, 0, 1 << 26);
+    std::set<Addr> rows;
+    for (int i = 0; i < 5000; ++i) {
+        cpu::TraceRecord r;
+        t.next(r);
+        rows.insert(r.addr / 64 / 128);
+    }
+    EXPECT_LE(rows.size(), 4u);
+}
+
+TEST(Synthetic, StreamComponentIsMostlySequential)
+{
+    SyntheticProfile p;
+    p.name = "stream-only";
+    p.memPerInst = 1.0;
+    p.writeFraction = 0;
+    p.streams = {{1.0, 1.0, 4096}}; // Perfectly sequential.
+    SyntheticTrace t(p, 2, 0, 1 << 26);
+    cpu::TraceRecord prev;
+    t.next(prev);
+    for (int i = 0; i < 1000; ++i) {
+        cpu::TraceRecord r;
+        t.next(r);
+        ASSERT_EQ(r.addr, prev.addr + 64);
+        prev = r;
+    }
+}
+
+TEST(Synthetic, EmptyProfileRejected)
+{
+    SyntheticProfile p;
+    p.name = "empty";
+    EXPECT_THROW(SyntheticTrace(p, 1, 0, 1 << 20), PanicError);
+}
+
+TEST(TraceFile, ParsesRamulatorFormat)
+{
+    std::string path = ::testing::TempDir() + "/ccsim_trace_test.txt";
+    {
+        std::ofstream out(path);
+        out << "# comment line\n";
+        out << "5 1024\n";
+        out << "3 0x1000 0x2000\n";
+    }
+    RamulatorTraceReader reader(path);
+    cpu::TraceRecord r;
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.nonMemInsts, 5u);
+    EXPECT_EQ(r.addr, 1024u);
+    EXPECT_FALSE(r.isWrite);
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.addr, 0x1000u);
+    EXPECT_FALSE(r.isWrite);
+    ASSERT_TRUE(reader.next(r)); // Expanded write record.
+    EXPECT_EQ(r.addr, 0x2000u);
+    EXPECT_TRUE(r.isWrite);
+    EXPECT_FALSE(reader.next(r)); // EOF.
+    reader.reset();
+    ASSERT_TRUE(reader.next(r));
+    EXPECT_EQ(r.addr, 1024u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingFileThrows)
+{
+    EXPECT_THROW(RamulatorTraceReader("/nonexistent/trace.txt"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace ccsim::workloads
