@@ -17,6 +17,9 @@ main()
                        "Section 6.4 (2-way vs full associativity)");
 
     const int ways_list[] = {1, 2, 4, 8, 128};
+    const auto workloads_1c = bench::singleWorkloads();
+    const auto mixes = bench::sweepMixes();
+    const size_t n1 = workloads_1c.size();
 
     std::printf("\n%-12s %14s %14s\n", "ways", "single-core",
                 "eight-core");
@@ -24,18 +27,21 @@ main()
         auto tweak = [ways](sim::SimConfig &cfg) {
             cfg.cc.table.ways = ways;
         };
+        std::vector<sim::SystemResult> res = sim::runSweep(
+            n1 + mixes.size(), [&](size_t i) {
+                return i < n1 ? sim::runSingle(workloads_1c[i],
+                                               sim::Scheme::ChargeCache,
+                                               tweak)
+                              : sim::runMix(mixes[i - n1],
+                                            sim::Scheme::ChargeCache,
+                                            tweak);
+            });
         std::vector<double> single, eight;
-        for (const auto &w : bench::singleWorkloads()) {
-            sim::SystemResult r =
-                sim::runSingle(w, sim::Scheme::ChargeCache, tweak);
-            if (r.activations > 100)
-                single.push_back(r.hcracHitRate);
-        }
-        for (int mix : bench::sweepMixes()) {
-            sim::SystemResult r =
-                sim::runMix(mix, sim::Scheme::ChargeCache, tweak);
-            eight.push_back(r.hcracHitRate);
-        }
+        for (size_t i = 0; i < n1; ++i)
+            if (res[i].activations > 100)
+                single.push_back(res[i].hcracHitRate);
+        for (size_t i = n1; i < res.size(); ++i)
+            eight.push_back(res[i].hcracHitRate);
         std::printf("%-12s %13.1f%% %13.1f%%\n",
                     ways == 128 ? "full (128)" : std::to_string(ways).c_str(),
                     100 * bench::mean(single), 100 * bench::mean(eight));

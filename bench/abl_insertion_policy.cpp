@@ -6,6 +6,7 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.hh"
 
@@ -28,17 +29,38 @@ main()
         std::printf(" %11s", chargecache::insertPolicyName(p));
     std::printf("   (HCRAC hit rate; speedup vs baseline in parens)\n");
 
-    for (const char *w : workloads) {
-        double base_ipc = sim::runSingle(w, sim::Scheme::Baseline).ipc[0];
-        std::printf("%-12s", w);
-        for (auto policy : policies) {
-            auto tweak = [policy](sim::SimConfig &cfg) {
-                cfg.cc.table.policy = policy;
-            };
-            sim::SystemResult r =
-                sim::runSingle(w, sim::Scheme::ChargeCache, tweak);
+    // (workload x policy) grid plus one baseline per workload, all in
+    // parallel; printed in order afterwards.
+    const size_t n_workloads = std::size(workloads);
+    const size_t n_policies = std::size(policies);
+    std::vector<sim::SystemResult> base(n_workloads);
+    std::vector<sim::SystemResult> res(n_workloads * n_policies);
+    {
+        sim::ParallelRunner pool;
+        for (size_t i = 0; i < n_workloads; ++i) {
+            pool.enqueue([&, i] {
+                base[i] = sim::runSingle(workloads[i],
+                                         sim::Scheme::Baseline);
+            });
+            for (size_t p = 0; p < n_policies; ++p) {
+                auto policy = policies[p];
+                pool.enqueue([&, i, p, policy] {
+                    res[i * n_policies + p] = sim::runSingle(
+                        workloads[i], sim::Scheme::ChargeCache,
+                        [policy](sim::SimConfig &cfg) {
+                            cfg.cc.table.policy = policy;
+                        });
+                });
+            }
+        }
+        pool.waitAll();
+    }
+    for (size_t i = 0; i < n_workloads; ++i) {
+        std::printf("%-12s", workloads[i]);
+        for (size_t p = 0; p < n_policies; ++p) {
+            const sim::SystemResult &r = res[i * n_policies + p];
             std::printf("  %5.1f%%(%+.1f%%)", 100 * r.hcracHitRate,
-                        100 * (r.ipc[0] / base_ipc - 1));
+                        100 * (r.ipc[0] / base[i].ipc[0] - 1));
         }
         std::printf("\n");
     }

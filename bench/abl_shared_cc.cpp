@@ -31,11 +31,15 @@ main()
         {"shared 1024 (same storage)", true, 1024},
     };
 
+    const auto mixes = bench::sweepMixes();
+    std::vector<sim::SystemResult> base = sim::runSweep(
+        mixes.size(), [&](size_t i) {
+            return sim::runMix(mixes[i], sim::Scheme::Baseline);
+        });
     std::vector<double> base_ws;
-    for (int mix : bench::sweepMixes()) {
-        auto names = workloads::mixWorkloads(mix);
-        sim::SystemResult r = sim::runMix(mix, sim::Scheme::Baseline);
-        base_ws.push_back(sim::weightedSpeedup(names, r.ipc));
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        auto names = workloads::mixWorkloads(mixes[i]);
+        base_ws.push_back(sim::weightedSpeedup(names, base[i].ipc));
     }
 
     std::printf("\n%-28s %10s %10s\n", "configuration", "hit rate",
@@ -45,14 +49,17 @@ main()
             cfg.cc.sharedTable = v.shared;
             cfg.cc.table.entries = v.entries;
         };
+        std::vector<sim::SystemResult> res = sim::runSweep(
+            mixes.size(), [&](size_t i) {
+                return sim::runMix(mixes[i], sim::Scheme::ChargeCache,
+                                   tweak);
+            });
         std::vector<double> hit, sp;
-        auto mixes = bench::sweepMixes();
         for (size_t i = 0; i < mixes.size(); ++i) {
             auto names = workloads::mixWorkloads(mixes[i]);
-            sim::SystemResult r =
-                sim::runMix(mixes[i], sim::Scheme::ChargeCache, tweak);
-            hit.push_back(r.hcracHitRate);
-            sp.push_back(sim::weightedSpeedup(names, r.ipc) / base_ws[i]);
+            hit.push_back(res[i].hcracHitRate);
+            sp.push_back(sim::weightedSpeedup(names, res[i].ipc) /
+                         base_ws[i]);
         }
         std::printf("%-28s %9.1f%% %+9.2f%%\n", v.name,
                     100 * bench::mean(hit),

@@ -10,6 +10,7 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstring>
 
@@ -33,16 +34,32 @@ runSingleCore()
         double rmpkc;
         double speedup[4];
     };
-    std::vector<Row> rows;
-    for (const auto &w : bench::singleWorkloads()) {
-        Row row;
-        row.workload = w;
-        sim::SystemResult base = sim::runSingle(w, sim::Scheme::Baseline);
-        row.rmpkc = base.rmpkc;
-        for (int s = 0; s < 4; ++s) {
-            sim::SystemResult r = sim::runSingle(w, kSchemes[s]);
-            row.speedup[s] = r.ipc[0] / base.ipc[0];
+    const auto workloads = bench::singleWorkloads();
+    // Fan every (workload, scheme) point across the pool; each point is
+    // an independent System.
+    std::vector<sim::SystemResult> base(workloads.size());
+    std::vector<std::array<sim::SystemResult, 4>> per(workloads.size());
+    {
+        sim::ParallelRunner pool;
+        for (size_t i = 0; i < workloads.size(); ++i) {
+            pool.enqueue([&, i] {
+                base[i] = sim::runSingle(workloads[i],
+                                         sim::Scheme::Baseline);
+            });
+            for (int s = 0; s < 4; ++s)
+                pool.enqueue([&, i, s] {
+                    per[i][s] = sim::runSingle(workloads[i], kSchemes[s]);
+                });
         }
+        pool.waitAll();
+    }
+    std::vector<Row> rows;
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        Row row;
+        row.workload = workloads[i];
+        row.rmpkc = base[i].rmpkc;
+        for (int s = 0; s < 4; ++s)
+            row.speedup[s] = per[i][s].ipc[0] / base[i].ipc[0];
         rows.push_back(row);
     }
     std::sort(rows.begin(), rows.end(),
@@ -73,19 +90,44 @@ runEightCore()
     std::printf("\n-- Figure 7b: eight-core (weighted speedup) --\n");
     std::printf("%-6s %7s %8s %8s %9s %9s\n", "mix", "RMPKC", "NUAT",
                 "CC", "CC+NUAT", "LL-DRAM");
+    const auto mixes = bench::mainMixes();
+    std::vector<sim::SystemResult> base(mixes.size());
+    std::vector<std::array<sim::SystemResult, 4>> per(mixes.size());
+    {
+        sim::ParallelRunner pool;
+        for (size_t i = 0; i < mixes.size(); ++i) {
+            pool.enqueue([&, i] {
+                base[i] = sim::runMix(mixes[i], sim::Scheme::Baseline);
+            });
+            for (int s = 0; s < 4; ++s)
+                pool.enqueue([&, i, s] {
+                    per[i][s] = sim::runMix(mixes[i], kSchemes[s]);
+                });
+        }
+        // Pre-warm the alone-IPC memo in parallel too: weighted speedup
+        // divides by it for every workload of every mix.
+        std::vector<std::string> alone;
+        for (int mix : mixes)
+            for (const auto &w : workloads::mixWorkloads(mix))
+                alone.push_back(w);
+        std::sort(alone.begin(), alone.end());
+        alone.erase(std::unique(alone.begin(), alone.end()), alone.end());
+        for (const auto &w : alone)
+            pool.enqueue([w] { sim::aloneIpc(w); });
+        pool.waitAll();
+    }
     std::vector<double> avg[4];
-    for (int mix : bench::mainMixes()) {
-        auto names = workloads::mixWorkloads(mix);
-        sim::SystemResult base = sim::runMix(mix, sim::Scheme::Baseline);
-        double ws_base = sim::weightedSpeedup(names, base.ipc);
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        auto names = workloads::mixWorkloads(mixes[i]);
+        double ws_base = sim::weightedSpeedup(names, base[i].ipc);
         double sp[4];
         for (int s = 0; s < 4; ++s) {
-            sim::SystemResult r = sim::runMix(mix, kSchemes[s]);
-            sp[s] = sim::weightedSpeedup(names, r.ipc) / ws_base;
+            sp[s] = sim::weightedSpeedup(names, per[i][s].ipc) / ws_base;
             avg[s].push_back(sp[s]);
         }
-        std::printf("w%-5d %7.2f %+7.2f%% %+7.2f%% %+8.2f%% %+8.2f%%\n",
-                    mix, base.rmpkc, 100 * (sp[0] - 1), 100 * (sp[1] - 1),
+        std::printf("w%-5zu %7.2f %+7.2f%% %+7.2f%% %+8.2f%% %+8.2f%%\n",
+                    static_cast<size_t>(mixes[i]), base[i].rmpkc,
+                    100 * (sp[0] - 1), 100 * (sp[1] - 1),
                     100 * (sp[2] - 1), 100 * (sp[3] - 1));
     }
     std::printf("%-6s %7s", "AVG", "");

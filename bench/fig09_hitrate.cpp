@@ -24,25 +24,35 @@ main()
     std::printf("\n%-10s %14s %14s\n", "entries", "single-core",
                 "eight-core");
     double unlimited_single = 0, unlimited_eight = 0;
+    const auto workloads_1c = bench::singleWorkloads();
+    const auto mixes = bench::sweepMixes();
     for (int entries : capacities) {
         auto tweak = [entries](sim::SimConfig &cfg) {
             cfg.cc.table.entries = entries;
             cfg.cc.trackUnlimited = true;
         };
+        // One capacity row: all workloads and mixes in parallel.
+        const size_t n1 = workloads_1c.size();
+        std::vector<sim::SystemResult> res = sim::runSweep(
+            n1 + mixes.size(),
+            [&](size_t i) {
+                return i < n1 ? sim::runSingle(workloads_1c[i],
+                                               sim::Scheme::ChargeCache,
+                                               tweak)
+                              : sim::runMix(mixes[i - n1],
+                                            sim::Scheme::ChargeCache,
+                                            tweak);
+            });
         std::vector<double> single, eight, unl_s, unl_e;
-        for (const auto &w : bench::singleWorkloads()) {
-            sim::SystemResult r =
-                sim::runSingle(w, sim::Scheme::ChargeCache, tweak);
-            if (r.activations > 100) {
-                single.push_back(r.hcracHitRate);
-                unl_s.push_back(r.unlimitedHitRate);
+        for (size_t i = 0; i < n1; ++i) {
+            if (res[i].activations > 100) {
+                single.push_back(res[i].hcracHitRate);
+                unl_s.push_back(res[i].unlimitedHitRate);
             }
         }
-        for (int mix : bench::sweepMixes()) {
-            sim::SystemResult r =
-                sim::runMix(mix, sim::Scheme::ChargeCache, tweak);
-            eight.push_back(r.hcracHitRate);
-            unl_e.push_back(r.unlimitedHitRate);
+        for (size_t i = n1; i < res.size(); ++i) {
+            eight.push_back(res[i].hcracHitRate);
+            unl_e.push_back(res[i].unlimitedHitRate);
         }
         unlimited_single = bench::mean(unl_s);
         unlimited_eight = bench::mean(unl_e);

@@ -20,17 +20,25 @@ main()
                        "Figure 10 (speedup vs ChargeCache capacity)");
 
     const int capacities[] = {32, 64, 128, 256, 512, 1024};
+    const auto workload_names = bench::singleWorkloads();
+    const auto mixes = bench::sweepMixes();
+    const size_t n1 = workload_names.size();
 
-    // Baselines once.
-    std::vector<double> base_single;
-    for (const auto &w : bench::singleWorkloads())
-        base_single.push_back(
-            sim::runSingle(w, sim::Scheme::Baseline).ipc[0]);
-    std::vector<double> base_eight;
-    for (int mix : bench::sweepMixes()) {
-        auto names = workloads::mixWorkloads(mix);
-        sim::SystemResult r = sim::runMix(mix, sim::Scheme::Baseline);
-        base_eight.push_back(sim::weightedSpeedup(names, r.ipc));
+    // Baselines once (parallel), pre-warming the alone-IPC memo too.
+    std::vector<sim::SystemResult> base = sim::runSweep(
+        n1 + mixes.size(), [&](size_t i) {
+            return i < n1 ? sim::runSingle(workload_names[i],
+                                           sim::Scheme::Baseline)
+                          : sim::runMix(mixes[i - n1],
+                                        sim::Scheme::Baseline);
+        });
+    std::vector<double> base_single, base_eight;
+    for (size_t i = 0; i < n1; ++i)
+        base_single.push_back(base[i].ipc[0]);
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        auto names = workloads::mixWorkloads(mixes[i]);
+        base_eight.push_back(
+            sim::weightedSpeedup(names, base[n1 + i].ipc));
     }
 
     std::printf("\n%-10s %14s %14s\n", "entries", "single-core",
@@ -39,20 +47,23 @@ main()
         auto tweak = [entries](sim::SimConfig &cfg) {
             cfg.cc.table.entries = entries;
         };
+        std::vector<sim::SystemResult> res = sim::runSweep(
+            n1 + mixes.size(), [&](size_t i) {
+                return i < n1 ? sim::runSingle(workload_names[i],
+                                               sim::Scheme::ChargeCache,
+                                               tweak)
+                              : sim::runMix(mixes[i - n1],
+                                            sim::Scheme::ChargeCache,
+                                            tweak);
+            });
         std::vector<double> single, eight;
-        const auto &workload_names = bench::singleWorkloads();
-        for (size_t i = 0; i < workload_names.size(); ++i) {
-            sim::SystemResult r = sim::runSingle(
-                workload_names[i], sim::Scheme::ChargeCache, tweak);
-            single.push_back(r.ipc[0] / base_single[i]);
-        }
-        auto mixes = bench::sweepMixes();
+        for (size_t i = 0; i < n1; ++i)
+            single.push_back(res[i].ipc[0] / base_single[i]);
         for (size_t i = 0; i < mixes.size(); ++i) {
             auto names = workloads::mixWorkloads(mixes[i]);
-            sim::SystemResult r =
-                sim::runMix(mixes[i], sim::Scheme::ChargeCache, tweak);
-            eight.push_back(sim::weightedSpeedup(names, r.ipc) /
-                            base_eight[i]);
+            eight.push_back(
+                sim::weightedSpeedup(names, res[n1 + i].ipc) /
+                base_eight[i]);
         }
         std::printf("%-10d %+13.2f%% %+13.2f%%\n", entries,
                     100 * (bench::geomean(single) - 1),

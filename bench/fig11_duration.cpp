@@ -20,16 +20,24 @@ main()
         "Figure 11 (speedup & hit rate vs caching duration)");
 
     const double durations[] = {1.0, 4.0, 8.0, 16.0};
+    const auto workload_names = bench::singleWorkloads();
+    const auto mixes = bench::sweepMixes();
+    const size_t n1 = workload_names.size();
 
-    std::vector<double> base_single;
-    for (const auto &w : bench::singleWorkloads())
-        base_single.push_back(
-            sim::runSingle(w, sim::Scheme::Baseline).ipc[0]);
-    std::vector<double> base_eight;
-    for (int mix : bench::sweepMixes()) {
-        auto names = workloads::mixWorkloads(mix);
-        sim::SystemResult r = sim::runMix(mix, sim::Scheme::Baseline);
-        base_eight.push_back(sim::weightedSpeedup(names, r.ipc));
+    std::vector<sim::SystemResult> base = sim::runSweep(
+        n1 + mixes.size(), [&](size_t i) {
+            return i < n1 ? sim::runSingle(workload_names[i],
+                                           sim::Scheme::Baseline)
+                          : sim::runMix(mixes[i - n1],
+                                        sim::Scheme::Baseline);
+        });
+    std::vector<double> base_single, base_eight;
+    for (size_t i = 0; i < n1; ++i)
+        base_single.push_back(base[i].ipc[0]);
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        auto names = workloads::mixWorkloads(mixes[i]);
+        base_eight.push_back(
+            sim::weightedSpeedup(names, base[n1 + i].ipc));
     }
 
     std::printf("\n%-10s %12s %10s %12s %10s\n", "duration",
@@ -40,23 +48,27 @@ main()
             cfg.ccUseTimingModel = true; // Table 2 timings per duration.
             cfg.finalizeChargeCache();
         };
+        std::vector<sim::SystemResult> res = sim::runSweep(
+            n1 + mixes.size(), [&](size_t i) {
+                return i < n1 ? sim::runSingle(workload_names[i],
+                                               sim::Scheme::ChargeCache,
+                                               tweak)
+                              : sim::runMix(mixes[i - n1],
+                                            sim::Scheme::ChargeCache,
+                                            tweak);
+            });
         std::vector<double> sp1, hit1, sp8, hit8;
-        const auto &workload_names = bench::singleWorkloads();
-        for (size_t i = 0; i < workload_names.size(); ++i) {
-            sim::SystemResult r = sim::runSingle(
-                workload_names[i], sim::Scheme::ChargeCache, tweak);
-            sp1.push_back(r.ipc[0] / base_single[i]);
-            if (r.activations > 100)
-                hit1.push_back(r.hcracHitRate);
+        for (size_t i = 0; i < n1; ++i) {
+            sp1.push_back(res[i].ipc[0] / base_single[i]);
+            if (res[i].activations > 100)
+                hit1.push_back(res[i].hcracHitRate);
         }
-        auto mixes = bench::sweepMixes();
         for (size_t i = 0; i < mixes.size(); ++i) {
             auto names = workloads::mixWorkloads(mixes[i]);
-            sim::SystemResult r =
-                sim::runMix(mixes[i], sim::Scheme::ChargeCache, tweak);
-            sp8.push_back(sim::weightedSpeedup(names, r.ipc) /
-                          base_eight[i]);
-            hit8.push_back(r.hcracHitRate);
+            sp8.push_back(
+                sim::weightedSpeedup(names, res[n1 + i].ipc) /
+                base_eight[i]);
+            hit8.push_back(res[n1 + i].hcracHitRate);
         }
         std::printf("%-8.0fms %+11.2f%% %9.1f%% %+11.2f%% %9.1f%%\n", ms,
                     100 * (bench::geomean(sp1) - 1),

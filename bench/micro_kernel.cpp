@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Simulation-kernel microbenchmark: a 4-core Figure-7-style scheme
+ * sweep (all five schemes over several workload mixes) run three ways —
+ *
+ *   1. seed configuration: per-cycle kernel, serial;
+ *   2. event-skipping kernel, serial (kernel win in isolation);
+ *   3. event-skipping kernel through the ParallelRunner (full win).
+ *
+ * Prints simulated CPU cycles per wall-second for each and emits
+ * BENCH_kernel.json so future PRs have a perf trajectory to regress
+ * against. Scale via CCSIM_KERNEL_INSTS (default 40000 insts/core) and
+ * CCSIM_THREADS.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "workloads/profiles.hh"
+
+namespace {
+
+using namespace ccsim;
+
+struct Point {
+    int mix;
+    sim::Scheme scheme;
+};
+
+struct Timed {
+    double wallSeconds = 0.0;
+    std::uint64_t simCycles = 0;
+
+    double
+    cyclesPerSecond() const
+    {
+        return wallSeconds > 0 ? double(simCycles) / wallSeconds : 0.0;
+    }
+};
+
+std::uint64_t
+envU64(const char *name, std::uint64_t def)
+{
+    const char *v = std::getenv(name);
+    return (v && *v) ? std::strtoull(v, nullptr, 10) : def;
+}
+
+sim::SimConfig
+pointConfig(const Point &p, sim::KernelMode kernel, std::uint64_t insts)
+{
+    sim::SimConfig cfg = sim::SimConfig::eightCore();
+    cfg.nCores = 4; // Four cores per point: the paper's mid-size system.
+    cfg.scheme = p.scheme;
+    cfg.kernel = kernel;
+    cfg.targetInsts = insts;
+    cfg.warmupInsts = insts / 8;
+    cfg.finalizeChargeCache();
+    return cfg;
+}
+
+sim::SystemResult
+runPoint(const Point &p, sim::KernelMode kernel, std::uint64_t insts)
+{
+    sim::SimConfig cfg = pointConfig(p, kernel, insts);
+    sim::System system(cfg, workloads::mixWorkloads(p.mix, cfg.nCores));
+    return system.run();
+}
+
+template <typename Fn>
+Timed
+timeSweep(const std::vector<Point> &points, Fn &&run_all)
+{
+    Timed t;
+    auto start = std::chrono::steady_clock::now();
+    std::vector<sim::SystemResult> results = run_all(points);
+    auto end = std::chrono::steady_clock::now();
+    t.wallSeconds = std::chrono::duration<double>(end - start).count();
+    for (const auto &r : results)
+        t.simCycles += r.cpuCycles;
+    return t;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("micro_kernel",
+                       "kernel throughput (event-skip + parallel vs "
+                       "seed per-cycle serial)");
+
+    const std::uint64_t insts = envU64("CCSIM_KERNEL_INSTS", 40000);
+    const sim::Scheme schemes[] = {
+        sim::Scheme::Baseline, sim::Scheme::Nuat, sim::Scheme::ChargeCache,
+        sim::Scheme::ChargeCacheNuat, sim::Scheme::LlDram};
+
+    std::vector<Point> points;
+    for (int mix = 1; mix <= 2; ++mix)
+        for (sim::Scheme s : schemes)
+            points.push_back({mix, s});
+
+    std::printf("\n%zu sweep points (4-core mixes x 5 schemes), "
+                "%llu insts/core, %d threads\n\n",
+                points.size(), (unsigned long long)insts,
+                sim::ParallelRunner::defaultThreads());
+
+    Timed serial_percycle = timeSweep(points, [&](const auto &ps) {
+        std::vector<sim::SystemResult> out;
+        for (const Point &p : ps)
+            out.push_back(runPoint(p, sim::KernelMode::PerCycle, insts));
+        return out;
+    });
+    std::printf("%-24s %8.2fs  %12.0f cycles/s\n", "serial per-cycle",
+                serial_percycle.wallSeconds,
+                serial_percycle.cyclesPerSecond());
+
+    Timed serial_event = timeSweep(points, [&](const auto &ps) {
+        std::vector<sim::SystemResult> out;
+        for (const Point &p : ps)
+            out.push_back(runPoint(p, sim::KernelMode::EventSkip, insts));
+        return out;
+    });
+    std::printf("%-24s %8.2fs  %12.0f cycles/s\n", "serial event-skip",
+                serial_event.wallSeconds, serial_event.cyclesPerSecond());
+
+    Timed parallel_event = timeSweep(points, [&](const auto &ps) {
+        return sim::runSweep(ps.size(), [&](std::size_t i) {
+            return runPoint(ps[i], sim::KernelMode::EventSkip, insts);
+        });
+    });
+    std::printf("%-24s %8.2fs  %12.0f cycles/s\n", "parallel event-skip",
+                parallel_event.wallSeconds,
+                parallel_event.cyclesPerSecond());
+
+    double kernel_speedup =
+        serial_event.wallSeconds > 0
+            ? serial_percycle.wallSeconds / serial_event.wallSeconds
+            : 0.0;
+    double total_speedup =
+        parallel_event.wallSeconds > 0
+            ? serial_percycle.wallSeconds / parallel_event.wallSeconds
+            : 0.0;
+    std::printf("\nkernel speedup (serial):   %.2fx\n", kernel_speedup);
+    std::printf("total speedup (parallel):  %.2fx\n", total_speedup);
+    if (sim::ParallelRunner::defaultThreads() <= 1)
+        std::printf("note: single hardware thread — the parallel runner "
+                    "cannot contribute here; on an N-thread host the "
+                    "sweep additionally scales ~linearly up to "
+                    "min(N, %zu) points.\n",
+                    points.size());
+    // Identical sim_cycles across the three modes double as an
+    // equivalence check of the kernels on this exact sweep.
+    if (serial_percycle.simCycles != serial_event.simCycles ||
+        serial_event.simCycles != parallel_event.simCycles) {
+        std::fprintf(stderr,
+                     "ERROR: kernels disagree on simulated cycles\n");
+        return 1;
+    }
+
+    std::FILE *json = std::fopen("BENCH_kernel.json", "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write BENCH_kernel.json\n");
+        return 1;
+    }
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"bench\": \"kernel\",\n"
+        "  \"points\": %zu,\n"
+        "  \"insts_per_core\": %llu,\n"
+        "  \"threads\": %d,\n"
+        "  \"serial_percycle\": {\"wall_s\": %.4f, \"sim_cycles\": %llu, "
+        "\"cycles_per_s\": %.0f},\n"
+        "  \"serial_eventskip\": {\"wall_s\": %.4f, \"sim_cycles\": %llu, "
+        "\"cycles_per_s\": %.0f},\n"
+        "  \"parallel_eventskip\": {\"wall_s\": %.4f, \"sim_cycles\": %llu, "
+        "\"cycles_per_s\": %.0f},\n"
+        "  \"kernel_speedup\": %.3f,\n"
+        "  \"total_speedup\": %.3f\n"
+        "}\n",
+        points.size(), (unsigned long long)insts,
+        sim::ParallelRunner::defaultThreads(),
+        serial_percycle.wallSeconds,
+        (unsigned long long)serial_percycle.simCycles,
+        serial_percycle.cyclesPerSecond(), serial_event.wallSeconds,
+        (unsigned long long)serial_event.simCycles,
+        serial_event.cyclesPerSecond(), parallel_event.wallSeconds,
+        (unsigned long long)parallel_event.simCycles,
+        parallel_event.cyclesPerSecond(), kernel_speedup, total_speedup);
+    std::fclose(json);
+    std::printf("wrote BENCH_kernel.json\n");
+    return 0;
+}

@@ -85,6 +85,8 @@ Hcrac::insert(std::uint64_t key)
             if (set[w].stamp < victim->stamp)
                 victim = &set[w];
         ++stats_.evictions;
+    } else {
+        ++valid_;
     }
     victim->valid = true;
     victim->key = key;
@@ -107,6 +109,7 @@ Hcrac::invalidateEntry(std::size_t idx)
     CCSIM_ASSERT(idx < entries_.size(), "HCRAC sweep index out of range");
     if (entries_[idx].valid) {
         entries_[idx].valid = false;
+        --valid_;
         ++stats_.sweepInvalidations;
     }
 }
@@ -116,15 +119,7 @@ Hcrac::invalidateAll()
 {
     for (auto &e : entries_)
         e.valid = false;
-}
-
-int
-Hcrac::validCount() const
-{
-    int n = 0;
-    for (const auto &e : entries_)
-        n += e.valid ? 1 : 0;
-    return n;
+    valid_ = 0;
 }
 
 SweepInvalidator::SweepInvalidator(Cycle duration_cycles, int entries)
@@ -145,32 +140,61 @@ SweepInvalidator::advanceTo(Cycle now, Hcrac &cache)
     }
 }
 
+UnlimitedHcrac::UnlimitedHcrac(Cycle duration_cycles)
+    : duration_(duration_cycles), slots_(1024), mask_(slots_.size() - 1)
+{
+}
+
+UnlimitedHcrac::Slot *
+UnlimitedHcrac::find(std::uint64_t key)
+{
+    std::size_t idx = static_cast<std::size_t>(mix64(key)) & mask_;
+    while (slots_[idx].used && slots_[idx].key != key)
+        idx = (idx + 1) & mask_;
+    return &slots_[idx];
+}
+
+void
+UnlimitedHcrac::grow()
+{
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot());
+    mask_ = slots_.size() - 1;
+    for (const Slot &s : old) {
+        if (!s.used)
+            continue;
+        Slot *dst = find(s.key);
+        *dst = s;
+    }
+}
+
 void
 UnlimitedHcrac::insert(std::uint64_t key, Cycle now)
 {
-    auto &bucket = buckets_[mix64(key) & 1023];
-    for (auto &kv : bucket) {
-        if (kv.first == key) {
-            kv.second = now;
-            return;
+    Slot *slot = find(key);
+    if (!slot->used) {
+        // Keep the load factor under ~70% so probes stay short.
+        if ((count_ + 1) * 10 > slots_.size() * 7) {
+            grow();
+            slot = find(key);
         }
+        slot->used = true;
+        slot->key = key;
+        ++count_;
     }
-    bucket.emplace_back(key, now);
+    slot->stamp = now;
 }
 
 bool
 UnlimitedHcrac::lookup(std::uint64_t key, Cycle now)
 {
     ++stats_.lookups;
-    auto &bucket = buckets_[mix64(key) & 1023];
-    for (auto &kv : bucket) {
-        if (kv.first == key) {
-            if (now - kv.second <= duration_) {
-                ++stats_.hits;
-                return true;
-            }
-            return false;
-        }
+    Slot *slot = find(key);
+    if (!slot->used)
+        return false;
+    if (now - slot->stamp <= duration_) {
+        ++stats_.hits;
+        return true;
     }
     return false;
 }

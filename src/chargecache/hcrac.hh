@@ -74,8 +74,8 @@ class Hcrac
     int numWays() const { return ways_; }
     int numSets() const { return sets_; }
 
-    /** Count of currently valid entries (O(n); for tests/stats). */
-    int validCount() const;
+    /** Count of currently valid entries (O(1); kept live). */
+    int validCount() const { return valid_; }
 
     struct Stats {
         std::uint64_t lookups = 0;
@@ -103,6 +103,7 @@ class Hcrac
     double bipEpsilon_;
     std::vector<Entry> entries_; ///< sets_ * ways_, set-major.
     std::uint64_t clock_ = 0;    ///< Recency stamp source.
+    int valid_ = 0;              ///< Live count of valid entries.
     Rng rng_;
     Stats stats_;
 };
@@ -127,6 +128,9 @@ class SweepInvalidator
 
     Cycle period() const { return period_; }
 
+    /** Cycle of the next sweep invalidation (event-kernel horizon). */
+    Cycle nextEventAt() const { return nextDue_; }
+
   private:
     Cycle period_;
     Cycle nextDue_;
@@ -137,17 +141,20 @@ class SweepInvalidator
 /**
  * Idealized unlimited-capacity HCRAC used for the dashed upper-bound
  * lines in Figure 9. Tracks exact per-row insertion time and applies the
- * duration check directly.
+ * duration check directly. Implemented as an open-addressed hash table
+ * (linear probing, power-of-two capacity, grow-at-70%-load) — entries
+ * are never removed, matching the idealized table's semantics.
  */
 class UnlimitedHcrac
 {
   public:
-    explicit UnlimitedHcrac(Cycle duration_cycles)
-        : duration_(duration_cycles)
-    {}
+    explicit UnlimitedHcrac(Cycle duration_cycles);
 
     void insert(std::uint64_t key, Cycle now);
     bool lookup(std::uint64_t key, Cycle now);
+
+    /** Number of distinct keys ever inserted. */
+    std::size_t size() const { return count_; }
 
     struct Stats {
         std::uint64_t lookups = 0;
@@ -157,10 +164,19 @@ class UnlimitedHcrac
     void resetStats() { stats_ = Stats(); }
 
   private:
+    struct Slot {
+        std::uint64_t key = 0;
+        Cycle stamp = 0;
+        bool used = false;
+    };
+
+    Slot *find(std::uint64_t key);
+    void grow();
+
     Cycle duration_;
-    // open-addressing would be faster; a std::vector-backed map keeps
-    // this simple and it is only used in capacity-sweep experiments.
-    std::vector<std::pair<std::uint64_t, Cycle>> buckets_[1024];
+    std::vector<Slot> slots_;
+    std::size_t mask_;      ///< slots_.size() - 1 (power of two).
+    std::size_t count_ = 0; ///< Used slots.
     Stats stats_;
 };
 

@@ -47,11 +47,20 @@ class RefreshInfo
                                           Cycle now) const = 0;
 };
 
+class ChargeCacheProvider;
+
 /** Per-ACT timing decision interface. */
 class LatencyProvider
 {
   public:
     virtual ~LatencyProvider() = default;
+
+    /**
+     * The ChargeCacheProvider embedded in this provider, if any —
+     * stat-collection access without dynamic_cast scans (Baseline,
+     * NUAT and LL-DRAM return nullptr).
+     */
+    virtual ChargeCacheProvider *chargeCacheView() { return nullptr; }
 
     /**
      * Decide the effective timing of an ACT at cycle `now` issued on
@@ -106,7 +115,7 @@ rowKey(const dram::DramAddr &addr, int row)
 }
 
 /** Baseline: every ACT uses the standard timing. */
-class StandardProvider : public LatencyProvider
+class StandardProvider final : public LatencyProvider
 {
   public:
     explicit StandardProvider(const dram::DramTiming &timing)
@@ -129,7 +138,7 @@ class StandardProvider : public LatencyProvider
 };
 
 /** Idealized LL-DRAM: every ACT uses the reduced timing (100% hit). */
-class LowLatencyDramProvider : public LatencyProvider
+class LowLatencyDramProvider final : public LatencyProvider
 {
   public:
     LowLatencyDramProvider(int trcd, int tras) : trcd_(trcd), tras_(tras) {}
@@ -161,7 +170,7 @@ struct ChargeCacheParams {
 };
 
 /** The paper's mechanism. */
-class ChargeCacheProvider : public LatencyProvider
+class ChargeCacheProvider final : public LatencyProvider
 {
   public:
     ChargeCacheProvider(const dram::DramTiming &timing,
@@ -173,6 +182,8 @@ class ChargeCacheProvider : public LatencyProvider
                      Cycle now) override;
 
     const char *name() const override { return "ChargeCache"; }
+
+    ChargeCacheProvider *chargeCacheView() override { return this; }
 
     void resetStats() override;
 
@@ -208,7 +219,7 @@ struct NuatParams {
 };
 
 /** NUAT: timing from time-since-last-refresh only. */
-class NuatProvider : public LatencyProvider
+class NuatProvider final : public LatencyProvider
 {
   public:
     NuatProvider(const dram::DramTiming &timing, const NuatParams &params,
@@ -227,13 +238,15 @@ class NuatProvider : public LatencyProvider
 };
 
 /** ChargeCache + NUAT: per ACT, the better of the two mechanisms. */
-class CombinedProvider : public LatencyProvider
+class CombinedProvider final : public LatencyProvider
 {
   public:
     CombinedProvider(std::unique_ptr<ChargeCacheProvider> cc,
                      std::unique_ptr<NuatProvider> nuat)
         : cc_(std::move(cc)), nuat_(std::move(nuat))
     {}
+
+    ChargeCacheProvider *chargeCacheView() override { return cc_.get(); }
 
     dram::EffActTiming onActivate(int core_id, const dram::DramAddr &addr,
                                   Cycle now) override;
@@ -268,7 +281,7 @@ struct DurationLevel {
  * Extension: several HCRACs with increasing caching durations; a hit in
  * the shortest-duration table gives the most aggressive timing.
  */
-class MultiDurationProvider : public LatencyProvider
+class MultiDurationProvider final : public LatencyProvider
 {
   public:
     MultiDurationProvider(const dram::DramTiming &timing,

@@ -15,6 +15,7 @@ Core::Core(int id, const CoreConfig &config, TraceSource &trace,
 void
 Core::onMissComplete(std::uint64_t token)
 {
+    wakePending_ = true;
     if (token < windowBaseSeq_)
         return; // A store that already retired.
     std::uint64_t idx = token - windowBaseSeq_;
@@ -22,12 +23,12 @@ Core::onMissComplete(std::uint64_t token)
         window_[idx].completed = true;
 }
 
-bool
+Core::IssueResult
 Core::issueOne(CpuCycle now)
 {
     if (window_.size() >= static_cast<size_t>(config_.windowSize)) {
         ++stats_.stallCyclesFull;
-        return false;
+        return IssueResult::WindowFull;
     }
     if (!recordValid_) {
         if (!trace_.next(record_)) {
@@ -43,7 +44,7 @@ Core::issueOne(CpuCycle now)
         window_.push_back({true, false});
         ++seq_;
         --pendingCompute_;
-        return true;
+        return IssueResult::Issued;
     }
     CCSIM_ASSERT(!memIssued_, "record should have been refreshed");
     Addr line_addr =
@@ -52,7 +53,7 @@ Core::issueOne(CpuCycle now)
         llc_.access(id_, line_addr, record_.isWrite, seq_);
     if (res == mem::Llc::Result::Blocked) {
         ++stats_.blockedAccesses;
-        return false;
+        return IssueResult::Blocked;
     }
     WinEntry entry;
     entry.isMem = true;
@@ -71,17 +72,19 @@ Core::issueOne(CpuCycle now)
     ++seq_;
     memIssued_ = true;
     recordValid_ = false;
-    return true;
+    return IssueResult::Issued;
 }
 
-void
+bool
 Core::tick(CpuCycle now)
 {
+    bool progressed = false;
     // LLC-hit data returns.
     while (!hitQueue_.empty() && hitQueue_.top().first <= now) {
         std::uint64_t token = hitQueue_.top().second;
         hitQueue_.pop();
         onMissComplete(token);
+        progressed = true;
     }
     // In-order retire, up to issue width.
     for (int i = 0; i < config_.issueWidth && !window_.empty(); ++i) {
@@ -90,16 +93,40 @@ Core::tick(CpuCycle now)
         window_.pop_front();
         ++windowBaseSeq_;
         ++stats_.retired;
+        progressed = true;
     }
     if (!targetRecorded_ && stats_.retired >= config_.targetInsts) {
         targetRecorded_ = true;
         targetCycle_ = now;
     }
     // Issue new instructions.
+    IssueResult last = IssueResult::Issued;
     for (int i = 0; i < config_.issueWidth; ++i) {
-        if (!issueOne(now))
+        last = issueOne(now);
+        if (last != IssueResult::Issued)
             break;
+        progressed = true;
     }
+    if (progressed) {
+        stallKind_ = StallKind::None;
+    } else {
+        // A no-progress tick always ends in exactly one failed issue:
+        // either the window is full or the LLC rejected the access.
+        stallKind_ = last == IssueResult::WindowFull
+                         ? StallKind::WindowFull
+                         : StallKind::BlockedLlc;
+    }
+    wakePending_ = false;
+    return progressed;
+}
+
+void
+Core::accountStallCycles(CpuCycle cycles)
+{
+    if (stallKind_ == StallKind::WindowFull)
+        stats_.stallCyclesFull += cycles;
+    else if (stallKind_ == StallKind::BlockedLlc)
+        stats_.blockedAccesses += cycles;
 }
 
 void

@@ -42,14 +42,61 @@ struct CoreStats {
 class Core
 {
   public:
+    /**
+     * Why the most recent tick made no progress. A stalled core ticks
+     * to exactly one stall-statistic increment per cycle, which is what
+     * lets the event-skipping kernel park it and account the skipped
+     * region in bulk (see docs/performance.md).
+     */
+    enum class StallKind {
+        None,       ///< Last tick made progress.
+        WindowFull, ///< Instruction window full, head incomplete.
+        BlockedLlc, ///< Memory op rejected by the LLC (MSHRs full).
+    };
+
     Core(int id, const CoreConfig &config, TraceSource &trace,
          mem::Llc &llc);
 
-    /** Advance one CPU cycle. */
-    void tick(CpuCycle now);
+    /**
+     * Advance one CPU cycle. Returns true if the tick made progress
+     * (completed, retired, issued, or fetched a trace record); a false
+     * return guarantees that re-ticking on subsequent cycles stays a
+     * no-op apart from one stall-statistic increment per cycle, until
+     * either `nextEventAt()` is reached or an external completion
+     * arrives (`wakePending()`).
+     */
+    bool tick(CpuCycle now);
 
     /** Completion for an LLC miss issued with `token`. */
     void onMissComplete(std::uint64_t token);
+
+    /** External wake signal for the event kernel (e.g. line installed). */
+    void externalWake() { wakePending_ = true; }
+
+    /** True once an external completion arrived since the last tick. */
+    bool wakePending() const { return wakePending_; }
+
+    /**
+     * Earliest future cycle at which a stalled tick could make progress
+     * without external input: the next self-scheduled LLC-hit return,
+     * or kNoCycle when purely externally driven.
+     */
+    CpuCycle
+    nextEventAt() const
+    {
+        return hitQueue_.empty() ? kNoCycle : hitQueue_.top().first;
+    }
+
+    /** Stall reason of the last no-progress tick. */
+    StallKind stallKind() const { return stallKind_; }
+
+    /**
+     * Account `cycles` un-ticked cycles spent parked in `stallKind()`:
+     * bump the same one-per-cycle stall statistic the per-cycle loop
+     * would have. LLC-side counters for BlockedLlc retries are accounted
+     * separately by the caller (Llc::accountBlockedProbes).
+     */
+    void accountStallCycles(CpuCycle cycles);
 
     /** True once `targetInsts` have retired since the last reset. */
     bool reachedTarget() const { return stats_.retired >= config_.targetInsts; }
@@ -80,7 +127,9 @@ class Core
         bool isMem = false;
     };
 
-    bool issueOne(CpuCycle now);
+    enum class IssueResult { Issued, WindowFull, Blocked };
+
+    IssueResult issueOne(CpuCycle now);
 
     int id_;
     CoreConfig config_;
@@ -106,6 +155,8 @@ class Core
     CpuCycle baseCycle_ = 0;
     CpuCycle targetCycle_ = 0;
     bool targetRecorded_ = false;
+    StallKind stallKind_ = StallKind::None;
+    bool wakePending_ = false;
     CoreStats stats_;
 };
 

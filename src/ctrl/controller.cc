@@ -1,6 +1,7 @@
 #include "ctrl/controller.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "common/log.hh"
 
@@ -23,9 +24,18 @@ MemoryController::MemoryController(const dram::DramSpec &spec,
       channel_(spec),
       refresh_(refresh)
 {
+    if (dynamic_cast<chargecache::StandardProvider *>(&provider_))
+        providerKind_ = ProviderKind::Standard;
+    else if (dynamic_cast<chargecache::ChargeCacheProvider *>(&provider_))
+        providerKind_ = ProviderKind::ChargeCache;
     bankCtl_.resize(spec_.org.ranksPerChannel);
     for (auto &per_rank : bankCtl_)
         per_rank.resize(spec_.org.banksPerRank);
+    for (int rank = 0; rank < spec_.org.ranksPerChannel; ++rank)
+        for (int bank = 0; bank < spec_.org.banksPerRank; ++bank)
+            bankPtr_.push_back(&channel_.rank(rank).bank(bank));
+    readBankCount_.assign(bankPtr_.size(), 0);
+    writeBankCount_.assign(bankPtr_.size(), 0);
     if (config_.trackRltl) {
         std::vector<Cycle> windows;
         for (double ms : config_.rltlWindowsMs)
@@ -63,24 +73,32 @@ MemoryController::enqueue(Request req)
         // Read-after-write forwarding from the write queue. Completion
         // is delivered through the pending heap on the next tick —
         // callbacks must never fire inside enqueue (reentrancy).
-        for (const auto &w : writeQ_) {
-            if (w.req.lineAddr == req.lineAddr) {
-                ++stats_.readForwards;
-                PendingRead pr;
-                pr.req = std::move(req);
-                pr.done = now_ + 1;
-                pending_.push(std::move(pr));
-                return;
-            }
+        if (writeLines_.count(req.lineAddr)) {
+            ++stats_.readForwards;
+            PendingRead pr;
+            pr.req = std::move(req);
+            pr.done = now_ + 1;
+            pending_.push(std::move(pr));
+            return;
+        }
+        nextServeTry_ = 0; // New candidate: the scheduler must rescan.
+        if (config_.useServeHorizon) {
+            ++readRowCount_[rowKeyOf(req.addr)];
+            ++readBankCount_[bankIndexOf(req.addr)];
+            readKeys_.push_back(rowKeyOf(req.addr));
         }
         readQ_.push_back({std::move(req), false});
     } else {
         // Coalesce repeated writebacks of the same line.
-        for (auto &w : writeQ_) {
-            if (w.req.lineAddr == req.lineAddr)
-                return;
-        }
+        if (!writeLines_.insert(req.lineAddr).second)
+            return;
         ++stats_.writes;
+        nextServeTry_ = 0; // New candidate: the scheduler must rescan.
+        if (config_.useServeHorizon) {
+            ++writeRowCount_[rowKeyOf(req.addr)];
+            ++writeBankCount_[bankIndexOf(req.addr)];
+            writeKeys_.push_back(rowKeyOf(req.addr));
+        }
         writeQ_.push_back({std::move(req), false});
     }
 }
@@ -97,6 +115,7 @@ void
 MemoryController::issue(const dram::Command &cmd,
                         const dram::EffActTiming *eff)
 {
+    nextServeTry_ = 0; // Bank/bus state changed: rescan.
     channel_.issue(cmd, now_, eff);
     notify(cmd, eff);
 }
@@ -117,7 +136,20 @@ MemoryController::recordPrechargeOf(int rank, int bank, int row)
 void
 MemoryController::issueAct(const dram::DramAddr &addr, int core_id)
 {
-    dram::EffActTiming eff = provider_.onActivate(core_id, addr, now_);
+    dram::EffActTiming eff;
+    switch (providerKind_) {
+      case ProviderKind::Standard:
+        eff = static_cast<chargecache::StandardProvider &>(provider_)
+                  .onActivate(core_id, addr, now_);
+        break;
+      case ProviderKind::ChargeCache:
+        eff = static_cast<chargecache::ChargeCacheProvider &>(provider_)
+                  .onActivate(core_id, addr, now_);
+        break;
+      default:
+        eff = provider_.onActivate(core_id, addr, now_);
+        break;
+    }
     CCSIM_ASSERT(eff.trcd <= spec_.timing.tRCD &&
                      eff.tras <= spec_.timing.tRAS,
                  "provider returned slower-than-standard timing");
@@ -170,6 +202,21 @@ bool
 MemoryController::anotherHitQueued(const dram::DramAddr &addr,
                                    std::uint64_t skip_token) const
 {
+    if (config_.useServeHorizon) {
+        // The per-queue row counts include the candidate request
+        // itself, so "another hit" means at least two queued requests
+        // for this row across both queues.
+        int count = 0;
+        auto rit = readRowCount_.find(rowKeyOf(addr));
+        if (rit != readRowCount_.end())
+            count += rit->second;
+        auto wit = writeRowCount_.find(rowKeyOf(addr));
+        if (wit != writeRowCount_.end())
+            count += wit->second;
+        return count >= 2;
+    }
+    // Reference path: the seed's queue scan, kept as the oracle the
+    // kernel-equivalence tests compare the O(1) row count against.
     auto match = [&](const QueuedReq &qr) {
         return qr.req.token != skip_token && qr.req.addr.rank == addr.rank &&
                qr.req.addr.bank == addr.bank && qr.req.addr.row == addr.row;
@@ -210,6 +257,212 @@ MemoryController::trickleWrites() const
 bool
 MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
 {
+    // Optimized FR-FCFS scan (kernel-equivalence tests prove it
+    // identical to serveQueueReference). Three ideas:
+    //
+    //  1. Rank/bus gates are invariant across one scan, so they are
+    //     evaluated once per rank instead of per entry.
+    //  2. Within one bank every queued request of the same class (row
+    //     hit / conflict / idle-bank) shares identical issue timing, so
+    //     readiness and the scheduler-horizon bound are decided per
+    //     BANK from the per-queue row/bank counts — a fruitless scan
+    //     costs O(banks), not O(queue).
+    //  3. Only when some bank is ready does the arrival-order walk run,
+    //     and it skips entries of non-ready banks via a bitmask; the
+    //     first ready row hit wins (FR priority), else the first ready
+    //     PRE/ACT driver (FCFS), exactly like the two-pass reference.
+    //
+    // RDA/WRA share RD/WR issue timing, so the plain column class
+    // stands in for the auto-precharge variants throughout.
+    const dram::CmdType col_cmd =
+        is_write ? dram::CmdType::WR : dram::CmdType::RD;
+    std::vector<std::uint64_t> &keys = is_write ? writeKeys_ : readKeys_;
+    CCSIM_ASSERT(keys.size() == queue.size(), "key mirror out of sync");
+    if (keys.empty()) {
+        nextServeTry_ = kNoCycle; // Re-armed by the next enqueue.
+        return false;
+    }
+    std::unordered_map<std::uint64_t, int> &row_count =
+        is_write ? writeRowCount_ : readRowCount_;
+    std::vector<int> &bank_count =
+        is_write ? writeBankCount_ : readBankCount_;
+
+    struct RankGate {
+        bool valid;
+        bool refDue;
+        bool colOk;
+        bool actOk;
+        bool preOk;
+        Cycle colBase; ///< Rank+bus part of a column cmd's earliest.
+        Cycle actBase; ///< Rank part of an ACT's earliest.
+        Cycle preBase; ///< Rank part of a PRE's earliest.
+    };
+    std::array<RankGate, 8> gates;
+    const int n_ranks = spec_.org.ranksPerChannel;
+    const int banks_per_rank = spec_.org.banksPerRank;
+    const int n_banks = n_ranks * banks_per_rank;
+    CCSIM_ASSERT(n_ranks <= static_cast<int>(gates.size()) &&
+                     n_banks <= 64,
+                 "DRAM geometry exceeds the scan's fixed tables");
+    for (int r = 0; r < n_ranks; ++r)
+        gates[r].valid = false;
+    auto fill_gate = [&](RankGate &g, int r) {
+        const dram::Rank &rank = channel_.rank(r);
+        bool pre_ok = rank.preReady(now_);
+        g.valid = true;
+        g.refDue = refresh_.due(r, now_);
+        g.preOk = pre_ok;
+        g.colOk = pre_ok && rank.columnReady(is_write, now_) &&
+                  channel_.busReady(r, !is_write, now_);
+        g.actOk = pre_ok && rank.actRankReady(now_);
+        g.colBase = std::max(rank.columnEarliestBase(is_write),
+                             channel_.busEarliestBase(r, !is_write));
+        g.actBase = rank.actEarliestBase();
+        g.preBase = rank.preEarliestBase();
+    };
+
+    // Phase 1: per-bank readiness and, for what is not ready, the
+    // horizon bound.
+    std::uint64_t hit_ready = 0;   // Bank's open-row hits issuable now.
+    std::uint64_t drive_ready = 0; // Bank's PRE/ACT issuable now.
+    Cycle bound = kNoCycle;
+    for (int bi = 0; bi < n_banks; ++bi) {
+        int in_queue = bank_count[bi];
+        if (in_queue == 0)
+            continue;
+        const int r = bi / banks_per_rank;
+        RankGate &g = gates[r];
+        if (!g.valid)
+            fill_gate(g, r);
+        if (g.refDue)
+            continue; // Un-gated only by a REF issue (rescans anyway).
+        const dram::Bank &b = *bankPtr_[bi];
+        if (b.state() == dram::Bank::State::Active) {
+            const int open_row = b.openRow();
+            auto rc = row_count.find(
+                rowKeyOf(r, bi % banks_per_rank, open_row));
+            const int hits = rc == row_count.end() ? 0 : rc->second;
+            if (hits > 0) {
+                if (g.colOk && now_ >= b.earliest(col_cmd))
+                    hit_ready |= std::uint64_t(1) << bi;
+                else
+                    bound = std::min(
+                        bound, std::max(g.colBase, b.earliest(col_cmd)));
+            }
+            if (in_queue > hits) { // Conflicting rows queued: PRE.
+                if (g.preOk && now_ >= b.earliest(dram::CmdType::PRE))
+                    drive_ready |= std::uint64_t(1) << bi;
+                else
+                    bound = std::min(
+                        bound,
+                        std::max(g.preBase,
+                                 b.earliest(dram::CmdType::PRE)));
+            }
+        } else {
+            if (g.actOk && now_ >= b.earliest(dram::CmdType::ACT))
+                drive_ready |= std::uint64_t(1) << bi;
+            else
+                bound = std::min(
+                    bound,
+                    std::max(g.actBase, b.earliest(dram::CmdType::ACT)));
+        }
+    }
+
+    if (hit_ready == 0 && drive_ready == 0) {
+        // Nothing issuable this cycle: publish the horizon. Sound
+        // because bank and bus state only change on an issue and
+        // candidates only appear on an enqueue — both reset
+        // nextServeTry_ — and each bound term lower-bounds canIssue()
+        // turning true for its class.
+        nextServeTry_ = std::max(bound, now_ + 1);
+        return false;
+    }
+
+    // Phase 2: arrival-order walk restricted to ready banks. The first
+    // ready row hit is issued immediately; otherwise the first ready
+    // PRE/ACT driver found is issued after the walk (or as soon as no
+    // hit can appear).
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::size_t pre_act = kNone;
+    bool pre_act_is_act = false;
+    const std::uint64_t ready = hit_ready | drive_ready;
+    const std::size_t n = keys.size();
+    for (std::size_t idx = 0; idx < n; ++idx) {
+        const std::uint64_t key = keys[idx];
+        const int bi =
+            rankOfKey(key) * banks_per_rank + bankOfKey(key);
+        if (!(ready & (std::uint64_t(1) << bi)))
+            continue;
+        const dram::Bank &b = *bankPtr_[bi];
+        const int row = rowOfKey(key);
+        const bool is_hit =
+            b.state() == dram::Bank::State::Active && b.openRow() == row;
+        if (is_hit) {
+            if (!(hit_ready & (std::uint64_t(1) << bi)))
+                continue; // Hit exists but is not issuable this cycle.
+            QueuedReq &qr = queue[idx];
+            const dram::DramAddr a = qr.req.addr;
+            dram::Command cmd{col_cmd, a};
+            bool auto_pre = config_.rowPolicy == RowPolicy::Closed &&
+                            !anotherHitQueued(a, qr.req.token);
+            if (auto_pre)
+                cmd.type = is_write ? dram::CmdType::WRA
+                                    : dram::CmdType::RDA;
+            classify(qr);
+            issue(cmd, nullptr);
+            if (auto_pre) {
+                recordPrechargeOf(a.rank, a.bank, row);
+                ++stats_.autoPres;
+            }
+            if (!is_write) {
+                PendingRead pr;
+                pr.req = std::move(qr.req);
+                pr.done = channel_.readDataDone(now_);
+                pending_.push(std::move(pr));
+            } else {
+                writeLines_.erase(qr.req.lineAddr);
+            }
+            auto rc = row_count.find(key);
+            CCSIM_ASSERT(rc != row_count.end() && rc->second > 0,
+                         "row count out of sync");
+            if (--rc->second == 0)
+                row_count.erase(rc);
+            --bank_count[bi];
+            queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
+            keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(idx));
+            return true;
+        }
+        if (pre_act != kNone)
+            continue; // FCFS slot already claimed by an older request.
+        if (drive_ready & (std::uint64_t(1) << bi)) {
+            pre_act = idx;
+            pre_act_is_act = b.state() == dram::Bank::State::Idle;
+            if (hit_ready == 0)
+                break; // No hit can outrank the FCFS driver.
+        }
+    }
+
+    CCSIM_ASSERT(pre_act != kNone,
+                 "ready bank reported but no candidate entry found");
+    QueuedReq &qr = queue[pre_act];
+    const dram::DramAddr &a = qr.req.addr;
+    classify(qr);
+    if (pre_act_is_act) {
+        issueAct(a, qr.req.coreId);
+    } else {
+        const dram::Bank &b = *bankPtr_[bankIndexOf(a)];
+        int row = b.openRow();
+        issue({dram::CmdType::PRE, a}, nullptr);
+        recordPrechargeOf(a.rank, a.bank, row);
+        ++stats_.pres;
+    }
+    return true;
+}
+
+bool
+MemoryController::serveQueueReference(std::deque<QueuedReq> &queue,
+                                      bool is_write)
+{
     // Pass 1 (FR): oldest ready row hit.
     for (auto it = queue.begin(); it != queue.end(); ++it) {
         const dram::DramAddr &a = it->req.addr;
@@ -240,6 +493,8 @@ MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
             pr.req = std::move(it->req);
             pr.done = channel_.readDataDone(now_);
             pending_.push(std::move(pr));
+        } else {
+            writeLines_.erase(it->req.lineAddr);
         }
         queue.erase(it);
         return true;
@@ -275,17 +530,19 @@ MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
     return false;
 }
 
-void
+bool
 MemoryController::tick()
 {
+    bool active = false;
+
     // Deliver finished read data.
     while (!pending_.empty() && pending_.top().done <= now_) {
         PendingRead pr = pending_.top();
         pending_.pop();
         ++stats_.reads;
         stats_.readLatencySum += pr.done - pr.req.arrive;
-        if (pr.req.callback)
-            pr.req.callback(pr.req, pr.done);
+        active = true;
+        pr.req.complete(pr.done);
     }
 
     // Write drain hysteresis.
@@ -299,15 +556,31 @@ MemoryController::tick()
     // Refresh has absolute priority once due.
     if (tryRefresh()) {
         ++now_;
-        return;
+        return true;
     }
 
-    if (drainMode_ || trickleWrites())
-        serveQueue(writeQ_, true);
-    else
-        serveQueue(readQ_, false);
+    if (!config_.useServeHorizon) {
+        // Seed-faithful reference: scan every tick, like the original
+        // per-cycle loop.
+        if (drainMode_ || trickleWrites())
+            active |= serveQueueReference(writeQ_, true);
+        else
+            active |= serveQueueReference(readQ_, false);
+    } else if (now_ >= nextServeTry_ || config_.paranoidSchedule) {
+        bool within_horizon = now_ < nextServeTry_;
+        bool served;
+        if (drainMode_ || trickleWrites())
+            served = serveQueue(writeQ_, true);
+        else
+            served = serveQueue(readQ_, false);
+        CCSIM_ASSERT(!(served && within_horizon),
+                     "scheduler horizon unsound: a scan inside "
+                     "nextServeTry_ issued a command");
+        active |= served;
+    }
 
     ++now_;
+    return active;
 }
 
 void

@@ -16,9 +16,12 @@
 #include <deque>
 #include <memory>
 #include <queue>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "chargecache/providers.hh"
+#include "common/log.hh"
 #include "common/types.hh"
 #include "ctrl/refresh.hh"
 #include "ctrl/request.hh"
@@ -45,6 +48,20 @@ struct CtrlConfig {
     /** RLTL windows in milliseconds (Figure 4's sweep by default). */
     std::vector<double> rltlWindowsMs = {0.125, 0.25, 0.5, 1.0, 8.0, 32.0};
     double rltlRefreshWindowMs = 8.0;
+    /**
+     * Cache a scheduler horizon after fruitless FR-FCFS scans and skip
+     * scans inside it (part of the event-skipping machinery). Disabled
+     * by the PerCycle reference kernel, which scans every tick exactly
+     * like the seed loop — so the kernel-equivalence tests also verify
+     * the horizon against exhaustive scanning.
+     */
+    bool useServeHorizon = true;
+    /**
+     * Debug: run the FR-FCFS scan even inside the cached scheduler
+     * horizon and assert it issues nothing — validates every
+     * scan-skipping decision (set by SimConfig::kernelParanoid).
+     */
+    bool paranoidSchedule = false;
 };
 
 /** Aggregate controller statistics. */
@@ -89,8 +106,58 @@ class MemoryController
      */
     void enqueue(Request req);
 
-    /** Advance one controller (DRAM bus) cycle. */
-    void tick();
+    /**
+     * Advance one controller (DRAM bus) cycle. Returns true if the tick
+     * did observable work (delivered read data, or issued a command);
+     * an idle tick is pure clock advance and may equivalently be
+     * replaced by skipTicks(1).
+     */
+    bool tick();
+
+    /**
+     * Earliest controller cycle (>= now()) at which a tick could do
+     * observable work: the earliest of the next read-data delivery, the
+     * next refresh falling due, and — while requests are queued — the
+     * cached scheduler horizon (the earliest cycle any queued request's
+     * next command could become timing-legal; see serveQueue). Never
+     * kNoCycle — refresh is periodic.
+     */
+    Cycle
+    nextEventAt() const
+    {
+        Cycle ev = refresh_.nextEventAt();
+        if (!pending_.empty() && pending_.top().done < ev)
+            ev = pending_.top().done;
+        if ((!readQ_.empty() || !writeQ_.empty()) && nextServeTry_ < ev)
+            ev = nextServeTry_;
+        return ev > now_ ? ev : now_;
+    }
+
+    /**
+     * Skip `n` provably-idle ticks: requires nextEventAt() >= now() + n.
+     * Equivalent to calling tick() n times when each of those ticks
+     * would have been pure clock advance.
+     */
+    void
+    skipTicks(Cycle n)
+    {
+        CCSIM_ASSERT(nextEventAt() >= now_ + n,
+                     "skipTicks over a non-idle region");
+        now_ += n;
+    }
+
+    /**
+     * One controller cycle for the event kernel: run tick() if it could
+     * do work this cycle, else elide it as a pure clock advance.
+     */
+    bool
+    tickOrSkip()
+    {
+        if (nextEventAt() <= now_)
+            return tick();
+        ++now_; // Provably idle: equivalent to tick() with no work.
+        return false;
+    }
 
     Cycle now() const { return now_; }
 
@@ -130,20 +197,66 @@ class MemoryController
         int ownerCore = -1; ///< Core whose request opened the row.
     };
 
+    /**
+     * Concrete provider type, resolved once at construction so the
+     * per-ACT probe of the two common schemes dispatches statically
+     * (the provider classes are final, letting the compiler inline).
+     */
+    enum class ProviderKind { Generic, Standard, ChargeCache };
+
     void notify(const dram::Command &cmd, const dram::EffActTiming *eff);
     void issue(const dram::Command &cmd, const dram::EffActTiming *eff);
     void issueAct(const dram::DramAddr &addr, int core_id);
     void recordPrechargeOf(int rank, int bank, int row);
     bool tryRefresh();
     bool trickleWrites() const;
+    /** Optimized FR-FCFS scan (EventSkip kernel): fused passes over a
+        compact key vector, with scheduler-horizon bound accumulation. */
     bool serveQueue(std::deque<QueuedReq> &queue, bool is_write);
+    /** The seed's two-pass FR-FCFS scan, preserved verbatim as the
+        PerCycle reference — the oracle the kernel-equivalence tests
+        compare the optimized scan against. */
+    bool serveQueueReference(std::deque<QueuedReq> &queue, bool is_write);
     bool anotherHitQueued(const dram::DramAddr &addr,
                           std::uint64_t skip_token) const;
     void classify(QueuedReq &qr);
 
+    /** Pack a row identity for the key mirrors / row-count maps. */
+    static std::uint64_t
+    rowKeyOf(int rank, int bank, int row)
+    {
+        return (std::uint64_t(rank) << 48) | (std::uint64_t(bank) << 40) |
+               std::uint64_t(static_cast<std::uint32_t>(row));
+    }
+
+    static std::uint64_t
+    rowKeyOf(const dram::DramAddr &addr)
+    {
+        return rowKeyOf(addr.rank, addr.bank, addr.row);
+    }
+
+    // Unpack helpers — the single place that mirrors rowKeyOf's layout.
+    static int rankOfKey(std::uint64_t key) { return int(key >> 48); }
+    static int bankOfKey(std::uint64_t key) { return int(key >> 40) & 0xFF; }
+    static int
+    rowOfKey(std::uint64_t key)
+    {
+        return static_cast<int>(key & 0xFFFFFFFF);
+    }
+
+    /** Flat index into bankPtr_ for the FR-FCFS scan's hot lookup. */
+    std::size_t
+    bankIndexOf(const dram::DramAddr &addr) const
+    {
+        return static_cast<std::size_t>(addr.rank) *
+                   static_cast<std::size_t>(spec_.org.banksPerRank) +
+               static_cast<std::size_t>(addr.bank);
+    }
+
     dram::DramSpec spec_;
     CtrlConfig config_;
     chargecache::LatencyProvider &provider_;
+    ProviderKind providerKind_ = ProviderKind::Generic;
     int channelId_;
 
     dram::Channel channel_;
@@ -153,12 +266,48 @@ class MemoryController
 
     std::deque<QueuedReq> readQ_;
     std::deque<QueuedReq> writeQ_;
+    /**
+     * Line addresses currently in writeQ_ (unique: coalescing keeps at
+     * most one write per line). Makes read-after-write forwarding and
+     * write coalescing O(1) per enqueue instead of a writeQ_ scan.
+     */
+    std::unordered_set<Addr> writeLines_;
+    /**
+     * Compact mirrors of the queues holding just each request's packed
+     * (rank, bank, row) key, in queue order — the optimized scan walks
+     * these 8-byte keys instead of dragging whole requests through the
+     * cache. Maintained only when useServeHorizon (the reference scan
+     * walks the deques like the seed did).
+     */
+    std::vector<std::uint64_t> readKeys_;
+    std::vector<std::uint64_t> writeKeys_;
+    /**
+     * Per-queue request counts by (rank, bank, row) key and by bank.
+     * They let the optimized scan decide a whole bank's readiness (and
+     * its contribution to the scheduler-horizon bound) in O(1), and
+     * make the closed-row auto-precharge test ("is another hit to this
+     * row queued?") O(1) instead of a scan of both queues. Maintained
+     * only when useServeHorizon.
+     */
+    std::unordered_map<std::uint64_t, int> readRowCount_;
+    std::unordered_map<std::uint64_t, int> writeRowCount_;
+    std::vector<int> readBankCount_;  ///< By bankIndexOf.
+    std::vector<int> writeBankCount_; ///< By bankIndexOf.
     std::priority_queue<PendingRead, std::vector<PendingRead>,
                         std::greater<>>
         pending_;
     std::vector<std::vector<BankCtl>> bankCtl_; ///< [rank][bank].
+    /** Flat [rank * banksPerRank + bank] pointers into channel_. */
+    std::vector<const dram::Bank *> bankPtr_;
 
     bool drainMode_ = false;
+    /**
+     * Scheduler horizon: no serveQueue scan before this cycle can issue
+     * a command. Computed after each fruitless scan from per-request
+     * Channel::earliest() lower bounds; reset to 0 (rescan) by anything
+     * that changes scheduling state — an enqueue or any issued command.
+     */
+    Cycle nextServeTry_ = 0;
     Cycle now_ = 0;
     std::uint64_t tokenSeq_ = 1;
     CtrlStats stats_;

@@ -43,12 +43,6 @@ RefreshScheduler::RefreshScheduler(const dram::DramSpec &spec) : spec_(spec)
     }
 }
 
-bool
-RefreshScheduler::due(int rank, Cycle now) const
-{
-    return now >= nextDue_[rank];
-}
-
 void
 RefreshScheduler::onRefIssued(int rank, Cycle cycle)
 {

@@ -29,10 +29,28 @@ class RefreshScheduler : public chargecache::RefreshInfo
     explicit RefreshScheduler(const dram::DramSpec &spec);
 
     /** True when rank `rank` owes a REF at `now` (gates new ACTs). */
-    bool due(int rank, Cycle now) const;
+    bool
+    due(int rank, Cycle now) const
+    {
+        return now >= nextDue_[rank];
+    }
 
     /** Record that REF was issued to `rank` at `cycle`. */
     void onRefIssued(int rank, Cycle cycle);
+
+    /**
+     * Earliest cycle at which any rank next owes a REF — the refresh
+     * horizon for the event-skipping kernel. Always finite: refresh is
+     * the periodic heartbeat that bounds every skip.
+     */
+    Cycle
+    nextEventAt() const
+    {
+        Cycle next = kNoCycle;
+        for (Cycle due : nextDue_)
+            next = due < next ? due : next;
+        return next;
+    }
 
     /** Total REFs issued to `rank`. */
     std::uint64_t refCount(int rank) const { return refCount_[rank]; }

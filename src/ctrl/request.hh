@@ -8,8 +8,6 @@
 #ifndef CCSIM_CTRL_REQUEST_HH
 #define CCSIM_CTRL_REQUEST_HH
 
-#include <functional>
-
 #include "common/types.hh"
 #include "dram/command.hh"
 
@@ -17,7 +15,12 @@ namespace ccsim::ctrl {
 
 enum class ReqType { Read, Write };
 
-/** A cache-line-granular memory request. */
+/**
+ * A cache-line-granular memory request. Deliberately trivially
+ * copyable — requests move through queues and the pending heap on the
+ * simulator's hottest paths, so the completion hook is a raw function
+ * pointer plus context rather than a std::function.
+ */
 struct Request {
     ReqType type = ReqType::Read;
     Addr lineAddr = 0;       ///< Cache-line address (byte addr >> 6).
@@ -27,7 +30,16 @@ struct Request {
     std::uint64_t token = 0; ///< Opaque caller cookie.
 
     /** Invoked when read data is fully transferred (reads only). */
-    std::function<void(const Request &, Cycle done)> callback;
+    using Callback = void (*)(void *ctx, const Request &, Cycle done);
+    Callback callback = nullptr;
+    void *callbackCtx = nullptr;
+
+    void
+    complete(Cycle done) const
+    {
+        if (callback)
+            callback(callbackCtx, *this, done);
+    }
 };
 
 /** Observer of every DRAM command the controller issues. */

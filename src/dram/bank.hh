@@ -31,12 +31,55 @@ class Bank
     /**
      * Check bank-scope legality of `type` (with row `row` for column
      * commands) at cycle `now`. Rank/channel constraints are layered on
-     * top by Rank/Channel.
+     * top by Rank/Channel. Inline: this is the hottest predicate of the
+     * FR-FCFS scan.
      */
-    bool canIssue(CmdType type, int row, Cycle now) const;
+    bool
+    canIssue(CmdType type, int row, Cycle now) const
+    {
+        switch (type) {
+          case CmdType::ACT:
+            return state_ == State::Idle && now >= nextAct_;
+          case CmdType::PRE:
+            // PRE to an idle bank is a legal no-op; to an active bank it
+            // must respect tRAS/tRTP/tWR windows folded into nextPre_.
+            return state_ == State::Idle || now >= nextPre_;
+          case CmdType::RD:
+          case CmdType::RDA:
+            return state_ == State::Active && openRow_ == row &&
+                   now >= nextRd_;
+          case CmdType::WR:
+          case CmdType::WRA:
+            return state_ == State::Active && openRow_ == row &&
+                   now >= nextWr_;
+          case CmdType::PREA:
+          case CmdType::REF:
+            // Rank-level commands; the bank only contributes its PRE/ACT
+            // readiness, checked by Rank.
+            return true;
+        }
+        return false;
+    }
 
     /** Earliest cycle at which `type` could be issued, bank-scope only. */
-    Cycle earliest(CmdType type) const;
+    Cycle
+    earliest(CmdType type) const
+    {
+        switch (type) {
+          case CmdType::ACT:
+            return nextAct_;
+          case CmdType::PRE:
+            return state_ == State::Idle ? 0 : nextPre_;
+          case CmdType::RD:
+          case CmdType::RDA:
+            return nextRd_;
+          case CmdType::WR:
+          case CmdType::WRA:
+            return nextWr_;
+          default:
+            return 0;
+        }
+    }
 
     /**
      * Apply `cmd` at `now`. `eff` must be non-null for ACT and gives the

@@ -32,6 +32,37 @@ class Channel
     /** Lower bound on the issue cycle of `cmd` (for scheduling). */
     Cycle earliest(const Command &cmd) const;
 
+    /**
+     * Cross-rank data-bus gate (tRTRS) for a column command issued on
+     * `rank` at `now` — the channel-scope piece of canIssue(), hoisted
+     * per rank out of the FR-FCFS scan.
+     */
+    bool
+    busReady(int rank, bool is_read, Cycle now) const
+    {
+        if (rank == lastBusRank_ || lastBusRank_ < 0)
+            return true;
+        const DramTiming &t = spec_.timing;
+        Cycle data_start = now + (is_read ? Cycle(t.tCL) : Cycle(t.tCWL));
+        return data_start >= busFreeAt_ + Cycle(t.tRTRS);
+    }
+
+    /**
+     * Channel-scope component of a column command's earliest issue
+     * cycle on `rank` (0 when no cross-rank turnaround applies) — the
+     * bus term of earliest(), hoisted per rank for schedulers.
+     */
+    Cycle
+    busEarliestBase(int rank, bool is_read) const
+    {
+        if (rank == lastBusRank_ || lastBusRank_ < 0)
+            return 0;
+        const DramTiming &t = spec_.timing;
+        Cycle lat = is_read ? Cycle(t.tCL) : Cycle(t.tCWL);
+        Cycle need = busFreeAt_ + Cycle(t.tRTRS);
+        return need > lat ? need - lat : 0;
+    }
+
     /** Apply `cmd` at `now`; `eff` required for ACT. */
     void issue(const Command &cmd, Cycle now, const EffActTiming *eff);
 

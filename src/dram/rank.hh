@@ -40,6 +40,57 @@ class Rank
      */
     Cycle earliest(const Command &cmd) const;
 
+    // Rank-scope gate predicates, exact decompositions of canIssue()
+    // hoisted out of the FR-FCFS scan (rank state is invariant across
+    // one scan: it only changes when a command issues).
+
+    /** Not inside a tRFC window (gates every command class). */
+    bool preReady(Cycle now) const { return now >= busyUntil_; }
+
+    /** Column command gate: tCCD and read/write turnaround. */
+    bool
+    columnReady(bool is_write, Cycle now) const
+    {
+        return now >= (is_write ? nextWr_ : nextRd_);
+    }
+
+    /** ACT gate: tRRD and the four-activate window (tFAW). */
+    bool
+    actRankReady(Cycle now) const
+    {
+        if (now < nextActRank_)
+            return false;
+        return actWindow_.size() < 4 ||
+               now >= actWindow_.front() + Cycle(timing_.tFAW);
+    }
+
+    // Rank-scope components of earliest(), for schedulers that combine
+    // them with the per-bank terms inline (max with Bank::earliest()
+    // reproduces earliest() exactly).
+
+    /** Rank part of a column command's earliest cycle. */
+    Cycle
+    columnEarliestBase(bool is_write) const
+    {
+        Cycle t = is_write ? nextWr_ : nextRd_;
+        return t > busyUntil_ ? t : busyUntil_;
+    }
+
+    /** Rank part of an ACT's earliest cycle. */
+    Cycle
+    actEarliestBase() const
+    {
+        Cycle t = nextActRank_ > busyUntil_ ? nextActRank_ : busyUntil_;
+        if (actWindow_.size() >= 4) {
+            Cycle faw = actWindow_.front() + Cycle(timing_.tFAW);
+            t = faw > t ? faw : t;
+        }
+        return t;
+    }
+
+    /** Rank part of a PRE's earliest cycle. */
+    Cycle preEarliestBase() const { return busyUntil_; }
+
     /** Apply `cmd` at `now`; `eff` required for ACT. */
     void issue(const Command &cmd, Cycle now, const EffActTiming *eff);
 

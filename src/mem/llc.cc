@@ -22,6 +22,7 @@ Llc::Llc(const LlcConfig &config, const dram::AddressMapper &mapper,
                  "LLC set count must be a power of two");
     lines_.resize(lines);
     mshrInUse_.assign(64, 0); // up to 64 cores
+    blockedLine_.assign(64, kNoAddr);
 }
 
 Llc::Line *
@@ -54,12 +55,26 @@ Llc::victimFor(Addr line_addr)
 void
 Llc::installLine(Addr line_addr, bool dirty)
 {
+    // Wake cores parked on a Blocked access to this line: their next
+    // probe would now hit, so the event kernel must tick them again.
+    if (watchCount_ > 0) {
+        for (std::size_t c = 0; c < static_cast<std::size_t>(watchLimit_);
+             ++c) {
+            if (blockedLine_[c] != line_addr)
+                continue;
+            blockedLine_[c] = kNoAddr;
+            --watchCount_;
+            if (onWake_)
+                onWake_(static_cast<int>(c));
+        }
+    }
     std::uint64_t set = line_addr & (sets_ - 1);
     Line *victim = victimFor(line_addr);
     if (victim->valid && victim->dirty) {
         Addr victim_addr =
             (victim->tag << log2Exact(sets_)) | set;
         writebackQ_.push_back(victim_addr);
+        drainBlocked_ = false;
         ++stats_.writebacks;
     }
     victim->valid = true;
@@ -78,9 +93,10 @@ Llc::sendFetch(Addr line_addr)
     req.lineAddr = line_addr;
     req.addr = mapper_.decode(line_addr);
     req.coreId = it->second.waiters.front().core;
-    req.callback = [this](const ctrl::Request &r, Cycle) {
-        onFill(r.lineAddr);
+    req.callback = [](void *ctx, const ctrl::Request &r, Cycle) {
+        static_cast<Llc *>(ctx)->onFill(r.lineAddr);
     };
+    req.callbackCtx = this;
     ctrl::MemoryController *mc = route_(req.addr.channel);
     if (!mc->canAccept(ctrl::ReqType::Read))
         return false;
@@ -95,6 +111,12 @@ Llc::Result
 Llc::access(int core, Addr line_addr, bool is_write, std::uint64_t token)
 {
     ++stats_.accesses;
+    // Drop a stale park-watch once the core retries (it either
+    // succeeds below, or re-registers on another Blocked return).
+    if (watchCount_ > 0 && blockedLine_[core] != kNoAddr) {
+        blockedLine_[core] = kNoAddr;
+        --watchCount_;
+    }
     if (Line *line = findLine(line_addr)) {
         line->lru = ++lruClock_;
         line->dirty |= is_write;
@@ -105,12 +127,25 @@ Llc::access(int core, Addr line_addr, bool is_write, std::uint64_t token)
     auto wb = std::find(writebackQ_.begin(), writebackQ_.end(), line_addr);
     if (wb != writebackQ_.end()) {
         writebackQ_.erase(wb);
+        drainBlocked_ = false; // Queue front may have changed.
         installLine(line_addr, true);
         ++stats_.hits;
         return Result::Hit;
     }
     if (mshrInUse_[core] >= config_.mshrsPerCore) {
         ++stats_.blockedMshr;
+        // Park notification (event kernel only): the blocked core will
+        // retry this same line until it succeeds, so watch for the line
+        // appearing via another core's fill or a victim-buffer
+        // promotion (its own MSHRs freeing is reported through the miss
+        // callback instead).
+        if (onWake_) {
+            if (blockedLine_[core] == kNoAddr)
+                ++watchCount_;
+            blockedLine_[core] = line_addr;
+            if (core >= watchLimit_)
+                watchLimit_ = core + 1;
+        }
         return Result::Blocked;
     }
     auto it = mshrs_.find(line_addr);
@@ -129,6 +164,7 @@ Llc::access(int core, Addr line_addr, bool is_write, std::uint64_t token)
     ++stats_.misses;
     if (!sendFetch(line_addr)) {
         fetchRetryQ_.push_back(line_addr);
+        drainBlocked_ = false;
         ++stats_.blockedMemQueue;
     }
     return Result::Miss;
@@ -182,6 +218,7 @@ Llc::tick()
         mc->enqueue(std::move(req));
         writebackQ_.pop_front();
     }
+    drainBlocked_ = !fetchRetryQ_.empty() || !writebackQ_.empty();
 }
 
 } // namespace ccsim::mem

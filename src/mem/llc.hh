@@ -52,6 +52,9 @@ class Llc
     using MissCallback =
         std::function<void(int core, std::uint64_t token)>;
 
+    /** Invoked when a line a Blocked core was waiting for is installed. */
+    using WakeCallback = std::function<void(int core)>;
+
     /**
      * @param route maps a channel index to its memory controller.
      * @param on_miss_complete completion notification for Miss results.
@@ -76,6 +79,48 @@ class Llc
     quiesced() const
     {
         return mshrs_.empty() && writebackQ_.empty();
+    }
+
+    // ---- event-skipping kernel support ------------------------------
+
+    /** True when either drain queue is non-empty (tick() is otherwise a
+        no-op, so callers may elide the call entirely). */
+    bool
+    needsAnyDrain() const
+    {
+        return !fetchRetryQ_.empty() || !writebackQ_.empty();
+    }
+
+    /**
+     * True when the next tick() could do work: a drain is queued and
+     * the last attempt was not left blocked on full controller queues.
+     * A blocked drain can only unblock after a controller issues (its
+     * queues shrink), which is already an event-kernel wake-up point.
+     */
+    bool
+    needsTick() const
+    {
+        return (!fetchRetryQ_.empty() || !writebackQ_.empty()) &&
+               !drainBlocked_;
+    }
+
+    /**
+     * Notification target for cores parked on a Blocked access: when
+     * the line such a core is waiting for gets installed, the callback
+     * fires with the core id so the kernel can wake it.
+     */
+    void setWakeCallback(WakeCallback wake) { onWake_ = std::move(wake); }
+
+    /**
+     * Account `probes` per-cycle retries of Blocked accesses that the
+     * event kernel elided: the per-cycle loop would have charged one
+     * access and one blockedMshr per parked core per cycle.
+     */
+    void
+    accountBlockedProbes(std::uint64_t probes)
+    {
+        stats_.accesses += probes;
+        stats_.blockedMshr += probes;
     }
 
     const LlcStats &stats() const { return stats_; }
@@ -121,6 +166,18 @@ class Llc
     std::vector<int> mshrInUse_;                ///< Per core.
     std::deque<Addr> fetchRetryQ_; ///< Misses awaiting queue space.
     std::deque<Addr> writebackQ_;  ///< Dirty victims awaiting drain.
+
+    WakeCallback onWake_;
+    /**
+     * Per-core line a Blocked access is parked on (kNoAddr = none). A
+     * core retries one line until it succeeds, so one slot per core
+     * suffices; stale slots are cleared on the core's next access.
+     */
+    std::vector<Addr> blockedLine_;
+    int watchCount_ = 0; ///< Non-kNoAddr entries in blockedLine_.
+    int watchLimit_ = 0; ///< 1 + highest core id that ever registered.
+    /** Last tick left drains pending on full controller queues. */
+    bool drainBlocked_ = false;
 
     LlcStats stats_;
 };

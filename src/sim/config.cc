@@ -22,6 +22,12 @@ schemeName(Scheme scheme)
     return "?";
 }
 
+const char *
+kernelModeName(KernelMode mode)
+{
+    return mode == KernelMode::EventSkip ? "event-skip" : "per-cycle";
+}
+
 SimConfig
 SimConfig::singleCore()
 {

@@ -35,6 +35,25 @@ enum class Scheme {
 
 const char *schemeName(Scheme scheme);
 
+/**
+ * Simulation kernel driving System::run(). Both kernels produce
+ * bit-identical SystemResult statistics (enforced by
+ * tests/test_system.cc); EventSkip is strictly a wall-clock
+ * optimisation. See docs/performance.md for the invariants.
+ */
+enum class KernelMode {
+    /**
+     * Advance time directly to the next component event horizon
+     * (nextEventAt()), parking stalled cores and idle controllers
+     * instead of ticking them. Default.
+     */
+    EventSkip,
+    /** Reference loop: tick every component every cycle (seed loop). */
+    PerCycle,
+};
+
+const char *kernelModeName(KernelMode mode);
+
 struct SimConfig {
     int nCores = 1;
     int channels = 1;
@@ -62,6 +81,14 @@ struct SimConfig {
     bool modelEnergy = true;
     bool attachOracle = false;
     std::uint64_t seed = 42;
+
+    KernelMode kernel = KernelMode::EventSkip;
+    /**
+     * EventSkip only: execute would-be-skipped ticks anyway and assert
+     * each one is quiescent — a per-cycle-speed equivalence check of
+     * every skip decision (tests/debugging).
+     */
+    bool kernelParanoid = false;
 
     /** Paper single-core system: 1 channel, open-row. */
     static SimConfig singleCore();

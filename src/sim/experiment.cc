@@ -1,6 +1,7 @@
 #include "sim/experiment.hh"
 
 #include <cstdlib>
+#include <future>
 #include <map>
 
 #include "common/log.hh"
@@ -81,14 +82,126 @@ runMix(int mix_id, Scheme scheme, const ConfigTweak &tweak)
 double
 aloneIpc(const std::string &workload)
 {
-    static std::map<std::string, double> memo;
-    auto it = memo.find(workload);
-    if (it != memo.end())
-        return it->second;
-    SystemResult r = runSingle(workload, Scheme::Baseline);
-    double ipc = r.ipc.at(0);
-    memo[workload] = ipc;
-    return ipc;
+    // Per-workload shared_future memo: the first caller computes (off
+    // the lock), concurrent callers for the same workload wait on the
+    // same future instead of duplicating the simulation.
+    static std::mutex memo_mutex;
+    static std::map<std::string, std::shared_future<double>> memo;
+
+    std::packaged_task<double()> task;
+    std::shared_future<double> result;
+    {
+        std::lock_guard<std::mutex> lock(memo_mutex);
+        auto it = memo.find(workload);
+        if (it != memo.end()) {
+            result = it->second;
+        } else {
+            task = std::packaged_task<double()>([workload] {
+                return runSingle(workload, Scheme::Baseline).ipc.at(0);
+            });
+            result = task.get_future().share();
+            memo.emplace(workload, result);
+        }
+    }
+    if (task.valid())
+        task();
+    return result.get();
+}
+
+// ---------------------------------------------------------------------
+// ParallelRunner
+
+int
+ParallelRunner::defaultThreads()
+{
+    std::uint64_t env = envU64("CCSIM_THREADS", 0);
+    if (env > 0)
+        return static_cast<int>(env);
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ParallelRunner::ParallelRunner(int threads)
+{
+    if (threads <= 0)
+        threads = defaultThreads();
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ParallelRunner::~ParallelRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ParallelRunner::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        CCSIM_ASSERT(!stop_, "enqueue after shutdown");
+        queue_.push_back(std::move(job));
+    }
+    workCv_.notify_one();
+}
+
+void
+ParallelRunner::waitAll()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock,
+                 [this] { return queue_.empty() && inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ParallelRunner::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        workCv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty())
+            return; // stop_ and drained.
+        std::function<void()> job = std::move(queue_.front());
+        queue_.pop_front();
+        ++inFlight_;
+        lock.unlock();
+        std::exception_ptr err;
+        try {
+            job();
+        } catch (...) {
+            err = std::current_exception();
+        }
+        lock.lock();
+        --inFlight_;
+        if (err && !firstError_)
+            firstError_ = err;
+        if (queue_.empty() && inFlight_ == 0)
+            idleCv_.notify_all();
+    }
+}
+
+std::vector<SystemResult>
+runSweep(std::size_t n, const std::function<SystemResult(std::size_t)> &point,
+         int threads)
+{
+    std::vector<SystemResult> results(n);
+    ParallelRunner pool(threads);
+    for (std::size_t i = 0; i < n; ++i)
+        pool.enqueue([i, &point, &results] { results[i] = point(i); });
+    pool.waitAll();
+    return results;
 }
 
 double

@@ -14,8 +14,12 @@
 #ifndef CCSIM_SIM_EXPERIMENT_HH
 #define CCSIM_SIM_EXPERIMENT_HH
 
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/system.hh"
@@ -50,13 +54,67 @@ SystemResult runMix(int mix_id, Scheme scheme,
 
 /**
  * Baseline single-core IPC of `workload` (memoised across calls within
- * one process) — the denominator of weighted speedup.
+ * one process; thread-safe — concurrent callers for the same workload
+ * share one computation) — the denominator of weighted speedup.
  */
 double aloneIpc(const std::string &workload);
 
 /** Weighted speedup of a mix run: sum_i IPCshared_i / IPCalone_i. */
 double weightedSpeedup(const std::vector<std::string> &mix,
                        const std::vector<double> &ipc_shared);
+
+// ---------------------------------------------------------------------
+// Parallel sweep execution. Every (scheme, workload, config) point of a
+// sweep is an independent System — per-instance RNG seeding, no shared
+// mutable state — so points fan cleanly across hardware threads.
+
+/** Fixed-size thread pool executing enqueued jobs FIFO. */
+class ParallelRunner
+{
+  public:
+    /** `threads` <= 0 selects defaultThreads(). */
+    explicit ParallelRunner(int threads = 0);
+
+    /** Joins the workers; outstanding jobs are completed first. */
+    ~ParallelRunner();
+
+    ParallelRunner(const ParallelRunner &) = delete;
+    ParallelRunner &operator=(const ParallelRunner &) = delete;
+
+    /** Enqueue a job for asynchronous execution on the pool. */
+    void enqueue(std::function<void()> job);
+
+    /**
+     * Block until every enqueued job has finished. Rethrows the first
+     * exception any job raised (remaining jobs still run to drain).
+     */
+    void waitAll();
+
+    int threads() const { return static_cast<int>(workers_.size()); }
+
+    /** CCSIM_THREADS when set, else std::thread::hardware_concurrency. */
+    static int defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workCv_; ///< Queue became non-empty / stop.
+    std::condition_variable idleCv_; ///< Queue drained and no in-flight.
+    std::size_t inFlight_ = 0;
+    bool stop_ = false;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * Evaluate `point(i)` for i in [0, n) on a temporary pool and return
+ * the results in index order — the one-call form the bench figures use.
+ */
+std::vector<SystemResult>
+runSweep(std::size_t n, const std::function<SystemResult(std::size_t)> &point,
+         int threads = 0);
 
 } // namespace ccsim::sim
 

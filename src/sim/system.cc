@@ -111,9 +111,13 @@ System::build(const std::vector<cpu::TraceSource *> &traces)
             config_.channels;
     }
 
+    ctrl::CtrlConfig ctrl_cfg = config_.ctrl;
+    ctrl_cfg.useServeHorizon = config_.kernel == KernelMode::EventSkip;
+    ctrl_cfg.paranoidSchedule =
+        config_.kernel == KernelMode::EventSkip && config_.kernelParanoid;
     for (int ch = 0; ch < config_.channels; ++ch) {
         controllers_.push_back(std::make_unique<ctrl::MemoryController>(
-            chan_spec, config_.ctrl, *providers_[ch], *refresh_[ch], ch));
+            chan_spec, ctrl_cfg, *providers_[ch], *refresh_[ch], ch));
         if (config_.modelEnergy) {
             energy_.push_back(std::make_unique<energy::EnergyModel>(
                 chan_spec, energy::IddProfile::micronDdr3_1600_4Gb(),
@@ -130,7 +134,13 @@ System::build(const std::vector<cpu::TraceSource *> &traces)
         config_.llc, *mapper_,
         [this](int ch) { return controllers_[ch].get(); },
         [this](int core, std::uint64_t token) {
+            wakeSignal_ = true;
             cores_[core]->onMissComplete(token);
+        });
+    if (config_.kernel == KernelMode::EventSkip)
+        llc_->setWakeCallback([this](int core) {
+            wakeSignal_ = true;
+            cores_[core]->externalWake();
         });
 
     cpu::CoreConfig core_cfg = config_.core;
@@ -221,35 +231,196 @@ System::run()
                     " cpu cycles at cycle ", now, ":", dump);
     };
 
+    // ------------------------------------------------------------------
+    // Simulation kernel. The PerCycle reference ticks every component
+    // every cycle. EventSkip keeps the exact same per-cycle semantics
+    // (statistics are bit-identical; see docs/performance.md) but
+    //  - parks a core after a no-progress tick until its next
+    //    self-scheduled event (nextEventAt) or an external completion
+    //    (wakePending), settling the elided one-per-cycle stall
+    //    statistics in bulk on wake;
+    //  - replaces provably-idle controller ticks with skipTicks();
+    //  - when every core is parked, advances `now` directly to the
+    //    minimum event horizon over all components.
+    // kernelParanoid executes every would-be-skipped tick anyway and
+    // asserts it was quiescent, validating each skip decision at
+    // per-cycle speed.
+    const CpuCycle ratio = static_cast<CpuCycle>(config_.cpuRatio);
+    const bool event = config_.kernel == KernelMode::EventSkip;
+    const bool paranoid = event && config_.kernelParanoid;
+
+    // Cycle since which each core's ticks have been elided (kNoCycle =
+    // ticking normally). In paranoid mode the parked state is tracked
+    // but ticks still execute, accruing their own stall statistics.
+    std::vector<CpuCycle> parkedSince(cores_.size(), kNoCycle);
+
+    // Account the stall statistics a parked core's elided ticks would
+    // have accrued over [parkedSince, upto) and re-base its park time.
+    auto settle_parked = [&](CpuCycle upto) {
+        if (paranoid)
+            return;
+        for (size_t i = 0; i < cores_.size(); ++i) {
+            if (parkedSince[i] == kNoCycle)
+                continue;
+            CCSIM_ASSERT(upto >= parkedSince[i],
+                         "core parked in the future");
+            CpuCycle skipped = upto - parkedSince[i];
+            if (skipped == 0)
+                continue;
+            cores_[i]->accountStallCycles(skipped);
+            if (cores_[i]->stallKind() ==
+                cpu::Core::StallKind::BlockedLlc)
+                llc_->accountBlockedProbes(skipped);
+            parkedSince[i] = upto;
+        }
+    };
+
+    CpuCycle next_progress_check = 65536;
+
+    // Fast-path bookkeeping for EventSkip: the number of un-parked
+    // cores and the earliest self-scheduled wake-up among parked cores
+    // (a parked core's hit queue is frozen, so this is stable between
+    // park/wake transitions). wakeSignal_ is raised by the LLC
+    // callbacks whenever a completion or line-install touches any
+    // core; together these prove the entire core phase is a no-op
+    // without visiting each core every cycle.
+    int awake_cores = static_cast<int>(cores_.size());
+    CpuCycle min_self_wake = kNoCycle;
+    wakeSignal_ = false;
+    auto recompute_self_wake = [&]() {
+        min_self_wake = kNoCycle;
+        for (size_t i = 0; i < cores_.size(); ++i)
+            if (parkedSince[i] != kNoCycle)
+                min_self_wake =
+                    std::min(min_self_wake, cores_[i]->nextEventAt());
+    };
+    // Warm/done conditions depend only on retired counts, which change
+    // only when a core tick makes progress.
+    bool progress_since_check = true;
+
     while (true) {
-        if (!warm && all_retired_at_least(config_.warmupInsts)) {
-            warm = true;
-            warm_end = now;
-            resetAllStats(now);
+        if (!event || progress_since_check) {
+            progress_since_check = false;
+            if (!warm && all_retired_at_least(config_.warmupInsts)) {
+                warm = true;
+                warm_end = now;
+                settle_parked(now);
+                resetAllStats(now);
+            }
+            if (warm) {
+                bool done = true;
+                for (const auto &core : cores_)
+                    if (!core->reachedTarget())
+                        done = false;
+                if (done)
+                    break;
+            }
         }
-        if (warm) {
-            bool done = true;
-            for (const auto &core : cores_)
-                if (!core->reachedTarget())
-                    done = false;
-            if (done)
-                break;
+
+        if (now % ratio == 0) {
+            if (!event) {
+                for (auto &mc : controllers_)
+                    mc->tick();
+            } else if (paranoid) {
+                for (auto &mc : controllers_) {
+                    bool could = mc->nextEventAt() <= mc->now();
+                    bool active = mc->tick();
+                    CCSIM_ASSERT(!active || could,
+                                 "event kernel would have skipped an "
+                                 "active controller tick");
+                }
+            } else {
+                for (auto &mc : controllers_)
+                    mc->tickOrSkip();
+            }
+            if (llc_->needsAnyDrain())
+                llc_->tick();
         }
-        if (now % static_cast<CpuCycle>(config_.cpuRatio) == 0) {
-            for (auto &mc : controllers_)
-                mc->tick();
-            llc_->tick();
+
+        bool any_progress = false;
+        bool skip_core_phase = event && !paranoid && awake_cores == 0 &&
+                               !wakeSignal_ && min_self_wake > now;
+        if (!skip_core_phase) {
+            wakeSignal_ = false;
+            bool transitions = false;
+            for (size_t i = 0; i < cores_.size(); ++i) {
+                cpu::Core &core = *cores_[i];
+                if (event && parkedSince[i] != kNoCycle) {
+                    if (!core.wakePending() && core.nextEventAt() > now) {
+                        // Still parked: the tick would be a pure stall.
+                        if (paranoid) {
+                            bool prog = core.tick(now);
+                            CCSIM_ASSERT(!prog,
+                                         "event kernel would have "
+                                         "skipped a productive core "
+                                         "tick");
+                        }
+                        continue;
+                    }
+                    if (!paranoid) {
+                        CpuCycle skipped = now - parkedSince[i];
+                        if (skipped) {
+                            core.accountStallCycles(skipped);
+                            if (core.stallKind() ==
+                                cpu::Core::StallKind::BlockedLlc)
+                                llc_->accountBlockedProbes(skipped);
+                        }
+                    }
+                    parkedSince[i] = kNoCycle;
+                    ++awake_cores;
+                    transitions = true;
+                }
+                if (core.tick(now)) {
+                    any_progress = true;
+                } else if (event) {
+                    parkedSince[i] = now + 1; // Elide from next cycle.
+                    --awake_cores;
+                    transitions = true;
+                }
+            }
+            if (event && transitions)
+                recompute_self_wake();
+            if (any_progress)
+                progress_since_check = true;
         }
-        for (auto &core : cores_)
-            core->tick(now);
-        ++now;
-        if (now % 65536 == 0)
+
+        CpuCycle next = now + 1;
+        if (event && !paranoid && !any_progress) {
+            // Every core is parked and nothing external fired this
+            // cycle: jump straight to the earliest future event. The
+            // horizon is always finite -- refresh is periodic.
+            CpuCycle horizon = min_self_wake;
+            Cycle ctrl_now = controllers_[0]->now();
+            for (const auto &mc : controllers_) {
+                Cycle ev = std::max(mc->nextEventAt(), ctrl_now);
+                horizon = std::min<CpuCycle>(horizon, ev * ratio);
+            }
+            if (llc_->needsTick())
+                horizon = std::min<CpuCycle>(horizon, ctrl_now * ratio);
+            CCSIM_ASSERT(horizon != kNoCycle, "no future event horizon");
+            next = std::max(now + 1, horizon);
+            if (next > now + 1) {
+                // Controller ticks inside (now, next) are provably
+                // idle; fast-forward their clocks in one step.
+                Cycle skipped_ticks = (next - 1) / ratio - now / ratio;
+                if (skipped_ticks)
+                    for (auto &mc : controllers_)
+                        mc->skipTicks(skipped_ticks);
+            }
+        }
+        now = next;
+
+        while (now >= next_progress_check) {
             check_progress();
+            next_progress_check += 65536;
+        }
         if (now > config_.maxCpuCycles)
             CCSIM_FATAL("simulation exceeded maxCpuCycles=",
                         config_.maxCpuCycles,
                         "; workload cannot make progress?");
     }
+
+    settle_parked(now);
 
     SystemResult res;
     res.cpuCycles = now - warm_end;
@@ -269,14 +440,7 @@ System::run()
     chargecache::Hcrac::Stats hs;
     double unlimited_hits = 0, unlimited_lookups = 0;
     for (auto &p : providers_) {
-        chargecache::ChargeCacheProvider *cc = nullptr;
-        if (auto *d =
-                dynamic_cast<chargecache::ChargeCacheProvider *>(p.get()))
-            cc = d;
-        else if (auto *co =
-                     dynamic_cast<chargecache::CombinedProvider *>(p.get()))
-            cc = &co->chargeCache();
-        if (cc) {
+        if (chargecache::ChargeCacheProvider *cc = p->chargeCacheView()) {
             auto s = cc->tableStats();
             hs.lookups += s.lookups;
             hs.hits += s.hits;

@@ -113,6 +113,13 @@ class System
     std::vector<std::unique_ptr<OracleListener>> oracles_;
     std::unique_ptr<mem::Llc> llc_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
+
+    /**
+     * Raised by the LLC callbacks whenever a completion or line
+     * install touches any core; lets the event kernel skip the whole
+     * core phase of a cycle without polling each core's wake state.
+     */
+    bool wakeSignal_ = false;
 };
 
 } // namespace ccsim::sim

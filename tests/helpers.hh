@@ -76,9 +76,11 @@ struct CtrlHarness {
         req.addr.col = col;
         req.lineAddr = (Addr(bank) << 40) | (Addr(row) << 8) | col;
         req.coreId = core;
-        req.callback = [this](const ctrl::Request &r, Cycle done) {
-            completions.emplace_back(r.lineAddr, done);
+        req.callback = [](void *ctx, const ctrl::Request &r, Cycle done) {
+            static_cast<CtrlHarness *>(ctx)->completions.emplace_back(
+                r.lineAddr, done);
         };
+        req.callbackCtx = this;
         mc->enqueue(std::move(req));
         return true;
     }

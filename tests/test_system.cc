@@ -295,6 +295,156 @@ TEST(System, TimingModelDurationOverride)
     EXPECT_GT(cfg.cc.trcdReduced, 7); // Weaker than the 1 ms timings.
 }
 
+// ---------------------------------------------------------------------
+// Kernel equivalence: the event-skipping kernel must be a pure
+// wall-clock optimisation — every statistic a figure could consume has
+// to come out bit-identical to the per-cycle reference loop.
+
+SimConfig
+tinyTwoCore(Scheme scheme, KernelMode kernel)
+{
+    SimConfig cfg;
+    cfg.nCores = 2;
+    cfg.channels = 1;
+    cfg.ctrl.rowPolicy = ctrl::RowPolicy::Closed;
+    cfg.ctrl.trackRltl = true;
+    cfg.scheme = scheme;
+    cfg.cc.trackUnlimited = true;
+    cfg.targetInsts = 12000;
+    cfg.warmupInsts = 2000;
+    cfg.kernel = kernel;
+    cfg.finalizeChargeCache();
+    return cfg;
+}
+
+void
+expectIdenticalResults(const SystemResult &a, const SystemResult &b,
+                       const char *label)
+{
+    SCOPED_TRACE(label);
+    ASSERT_EQ(a.ipc.size(), b.ipc.size());
+    for (size_t i = 0; i < a.ipc.size(); ++i)
+        EXPECT_EQ(a.ipc[i], b.ipc[i]) << "core " << i;
+    EXPECT_EQ(a.cpuCycles, b.cpuCycles);
+    EXPECT_EQ(a.activations, b.activations);
+    EXPECT_EQ(a.providerHitRate, b.providerHitRate);
+    EXPECT_EQ(a.hcracHitRate, b.hcracHitRate);
+    EXPECT_EQ(a.unlimitedHitRate, b.unlimitedHitRate);
+    EXPECT_EQ(a.rmpkc, b.rmpkc);
+
+    EXPECT_EQ(a.ctrl.reads, b.ctrl.reads);
+    EXPECT_EQ(a.ctrl.writes, b.ctrl.writes);
+    EXPECT_EQ(a.ctrl.acts, b.ctrl.acts);
+    EXPECT_EQ(a.ctrl.pres, b.ctrl.pres);
+    EXPECT_EQ(a.ctrl.autoPres, b.ctrl.autoPres);
+    EXPECT_EQ(a.ctrl.refs, b.ctrl.refs);
+    EXPECT_EQ(a.ctrl.rowHits, b.ctrl.rowHits);
+    EXPECT_EQ(a.ctrl.rowMisses, b.ctrl.rowMisses);
+    EXPECT_EQ(a.ctrl.rowConflicts, b.ctrl.rowConflicts);
+    EXPECT_EQ(a.ctrl.readForwards, b.ctrl.readForwards);
+    EXPECT_EQ(a.ctrl.readLatencySum, b.ctrl.readLatencySum);
+
+    EXPECT_EQ(a.llc.accesses, b.llc.accesses);
+    EXPECT_EQ(a.llc.hits, b.llc.hits);
+    EXPECT_EQ(a.llc.misses, b.llc.misses);
+    EXPECT_EQ(a.llc.mshrMerges, b.llc.mshrMerges);
+    EXPECT_EQ(a.llc.writebacks, b.llc.writebacks);
+    EXPECT_EQ(a.llc.blockedMshr, b.llc.blockedMshr);
+    EXPECT_EQ(a.llc.blockedMemQueue, b.llc.blockedMemQueue);
+
+    EXPECT_EQ(a.energy.totalNj(), b.energy.totalNj());
+    EXPECT_EQ(a.energy.actPreNj, b.energy.actPreNj);
+    EXPECT_EQ(a.energy.actStandbyNj, b.energy.actStandbyNj);
+    EXPECT_EQ(a.energy.preStandbyNj, b.energy.preStandbyNj);
+
+    ASSERT_EQ(a.rltl.size(), b.rltl.size());
+    for (size_t i = 0; i < a.rltl.size(); ++i)
+        EXPECT_EQ(a.rltl[i], b.rltl[i]) << "rltl window " << i;
+    EXPECT_EQ(a.afterRefresh8ms, b.afterRefresh8ms);
+}
+
+void
+expectIdenticalCoreStats(System &a, System &b, int cores,
+                         const char *label)
+{
+    SCOPED_TRACE(label);
+    for (int i = 0; i < cores; ++i) {
+        const cpu::CoreStats &sa = a.core(i).stats();
+        const cpu::CoreStats &sb = b.core(i).stats();
+        EXPECT_EQ(sa.retired, sb.retired) << "core " << i;
+        EXPECT_EQ(sa.memReads, sb.memReads) << "core " << i;
+        EXPECT_EQ(sa.memWrites, sb.memWrites) << "core " << i;
+        EXPECT_EQ(sa.stallCyclesFull, sb.stallCyclesFull) << "core " << i;
+        EXPECT_EQ(sa.blockedAccesses, sb.blockedAccesses) << "core " << i;
+    }
+}
+
+TEST(KernelEquivalence, EventSkipMatchesPerCycleAllSchemes)
+{
+    const std::vector<std::string> workloads = {"tpch6", "mcf"};
+    for (Scheme s : {Scheme::Baseline, Scheme::ChargeCache, Scheme::Nuat,
+                     Scheme::ChargeCacheNuat, Scheme::LlDram}) {
+        System ref(tinyTwoCore(s, KernelMode::PerCycle), workloads);
+        System fast(tinyTwoCore(s, KernelMode::EventSkip), workloads);
+        SystemResult rr = ref.run();
+        SystemResult rf = fast.run();
+        expectIdenticalResults(rr, rf, schemeName(s));
+        expectIdenticalCoreStats(ref, fast, 2, schemeName(s));
+    }
+}
+
+TEST(KernelEquivalence, OpenRowSingleCoreAllSchemes)
+{
+    // The paper's single-core system is open-row: cover the optimized
+    // scheduler's open-row path (no auto-precharge decisions) too.
+    for (Scheme s : {Scheme::Baseline, Scheme::ChargeCache, Scheme::Nuat,
+                     Scheme::ChargeCacheNuat, Scheme::LlDram}) {
+        SimConfig ref_cfg = tinySingle(s);
+        ref_cfg.ctrl.trackRltl = true;
+        ref_cfg.cc.trackUnlimited = true;
+        ref_cfg.kernel = KernelMode::PerCycle;
+        SimConfig fast_cfg = ref_cfg;
+        fast_cfg.kernel = KernelMode::EventSkip;
+        System ref(ref_cfg, {"apache20"});
+        System fast(fast_cfg, {"apache20"});
+        SystemResult rr = ref.run();
+        SystemResult rf = fast.run();
+        expectIdenticalResults(rr, rf, schemeName(s));
+        expectIdenticalCoreStats(ref, fast, 1, schemeName(s));
+    }
+}
+
+TEST(KernelEquivalence, ParanoidModeValidatesEverySkipDecision)
+{
+    // Paranoid mode executes every would-be-skipped tick and asserts it
+    // is quiescent — any unsound skip decision panics. It must also
+    // reproduce the reference results exactly (it *is* the per-cycle
+    // schedule, with the event kernel shadowing it).
+    const std::vector<std::string> workloads = {"apache20", "STREAMcopy"};
+    for (Scheme s : {Scheme::Baseline, Scheme::ChargeCache}) {
+        System ref(tinyTwoCore(s, KernelMode::PerCycle), workloads);
+        SimConfig cfg = tinyTwoCore(s, KernelMode::EventSkip);
+        cfg.kernelParanoid = true;
+        System paranoid(cfg, workloads);
+        SystemResult rr = ref.run();
+        SystemResult rp = paranoid.run();
+        expectIdenticalResults(rr, rp, schemeName(s));
+    }
+}
+
+TEST(KernelEquivalence, EightCoreTwoChannel)
+{
+    // Multi-channel: controller clock fast-forwarding must stay in
+    // lockstep across channels.
+    SimConfig ref_cfg = tinyEight(Scheme::ChargeCacheNuat);
+    ref_cfg.kernel = KernelMode::PerCycle;
+    SimConfig fast_cfg = tinyEight(Scheme::ChargeCacheNuat);
+    fast_cfg.kernel = KernelMode::EventSkip;
+    System ref(ref_cfg, workloads::mixWorkloads(2));
+    System fast(fast_cfg, workloads::mixWorkloads(2));
+    expectIdenticalResults(ref.run(), fast.run(), "8-core CC+NUAT");
+}
+
 TEST(Experiment, WeightedSpeedupOfIdenticalIpcIsCoreCount)
 {
     // With IPCshared == IPCalone for every app, WS == nCores.
