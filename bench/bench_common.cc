@@ -13,8 +13,8 @@ namespace {
 int
 envInt(const char *name, int def)
 {
-    const char *v = std::getenv(name);
-    return (v && *v) ? std::atoi(v) : def;
+    return static_cast<int>(
+        sim::envU64(name, static_cast<std::uint64_t>(def)));
 }
 
 } // namespace

@@ -32,13 +32,20 @@ main()
     std::printf("\n-- Figure 3a: single-core workloads --\n");
     std::printf("%-12s %18s %22s\n", "workload", "8ms-RLTL",
                 "accessed<=8ms after REF");
+    const std::vector<std::string> singles = bench::singleWorkloads();
+    // Every workload is an independent point: fan them across the
+    // ParallelRunner (like the other figures) and print in order.
+    std::vector<sim::SystemResult> res3a =
+        sim::runSweep(singles.size(), [&](size_t i) {
+            return sim::runSingle(singles[i], sim::Scheme::Baseline,
+                                  tweak);
+        });
     std::vector<double> rltls, refs;
-    for (const auto &w : bench::singleWorkloads()) {
-        sim::SystemResult r =
-            sim::runSingle(w, sim::Scheme::Baseline, tweak);
+    for (size_t i = 0; i < singles.size(); ++i) {
+        const sim::SystemResult &r = res3a[i];
         double rltl = r.activations ? r.rltl[k8ms] : 0.0;
         double ref = r.activations ? r.afterRefresh8ms : 0.0;
-        std::printf("%-12s %17.1f%% %21.1f%%\n", w.c_str(),
+        std::printf("%-12s %17.1f%% %21.1f%%\n", singles[i].c_str(),
                     100 * rltl, 100 * ref);
         if (r.activations > 100) { // hmmer-style: no DRAM traffic.
             rltls.push_back(rltl);
@@ -51,11 +58,15 @@ main()
     std::printf("\n-- Figure 3b: eight-core workloads --\n");
     std::printf("%-12s %18s %22s\n", "mix", "8ms-RLTL",
                 "accessed<=8ms after REF");
+    const std::vector<int> mixes = bench::mainMixes();
+    std::vector<sim::SystemResult> res3b =
+        sim::runSweep(mixes.size(), [&](size_t i) {
+            return sim::runMix(mixes[i], sim::Scheme::Baseline, tweak);
+        });
     std::vector<double> rltls8, refs8;
-    for (int mix : bench::mainMixes()) {
-        sim::SystemResult r =
-            sim::runMix(mix, sim::Scheme::Baseline, tweak);
-        std::printf("w%-11d %17.1f%% %21.1f%%\n", mix,
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        const sim::SystemResult &r = res3b[i];
+        std::printf("w%-11d %17.1f%% %21.1f%%\n", mixes[i],
                     100 * r.rltl[k8ms], 100 * r.afterRefresh8ms);
         rltls8.push_back(r.rltl[k8ms]);
         refs8.push_back(r.afterRefresh8ms);

@@ -58,15 +58,22 @@ main()
                        "Figure 4a/4b (RLTL at 0.125..32 ms, "
                        "open-row vs closed-row)");
 
+    // Each (policy, workload) point is independent: fan them across
+    // the ParallelRunner (like the other figures) and print in order.
+    const std::vector<std::string> singles = bench::singleWorkloads();
     for (auto policy : {ctrl::RowPolicy::Open, ctrl::RowPolicy::Closed}) {
         std::printf("\n-- Figure 4a: single-core, %s --\n",
                     ctrl::rowPolicyName(policy));
         printPolicyHeader();
+        std::vector<sim::SystemResult> res =
+            sim::runSweep(singles.size(), [&](size_t i) {
+                return sim::runSingle(singles[i], sim::Scheme::Baseline,
+                                      tweak(policy, true));
+            });
         std::vector<std::vector<double>> acc(kWindows.size());
-        for (const auto &w : bench::singleWorkloads()) {
-            sim::SystemResult r = sim::runSingle(
-                w, sim::Scheme::Baseline, tweak(policy, true));
-            printRow(w, r);
+        for (size_t w = 0; w < singles.size(); ++w) {
+            const sim::SystemResult &r = res[w];
+            printRow(singles[w], r);
             if (r.activations > 100)
                 for (size_t i = 0; i < kWindows.size(); ++i)
                     acc[i].push_back(r.rltl[i]);
@@ -77,15 +84,20 @@ main()
         std::printf("\n");
     }
 
+    const std::vector<int> mixes = bench::mainMixes();
     for (auto policy : {ctrl::RowPolicy::Open, ctrl::RowPolicy::Closed}) {
         std::printf("\n-- Figure 4b: eight-core, %s --\n",
                     ctrl::rowPolicyName(policy));
         printPolicyHeader();
+        std::vector<sim::SystemResult> res =
+            sim::runSweep(mixes.size(), [&](size_t i) {
+                return sim::runMix(mixes[i], sim::Scheme::Baseline,
+                                   tweak(policy, false));
+            });
         std::vector<std::vector<double>> acc(kWindows.size());
-        for (int mix : bench::mainMixes()) {
-            sim::SystemResult r = sim::runMix(
-                mix, sim::Scheme::Baseline, tweak(policy, false));
-            printRow("w" + std::to_string(mix), r);
+        for (size_t m = 0; m < mixes.size(); ++m) {
+            const sim::SystemResult &r = res[m];
+            printRow("w" + std::to_string(mixes[m]), r);
             for (size_t i = 0; i < kWindows.size(); ++i)
                 acc[i].push_back(r.rltl[i]);
         }

@@ -1,15 +1,23 @@
 /**
  * @file
  * Simulation-kernel microbenchmark: a 4-core Figure-7-style scheme
- * sweep (all five schemes over several workload mixes) run three ways —
+ * sweep (all five schemes over several workload mixes) run four ways —
  *
  *   1. seed configuration: per-cycle kernel, serial;
- *   2. event-skipping kernel, serial (kernel win in isolation);
- *   3. event-skipping kernel through the ParallelRunner (full win).
+ *   2. event-skipping kernel, serial;
+ *   3. calendar-queue kernel, serial (the default kernel);
+ *   4. calendar-queue kernel through the ParallelRunner (full win).
  *
- * Prints simulated CPU cycles per wall-second for each and emits
- * BENCH_kernel.json so future PRs have a perf trajectory to regress
- * against. Scale via CCSIM_KERNEL_INSTS (default 40000 insts/core) and
+ * Prints simulated CPU cycles per wall-second for each, emits
+ * BENCH_kernel.json, and appends one compact record to the perf
+ * trajectory (JSON-lines) when CCSIM_BENCH_TRAJECTORY names a file.
+ *
+ * With CCSIM_KERNEL_GATE=1 the binary exits non-zero when the calendar
+ * kernel is slower than event-skip on this 4-core sweep (tolerance via
+ * CCSIM_KERNEL_GATE_RATIO, default 1.0) — the CI perf-trajectory job's
+ * regression gate.
+ *
+ * Scale via CCSIM_KERNEL_INSTS (default 40000 insts/core) and
  * CCSIM_THREADS.
  */
 
@@ -42,12 +50,8 @@ struct Timed {
     }
 };
 
-std::uint64_t
-envU64(const char *name, std::uint64_t def)
-{
-    const char *v = std::getenv(name);
-    return (v && *v) ? std::strtoull(v, nullptr, 10) : def;
-}
+using sim::envF64;
+using sim::envU64;
 
 sim::SimConfig
 pointConfig(const Point &p, sim::KernelMode kernel, std::uint64_t insts)
@@ -84,14 +88,73 @@ timeSweep(const std::vector<Point> &points, Fn &&run_all)
     return t;
 }
 
+Timed
+serialSweep(const std::vector<Point> &points, sim::KernelMode kernel,
+            std::uint64_t insts, const char *label)
+{
+    // Best of CCSIM_KERNEL_REPEAT runs (default 1): the sweeps are
+    // deterministic, so the minimum wall time is the least-noisy
+    // estimate — the CI gate compares kernels on shared runners.
+    const std::uint64_t repeat =
+        std::max<std::uint64_t>(1, envU64("CCSIM_KERNEL_REPEAT", 1));
+    Timed best;
+    for (std::uint64_t r = 0; r < repeat; ++r) {
+        Timed t = timeSweep(points, [&](const auto &ps) {
+            std::vector<sim::SystemResult> out;
+            for (const Point &p : ps)
+                out.push_back(runPoint(p, kernel, insts));
+            return out;
+        });
+        if (r == 0 || t.wallSeconds < best.wallSeconds)
+            best = t;
+    }
+    std::printf("%-24s %8.2fs  %12.0f cycles/s\n", label,
+                best.wallSeconds, best.cyclesPerSecond());
+    return best;
+}
+
+void
+writeRecord(std::FILE *f, std::size_t points, std::uint64_t insts,
+            const Timed &percycle, const Timed &eventskip,
+            const Timed &calendar, const Timed &parallel)
+{
+    std::fprintf(
+        f,
+        "{\"bench\": \"kernel\", \"points\": %zu, "
+        "\"insts_per_core\": %llu, \"threads\": %d, "
+        "\"serial_percycle\": {\"wall_s\": %.4f, \"cycles_per_s\": %.0f}, "
+        "\"serial_eventskip\": {\"wall_s\": %.4f, \"cycles_per_s\": %.0f}, "
+        "\"serial_calendar\": {\"wall_s\": %.4f, \"cycles_per_s\": %.0f}, "
+        "\"parallel_calendar\": {\"wall_s\": %.4f, \"cycles_per_s\": %.0f}, "
+        "\"sim_cycles\": %llu, "
+        "\"calendar_vs_eventskip\": %.3f, "
+        "\"kernel_speedup\": %.3f, \"total_speedup\": %.3f}\n",
+        points, (unsigned long long)insts,
+        sim::ParallelRunner::defaultThreads(), percycle.wallSeconds,
+        percycle.cyclesPerSecond(), eventskip.wallSeconds,
+        eventskip.cyclesPerSecond(), calendar.wallSeconds,
+        calendar.cyclesPerSecond(), parallel.wallSeconds,
+        parallel.cyclesPerSecond(),
+        (unsigned long long)calendar.simCycles,
+        eventskip.cyclesPerSecond() > 0
+            ? calendar.cyclesPerSecond() / eventskip.cyclesPerSecond()
+            : 0.0,
+        percycle.wallSeconds > 0 && calendar.wallSeconds > 0
+            ? percycle.wallSeconds / calendar.wallSeconds
+            : 0.0,
+        percycle.wallSeconds > 0 && parallel.wallSeconds > 0
+            ? percycle.wallSeconds / parallel.wallSeconds
+            : 0.0);
+}
+
 } // namespace
 
 int
 main()
 {
     bench::printHeader("micro_kernel",
-                       "kernel throughput (event-skip + parallel vs "
-                       "seed per-cycle serial)");
+                       "kernel throughput (calendar + event-skip + "
+                       "parallel vs seed per-cycle serial)");
 
     const std::uint64_t insts = envU64("CCSIM_KERNEL_INSTS", 40000);
     const sim::Scheme schemes[] = {
@@ -108,54 +171,45 @@ main()
                 points.size(), (unsigned long long)insts,
                 sim::ParallelRunner::defaultThreads());
 
-    Timed serial_percycle = timeSweep(points, [&](const auto &ps) {
-        std::vector<sim::SystemResult> out;
-        for (const Point &p : ps)
-            out.push_back(runPoint(p, sim::KernelMode::PerCycle, insts));
-        return out;
-    });
-    std::printf("%-24s %8.2fs  %12.0f cycles/s\n", "serial per-cycle",
-                serial_percycle.wallSeconds,
-                serial_percycle.cyclesPerSecond());
+    Timed serial_percycle =
+        serialSweep(points, sim::KernelMode::PerCycle, insts,
+                    "serial per-cycle");
+    Timed serial_event =
+        serialSweep(points, sim::KernelMode::EventSkip, insts,
+                    "serial event-skip");
+    Timed serial_cal = serialSweep(points, sim::KernelMode::Calendar,
+                                   insts, "serial calendar");
 
-    Timed serial_event = timeSweep(points, [&](const auto &ps) {
-        std::vector<sim::SystemResult> out;
-        for (const Point &p : ps)
-            out.push_back(runPoint(p, sim::KernelMode::EventSkip, insts));
-        return out;
-    });
-    std::printf("%-24s %8.2fs  %12.0f cycles/s\n", "serial event-skip",
-                serial_event.wallSeconds, serial_event.cyclesPerSecond());
-
-    Timed parallel_event = timeSweep(points, [&](const auto &ps) {
+    Timed parallel_cal = timeSweep(points, [&](const auto &ps) {
         return sim::runSweep(ps.size(), [&](std::size_t i) {
-            return runPoint(ps[i], sim::KernelMode::EventSkip, insts);
+            return runPoint(ps[i], sim::KernelMode::Calendar, insts);
         });
     });
-    std::printf("%-24s %8.2fs  %12.0f cycles/s\n", "parallel event-skip",
-                parallel_event.wallSeconds,
-                parallel_event.cyclesPerSecond());
+    std::printf("%-24s %8.2fs  %12.0f cycles/s\n", "parallel calendar",
+                parallel_cal.wallSeconds, parallel_cal.cyclesPerSecond());
 
     double kernel_speedup =
-        serial_event.wallSeconds > 0
-            ? serial_percycle.wallSeconds / serial_event.wallSeconds
+        serial_cal.wallSeconds > 0
+            ? serial_percycle.wallSeconds / serial_cal.wallSeconds
             : 0.0;
-    double total_speedup =
-        parallel_event.wallSeconds > 0
-            ? serial_percycle.wallSeconds / parallel_event.wallSeconds
+    double cal_vs_event =
+        serial_event.cyclesPerSecond() > 0
+            ? serial_cal.cyclesPerSecond() / serial_event.cyclesPerSecond()
             : 0.0;
-    std::printf("\nkernel speedup (serial):   %.2fx\n", kernel_speedup);
-    std::printf("total speedup (parallel):  %.2fx\n", total_speedup);
+    std::printf("\ncalendar vs per-cycle:     %.2fx\n", kernel_speedup);
+    std::printf("calendar vs event-skip:    %.2fx\n", cal_vs_event);
     if (sim::ParallelRunner::defaultThreads() <= 1)
         std::printf("note: single hardware thread — the parallel runner "
                     "cannot contribute here; on an N-thread host the "
                     "sweep additionally scales ~linearly up to "
                     "min(N, %zu) points.\n",
                     points.size());
-    // Identical sim_cycles across the three modes double as an
-    // equivalence check of the kernels on this exact sweep.
+
+    // Identical sim_cycles across all modes double as an equivalence
+    // check of the kernels on this exact sweep.
     if (serial_percycle.simCycles != serial_event.simCycles ||
-        serial_event.simCycles != parallel_event.simCycles) {
+        serial_event.simCycles != serial_cal.simCycles ||
+        serial_cal.simCycles != parallel_cal.simCycles) {
         std::fprintf(stderr,
                      "ERROR: kernels disagree on simulated cycles\n");
         return 1;
@@ -166,32 +220,38 @@ main()
         std::fprintf(stderr, "cannot write BENCH_kernel.json\n");
         return 1;
     }
-    std::fprintf(
-        json,
-        "{\n"
-        "  \"bench\": \"kernel\",\n"
-        "  \"points\": %zu,\n"
-        "  \"insts_per_core\": %llu,\n"
-        "  \"threads\": %d,\n"
-        "  \"serial_percycle\": {\"wall_s\": %.4f, \"sim_cycles\": %llu, "
-        "\"cycles_per_s\": %.0f},\n"
-        "  \"serial_eventskip\": {\"wall_s\": %.4f, \"sim_cycles\": %llu, "
-        "\"cycles_per_s\": %.0f},\n"
-        "  \"parallel_eventskip\": {\"wall_s\": %.4f, \"sim_cycles\": %llu, "
-        "\"cycles_per_s\": %.0f},\n"
-        "  \"kernel_speedup\": %.3f,\n"
-        "  \"total_speedup\": %.3f\n"
-        "}\n",
-        points.size(), (unsigned long long)insts,
-        sim::ParallelRunner::defaultThreads(),
-        serial_percycle.wallSeconds,
-        (unsigned long long)serial_percycle.simCycles,
-        serial_percycle.cyclesPerSecond(), serial_event.wallSeconds,
-        (unsigned long long)serial_event.simCycles,
-        serial_event.cyclesPerSecond(), parallel_event.wallSeconds,
-        (unsigned long long)parallel_event.simCycles,
-        parallel_event.cyclesPerSecond(), kernel_speedup, total_speedup);
+    writeRecord(json, points.size(), insts, serial_percycle, serial_event,
+                serial_cal, parallel_cal);
     std::fclose(json);
     std::printf("wrote BENCH_kernel.json\n");
+
+    if (const char *traj = std::getenv("CCSIM_BENCH_TRAJECTORY");
+        traj && *traj) {
+        std::FILE *f = std::fopen(traj, "a");
+        if (!f) {
+            std::fprintf(stderr, "cannot append to %s\n", traj);
+            return 1;
+        }
+        writeRecord(f, points.size(), insts, serial_percycle,
+                    serial_event, serial_cal, parallel_cal);
+        std::fclose(f);
+        std::printf("appended perf record to %s\n", traj);
+    }
+
+    // CI regression gate: the calendar kernel must not be slower than
+    // event-skip on this sweep.
+    if (envU64("CCSIM_KERNEL_GATE", 0)) {
+        double tol = envF64("CCSIM_KERNEL_GATE_RATIO", 1.0);
+        if (cal_vs_event < tol) {
+            std::fprintf(stderr,
+                         "GATE FAILED: calendar kernel is %.3fx of "
+                         "event-skip (< %.3f) on the 4-core sweep\n",
+                         cal_vs_event, tol);
+            return 2;
+        }
+        std::printf("gate passed: calendar is %.2fx of event-skip "
+                    "(threshold %.2f)\n",
+                    cal_vs_event, tol);
+    }
     return 0;
 }

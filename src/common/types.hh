@@ -64,6 +64,22 @@ isPow2(std::uint64_t v)
     return v != 0 && (v & (v - 1)) == 0;
 }
 
+/** Count trailing zero bits; `v` must be non-zero. */
+inline int
+ctz64(std::uint64_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_ctzll(v);
+#else
+    int n = 0;
+    while (!(v & 1)) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
 } // namespace ccsim
 
 #endif // CCSIM_COMMON_TYPES_HH

@@ -44,9 +44,11 @@ class Core
   public:
     /**
      * Why the most recent tick made no progress. A stalled core ticks
-     * to exactly one stall-statistic increment per cycle, which is what
-     * lets the event-skipping kernel park it and account the skipped
-     * region in bulk (see docs/performance.md).
+     * to exactly one stall-statistic increment per cycle, which is
+     * what lets the event kernels park it and account the skipped
+     * region in bulk — and what makes a spurious early wake harmless
+     * (the extra no-progress tick increments the same statistic the
+     * parked accounting would have). See docs/performance.md.
      */
     enum class StallKind {
         None,       ///< Last tick made progress.
@@ -79,7 +81,10 @@ class Core
     /**
      * Earliest future cycle at which a stalled tick could make progress
      * without external input: the next self-scheduled LLC-hit return,
-     * or kNoCycle when purely externally driven.
+     * or kNoCycle when purely externally driven. While the core is
+     * parked it issues nothing, so the hit queue — and therefore this
+     * horizon — is frozen: the calendar kernel posts it to the timing
+     * wheel once at park time and never needs a repost.
      */
     CpuCycle
     nextEventAt() const

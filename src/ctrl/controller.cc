@@ -36,6 +36,16 @@ MemoryController::MemoryController(const dram::DramSpec &spec,
             bankPtr_.push_back(&channel_.rank(rank).bank(bank));
     readBankCount_.assign(bankPtr_.size(), 0);
     writeBankCount_.assign(bankPtr_.size(), 0);
+    CCSIM_ASSERT(!config_.useBankLists || config_.useServeHorizon,
+                 "bank lists require the serve-horizon bookkeeping");
+    if (config_.useBankLists) {
+        readBankHead_.assign(bankPtr_.size(), -1);
+        readBankTail_.assign(bankPtr_.size(), -1);
+        writeBankHead_.assign(bankPtr_.size(), -1);
+        writeBankTail_.assign(bankPtr_.size(), -1);
+        slots_.reserve(static_cast<std::size_t>(config_.readQueueSize) +
+                       static_cast<std::size_t>(config_.writeQueueSize));
+    }
     if (config_.trackRltl) {
         std::vector<Cycle> windows;
         for (double ms : config_.rltlWindowsMs)
@@ -56,8 +66,96 @@ bool
 MemoryController::canAccept(ReqType type) const
 {
     if (type == ReqType::Read)
-        return readQ_.size() < static_cast<size_t>(config_.readQueueSize);
-    return writeQ_.size() < static_cast<size_t>(config_.writeQueueSize);
+        return readCount() < static_cast<size_t>(config_.readQueueSize);
+    return writeCount() < static_cast<size_t>(config_.writeQueueSize);
+}
+
+int
+MemoryController::allocSlot()
+{
+    if (!freeSlots_.empty()) {
+        int s = freeSlots_.back();
+        freeSlots_.pop_back();
+        return s;
+    }
+    slots_.emplace_back();
+    return static_cast<int>(slots_.size() - 1);
+}
+
+void
+MemoryController::enqueueListed(Request req, bool is_write)
+{
+    const std::size_t bi = bankIndexOf(req.addr);
+    const std::uint64_t key = rowKeyOf(req.addr);
+    int s = allocSlot();
+    Slot &sl = slots_[s];
+    sl.qr.req = std::move(req);
+    sl.qr.serviced = false;
+    sl.key = key;
+    sl.seq = arrivalSeq_++;
+    sl.bankNext = sl.rowNext = -1;
+
+    std::vector<int> &head = is_write ? writeBankHead_ : readBankHead_;
+    std::vector<int> &tail = is_write ? writeBankTail_ : readBankTail_;
+    sl.bankPrev = tail[bi];
+    if (tail[bi] >= 0)
+        slots_[tail[bi]].bankNext = s;
+    else
+        head[bi] = s;
+    tail[bi] = s;
+
+    RowList &row = (is_write ? writeRows_ : readRows_)[key];
+    sl.rowPrev = row.tail;
+    if (row.tail >= 0)
+        slots_[row.tail].rowNext = s;
+    else
+        row.head = s;
+    row.tail = s;
+    ++row.count;
+
+    ++(is_write ? writeBankCount_ : readBankCount_)[bi];
+    ++(is_write ? writeSize_ : readSize_);
+}
+
+void
+MemoryController::unlinkSlot(int s, bool is_write)
+{
+    Slot &sl = slots_[s];
+    const std::size_t bi =
+        static_cast<std::size_t>(rankOfKey(sl.key)) *
+            static_cast<std::size_t>(spec_.org.banksPerRank) +
+        static_cast<std::size_t>(bankOfKey(sl.key));
+
+    std::vector<int> &head = is_write ? writeBankHead_ : readBankHead_;
+    std::vector<int> &tail = is_write ? writeBankTail_ : readBankTail_;
+    if (sl.bankPrev >= 0)
+        slots_[sl.bankPrev].bankNext = sl.bankNext;
+    else
+        head[bi] = sl.bankNext;
+    if (sl.bankNext >= 0)
+        slots_[sl.bankNext].bankPrev = sl.bankPrev;
+    else
+        tail[bi] = sl.bankPrev;
+
+    auto &rows = is_write ? writeRows_ : readRows_;
+    auto it = rows.find(sl.key);
+    CCSIM_ASSERT(it != rows.end() && it->second.count > 0,
+                 "row list out of sync");
+    RowList &row = it->second;
+    if (sl.rowPrev >= 0)
+        slots_[sl.rowPrev].rowNext = sl.rowNext;
+    else
+        row.head = sl.rowNext;
+    if (sl.rowNext >= 0)
+        slots_[sl.rowNext].rowPrev = sl.rowPrev;
+    else
+        row.tail = sl.rowPrev;
+    if (--row.count == 0)
+        rows.erase(it);
+
+    --(is_write ? writeBankCount_ : readBankCount_)[bi];
+    --(is_write ? writeSize_ : readSize_);
+    freeSlots_.push_back(s);
 }
 
 void
@@ -70,6 +168,7 @@ MemoryController::enqueue(Request req)
     if (req.token == 0)
         req.token = tokenSeq_++;
     if (req.type == ReqType::Read) {
+        horizonDirty_ = true;
         // Read-after-write forwarding from the write queue. Completion
         // is delivered through the pending heap on the next tick —
         // callbacks must never fire inside enqueue (reentrancy).
@@ -82,8 +181,12 @@ MemoryController::enqueue(Request req)
             return;
         }
         nextServeTry_ = 0; // New candidate: the scheduler must rescan.
+        if (config_.useBankLists) {
+            enqueueListed(std::move(req), false);
+            return;
+        }
         if (config_.useServeHorizon) {
-            ++readRowCount_[rowKeyOf(req.addr)];
+            ++readRows_[rowKeyOf(req.addr)].count;
             ++readBankCount_[bankIndexOf(req.addr)];
             readKeys_.push_back(rowKeyOf(req.addr));
         }
@@ -93,9 +196,14 @@ MemoryController::enqueue(Request req)
         if (!writeLines_.insert(req.lineAddr).second)
             return;
         ++stats_.writes;
+        horizonDirty_ = true;
         nextServeTry_ = 0; // New candidate: the scheduler must rescan.
+        if (config_.useBankLists) {
+            enqueueListed(std::move(req), true);
+            return;
+        }
         if (config_.useServeHorizon) {
-            ++writeRowCount_[rowKeyOf(req.addr)];
+            ++writeRows_[rowKeyOf(req.addr)].count;
             ++writeBankCount_[bankIndexOf(req.addr)];
             writeKeys_.push_back(rowKeyOf(req.addr));
         }
@@ -207,12 +315,12 @@ MemoryController::anotherHitQueued(const dram::DramAddr &addr,
         // itself, so "another hit" means at least two queued requests
         // for this row across both queues.
         int count = 0;
-        auto rit = readRowCount_.find(rowKeyOf(addr));
-        if (rit != readRowCount_.end())
-            count += rit->second;
-        auto wit = writeRowCount_.find(rowKeyOf(addr));
-        if (wit != writeRowCount_.end())
-            count += wit->second;
+        auto rit = readRows_.find(rowKeyOf(addr));
+        if (rit != readRows_.end())
+            count += rit->second.count;
+        auto wit = writeRows_.find(rowKeyOf(addr));
+        if (wit != writeRows_.end())
+            count += wit->second.count;
         return count >= 2;
     }
     // Reference path: the seed's queue scan, kept as the oracle the
@@ -251,14 +359,15 @@ MemoryController::classify(QueuedReq &qr)
 bool
 MemoryController::trickleWrites() const
 {
-    return readQ_.empty() && !writeQ_.empty();
+    return readCount() == 0 && writeCount() != 0;
 }
 
-bool
-MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
+void
+MemoryController::scanBanks(bool is_write, std::uint64_t &hit_ready,
+                            std::uint64_t &drive_ready, Cycle &bound)
 {
-    // Optimized FR-FCFS scan (kernel-equivalence tests prove it
-    // identical to serveQueueReference). Three ideas:
+    // Per-bank readiness and horizon-bound pass shared by the
+    // optimized FR-FCFS scans. Two ideas:
     //
     //  1. Rank/bus gates are invariant across one scan, so they are
     //     evaluated once per rank instead of per entry.
@@ -267,23 +376,13 @@ MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
     //     readiness and the scheduler-horizon bound are decided per
     //     BANK from the per-queue row/bank counts — a fruitless scan
     //     costs O(banks), not O(queue).
-    //  3. Only when some bank is ready does the arrival-order walk run,
-    //     and it skips entries of non-ready banks via a bitmask; the
-    //     first ready row hit wins (FR priority), else the first ready
-    //     PRE/ACT driver (FCFS), exactly like the two-pass reference.
     //
     // RDA/WRA share RD/WR issue timing, so the plain column class
     // stands in for the auto-precharge variants throughout.
     const dram::CmdType col_cmd =
         is_write ? dram::CmdType::WR : dram::CmdType::RD;
-    std::vector<std::uint64_t> &keys = is_write ? writeKeys_ : readKeys_;
-    CCSIM_ASSERT(keys.size() == queue.size(), "key mirror out of sync");
-    if (keys.empty()) {
-        nextServeTry_ = kNoCycle; // Re-armed by the next enqueue.
-        return false;
-    }
-    std::unordered_map<std::uint64_t, int> &row_count =
-        is_write ? writeRowCount_ : readRowCount_;
+    std::unordered_map<std::uint64_t, RowList> &rows =
+        is_write ? writeRows_ : readRows_;
     std::vector<int> &bank_count =
         is_write ? writeBankCount_ : readBankCount_;
 
@@ -321,11 +420,10 @@ MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
         g.preBase = rank.preEarliestBase();
     };
 
-    // Phase 1: per-bank readiness and, for what is not ready, the
-    // horizon bound.
-    std::uint64_t hit_ready = 0;   // Bank's open-row hits issuable now.
-    std::uint64_t drive_ready = 0; // Bank's PRE/ACT issuable now.
-    Cycle bound = kNoCycle;
+    // Per-bank readiness and, for what is not ready, the horizon bound.
+    hit_ready = 0;   // Bank's open-row hits issuable now.
+    drive_ready = 0; // Bank's PRE/ACT issuable now.
+    bound = kNoCycle;
     for (int bi = 0; bi < n_banks; ++bi) {
         int in_queue = bank_count[bi];
         if (in_queue == 0)
@@ -339,9 +437,9 @@ MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
         const dram::Bank &b = *bankPtr_[bi];
         if (b.state() == dram::Bank::State::Active) {
             const int open_row = b.openRow();
-            auto rc = row_count.find(
+            auto rc = rows.find(
                 rowKeyOf(r, bi % banks_per_rank, open_row));
-            const int hits = rc == row_count.end() ? 0 : rc->second;
+            const int hits = rc == rows.end() ? 0 : rc->second.count;
             if (hits > 0) {
                 if (g.colOk && now_ >= b.earliest(col_cmd))
                     hit_ready |= std::uint64_t(1) << bi;
@@ -367,6 +465,33 @@ MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
                     std::max(g.actBase, b.earliest(dram::CmdType::ACT)));
         }
     }
+}
+
+bool
+MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
+{
+    // Optimized FR-FCFS scan (kernel-equivalence tests prove it
+    // identical to serveQueueReference): per-bank readiness from
+    // scanBanks, then an arrival-order walk restricted to ready banks
+    // — the first ready row hit wins (FR priority), else the first
+    // ready PRE/ACT driver (FCFS), exactly like the two-pass reference.
+    const dram::CmdType col_cmd =
+        is_write ? dram::CmdType::WR : dram::CmdType::RD;
+    std::vector<std::uint64_t> &keys = is_write ? writeKeys_ : readKeys_;
+    CCSIM_ASSERT(keys.size() == queue.size(), "key mirror out of sync");
+    if (keys.empty()) {
+        nextServeTry_ = kNoCycle; // Re-armed by the next enqueue.
+        return false;
+    }
+    std::unordered_map<std::uint64_t, RowList> &row_count =
+        is_write ? writeRows_ : readRows_;
+    std::vector<int> &bank_count =
+        is_write ? writeBankCount_ : readBankCount_;
+    const int banks_per_rank = spec_.org.banksPerRank;
+
+    std::uint64_t hit_ready, drive_ready;
+    Cycle bound;
+    scanBanks(is_write, hit_ready, drive_ready, bound);
 
     if (hit_ready == 0 && drive_ready == 0) {
         // Nothing issuable this cycle: publish the horizon. Sound
@@ -423,9 +548,9 @@ MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
                 writeLines_.erase(qr.req.lineAddr);
             }
             auto rc = row_count.find(key);
-            CCSIM_ASSERT(rc != row_count.end() && rc->second > 0,
+            CCSIM_ASSERT(rc != row_count.end() && rc->second.count > 0,
                          "row count out of sync");
-            if (--rc->second == 0)
+            if (--rc->second.count == 0)
                 row_count.erase(rc);
             --bank_count[bi];
             queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
@@ -448,6 +573,123 @@ MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
     const dram::DramAddr &a = qr.req.addr;
     classify(qr);
     if (pre_act_is_act) {
+        issueAct(a, qr.req.coreId);
+    } else {
+        const dram::Bank &b = *bankPtr_[bankIndexOf(a)];
+        int row = b.openRow();
+        issue({dram::CmdType::PRE, a}, nullptr);
+        recordPrechargeOf(a.rank, a.bank, row);
+        ++stats_.pres;
+    }
+    return true;
+}
+
+bool
+MemoryController::serveQueueBankLists(bool is_write)
+{
+    // Calendar-kernel FR-FCFS scan over the per-bank / per-row lists.
+    // Selection needs no arrival-order walk:
+    //
+    //  - FR: a hit-ready bank's oldest open-row hit is the head of the
+    //    open row's arrival-ordered list; the winner is the minimum
+    //    arrival seq over hit-ready banks. "First ready hit in arrival
+    //    order" and "oldest per ready bank, min across banks" are the
+    //    same element, which is how this stays bit-identical to the
+    //    walk-based scans.
+    //  - FCFS: a drive-ready bank's oldest driver is the head of its
+    //    bank list (idle bank: every entry drives an ACT) or the first
+    //    entry past the leading open-row hits (active bank: those are
+    //    served by column commands, not PRE); minimum seq across banks
+    //    again.
+    if ((is_write ? writeSize_ : readSize_) == 0) {
+        nextServeTry_ = kNoCycle; // Re-armed by the next enqueue.
+        return false;
+    }
+    std::uint64_t hit_ready, drive_ready;
+    Cycle bound;
+    scanBanks(is_write, hit_ready, drive_ready, bound);
+
+    if (hit_ready == 0 && drive_ready == 0) {
+        // Same horizon-publication soundness argument as serveQueue.
+        nextServeTry_ = std::max(bound, now_ + 1);
+        return false;
+    }
+
+    auto &rows = is_write ? writeRows_ : readRows_;
+    const int banks_per_rank = spec_.org.banksPerRank;
+
+    if (hit_ready != 0) {
+        int best = -1;
+        std::uint64_t best_seq = ~std::uint64_t(0);
+        for (std::uint64_t m = hit_ready; m; m &= m - 1) {
+            const int bi = ctz64(m);
+            const dram::Bank &b = *bankPtr_[bi];
+            auto it = rows.find(rowKeyOf(bi / banks_per_rank,
+                                         bi % banks_per_rank,
+                                         b.openRow()));
+            CCSIM_ASSERT(it != rows.end() && it->second.head >= 0,
+                         "hit-ready bank without a row list");
+            const int s = it->second.head;
+            if (slots_[s].seq < best_seq) {
+                best_seq = slots_[s].seq;
+                best = s;
+            }
+        }
+        Slot &sl = slots_[best];
+        QueuedReq &qr = sl.qr;
+        const dram::DramAddr a = qr.req.addr;
+        dram::Command cmd{is_write ? dram::CmdType::WR : dram::CmdType::RD,
+                          a};
+        bool auto_pre = config_.rowPolicy == RowPolicy::Closed &&
+                        !anotherHitQueued(a, qr.req.token);
+        if (auto_pre)
+            cmd.type = is_write ? dram::CmdType::WRA : dram::CmdType::RDA;
+        classify(qr);
+        issue(cmd, nullptr);
+        if (auto_pre) {
+            recordPrechargeOf(a.rank, a.bank, a.row);
+            ++stats_.autoPres;
+        }
+        if (!is_write) {
+            PendingRead pr;
+            pr.req = std::move(qr.req);
+            pr.done = channel_.readDataDone(now_);
+            pending_.push(std::move(pr));
+        } else {
+            writeLines_.erase(qr.req.lineAddr);
+        }
+        unlinkSlot(best, is_write);
+        return true;
+    }
+
+    auto &bank_head = is_write ? writeBankHead_ : readBankHead_;
+    int best = -1;
+    std::uint64_t best_seq = ~std::uint64_t(0);
+    bool best_is_act = false;
+    for (std::uint64_t m = drive_ready; m; m &= m - 1) {
+        const int bi = ctz64(m);
+        const dram::Bank &b = *bankPtr_[bi];
+        int s = bank_head[bi];
+        const bool is_act = b.state() == dram::Bank::State::Idle;
+        if (!is_act) {
+            const int open = b.openRow();
+            while (s >= 0 && rowOfKey(slots_[s].key) == open)
+                s = slots_[s].bankNext;
+            CCSIM_ASSERT(s >= 0,
+                         "drive-ready bank without a conflicting entry");
+        }
+        if (slots_[s].seq < best_seq) {
+            best_seq = slots_[s].seq;
+            best = s;
+            best_is_act = is_act;
+        }
+    }
+    CCSIM_ASSERT(best >= 0,
+                 "ready bank reported but no candidate slot found");
+    QueuedReq &qr = slots_[best].qr;
+    const dram::DramAddr &a = qr.req.addr;
+    classify(qr);
+    if (best_is_act) {
         issueAct(a, qr.req.coreId);
     } else {
         const dram::Bank &b = *bankPtr_[bankIndexOf(a)];
@@ -547,10 +789,10 @@ MemoryController::tick()
 
     // Write drain hysteresis.
     if (!drainMode_ &&
-        writeQ_.size() >= static_cast<size_t>(config_.writeHighWatermark))
+        writeCount() >= static_cast<size_t>(config_.writeHighWatermark))
         drainMode_ = true;
     if (drainMode_ &&
-        writeQ_.size() <= static_cast<size_t>(config_.writeLowWatermark))
+        writeCount() <= static_cast<size_t>(config_.writeLowWatermark))
         drainMode_ = false;
 
     // Refresh has absolute priority once due.
@@ -568,11 +810,12 @@ MemoryController::tick()
             active |= serveQueueReference(readQ_, false);
     } else if (now_ >= nextServeTry_ || config_.paranoidSchedule) {
         bool within_horizon = now_ < nextServeTry_;
+        bool is_write = drainMode_ || trickleWrites();
         bool served;
-        if (drainMode_ || trickleWrites())
-            served = serveQueue(writeQ_, true);
+        if (config_.useBankLists)
+            served = serveQueueBankLists(is_write);
         else
-            served = serveQueue(readQ_, false);
+            served = serveQueue(is_write ? writeQ_ : readQ_, is_write);
         CCSIM_ASSERT(!(served && within_horizon),
                      "scheduler horizon unsound: a scan inside "
                      "nextServeTry_ issued a command");

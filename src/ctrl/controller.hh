@@ -62,6 +62,16 @@ struct CtrlConfig {
      * scan-skipping decision (set by SimConfig::kernelParanoid).
      */
     bool paranoidSchedule = false;
+    /**
+     * Calendar kernel: keep queued requests on per-bank and per-row
+     * arrival-ordered lists so an issuing scan selects the FR-FCFS
+     * winner in O(banks touched) instead of walking the queue in
+     * arrival order. Requires useServeHorizon (the per-bank readiness
+     * pass is shared). The PerCycle and EventSkip kernels keep their
+     * scans, so the kernel-equivalence tests verify the list-based
+     * selection against both.
+     */
+    bool useBankLists = false;
 };
 
 /** Aggregate controller statistics. */
@@ -128,7 +138,7 @@ class MemoryController
         Cycle ev = refresh_.nextEventAt();
         if (!pending_.empty() && pending_.top().done < ev)
             ev = pending_.top().done;
-        if ((!readQ_.empty() || !writeQ_.empty()) && nextServeTry_ < ev)
+        if (queuedRequests() != 0 && nextServeTry_ < ev)
             ev = nextServeTry_;
         return ev > now_ ? ev : now_;
     }
@@ -147,6 +157,28 @@ class MemoryController
     }
 
     /**
+     * Advance one provably-idle cycle without re-deriving the horizon:
+     * the calendar kernel calls this when its cached posted event for
+     * this controller lies strictly in the future, which is exactly the
+     * nextEventAt() > now() precondition of skipTicks(1). Paranoid mode
+     * revalidates every such decision against a real tick.
+     */
+    void advanceIdle() { ++now_; }
+
+    /**
+     * True once since the last call if queue state changed outside a
+     * tick (an enqueue) — the calendar kernel's cue to re-read
+     * nextEventAt() and repost this controller's event.
+     */
+    bool
+    consumeHorizonDirty()
+    {
+        bool dirty = horizonDirty_;
+        horizonDirty_ = false;
+        return dirty;
+    }
+
+    /**
      * One controller cycle for the event kernel: run tick() if it could
      * do work this cycle, else elide it as a pure clock advance.
      */
@@ -161,11 +193,22 @@ class MemoryController
 
     Cycle now() const { return now_; }
 
-    /** Outstanding queued requests (reads + writes). */
-    size_t queuedRequests() const
+    /** Queued reads (deque or slot-pool storage, per useBankLists). */
+    std::size_t
+    readCount() const
     {
-        return readQ_.size() + writeQ_.size();
+        return config_.useBankLists ? readSize_ : readQ_.size();
     }
+
+    /** Queued writes. */
+    std::size_t
+    writeCount() const
+    {
+        return config_.useBankLists ? writeSize_ : writeQ_.size();
+    }
+
+    /** Outstanding queued requests (reads + writes). */
+    size_t queuedRequests() const { return readCount() + writeCount(); }
 
     /** In-flight reads whose data has not yet returned. */
     size_t pendingReads() const { return pending_.size(); }
@@ -210,9 +253,19 @@ class MemoryController
     void recordPrechargeOf(int rank, int bank, int row);
     bool tryRefresh();
     bool trickleWrites() const;
+    /** Per-bank readiness + horizon-bound pass shared by the optimized
+        scans: which banks could issue a row hit / a PRE-ACT driver this
+        cycle, and (for the rest) the earliest cycle that could change. */
+    void scanBanks(bool is_write, std::uint64_t &hit_ready,
+                   std::uint64_t &drive_ready, Cycle &bound);
     /** Optimized FR-FCFS scan (EventSkip kernel): fused passes over a
         compact key vector, with scheduler-horizon bound accumulation. */
     bool serveQueue(std::deque<QueuedReq> &queue, bool is_write);
+    /** Calendar-kernel FR-FCFS scan: selects the winner directly from
+        the per-bank / per-row arrival-ordered lists — O(banks touched),
+        no arrival-order walk. Equivalence-tested against both other
+        scans. */
+    bool serveQueueBankLists(bool is_write);
     /** The seed's two-pass FR-FCFS scan, preserved verbatim as the
         PerCycle reference — the oracle the kernel-equivalence tests
         compare the optimized scan against. */
@@ -220,6 +273,11 @@ class MemoryController
     bool anotherHitQueued(const dram::DramAddr &addr,
                           std::uint64_t skip_token) const;
     void classify(QueuedReq &qr);
+
+    // ---- slot-pool storage (useBankLists) ---------------------------
+    int allocSlot();
+    void enqueueListed(Request req, bool is_write);
+    void unlinkSlot(int slot, bool is_write);
 
     /** Pack a row identity for the key mirrors / row-count maps. */
     static std::uint64_t
@@ -282,17 +340,47 @@ class MemoryController
     std::vector<std::uint64_t> readKeys_;
     std::vector<std::uint64_t> writeKeys_;
     /**
-     * Per-queue request counts by (rank, bank, row) key and by bank.
-     * They let the optimized scan decide a whole bank's readiness (and
-     * its contribution to the scheduler-horizon bound) in O(1), and
-     * make the closed-row auto-precharge test ("is another hit to this
-     * row queued?") O(1) instead of a scan of both queues. Maintained
-     * only when useServeHorizon.
+     * Per-row bookkeeping: request count (both optimized scans) and,
+     * when useBankLists, the head/tail of the row's arrival-ordered
+     * slot list. The counts let the optimized scans decide a whole
+     * bank's readiness (and its contribution to the scheduler-horizon
+     * bound) in O(1), and make the closed-row auto-precharge test ("is
+     * another hit to this row queued?") O(1) instead of a scan of both
+     * queues. Maintained only when useServeHorizon.
      */
-    std::unordered_map<std::uint64_t, int> readRowCount_;
-    std::unordered_map<std::uint64_t, int> writeRowCount_;
+    struct RowList {
+        int count = 0;
+        int head = -1; ///< Oldest slot for this row (useBankLists).
+        int tail = -1;
+    };
+    std::unordered_map<std::uint64_t, RowList> readRows_;
+    std::unordered_map<std::uint64_t, RowList> writeRows_;
     std::vector<int> readBankCount_;  ///< By bankIndexOf.
     std::vector<int> writeBankCount_; ///< By bankIndexOf.
+
+    /**
+     * Slot-pool request storage (useBankLists): requests live in a
+     * free-listed pool and are threaded onto two intrusive lists each —
+     * their bank's and their row's, both in arrival order (seq). The
+     * FR pass reads each hit-ready bank's oldest open-row hit straight
+     * from the row list head; the FCFS pass reads each drive-ready
+     * bank's oldest conflicting request from the bank list; arrival
+     * seq numbers arbitrate across banks. Replaces the deques (and the
+     * key mirror) entirely in this mode.
+     */
+    struct Slot {
+        QueuedReq qr;
+        std::uint64_t key = 0; ///< rowKeyOf the request.
+        std::uint64_t seq = 0; ///< Arrival order, monotone.
+        int bankNext = -1, bankPrev = -1;
+        int rowNext = -1, rowPrev = -1;
+    };
+    std::vector<Slot> slots_;
+    std::vector<int> freeSlots_;
+    std::vector<int> readBankHead_, readBankTail_;   ///< By bankIndexOf.
+    std::vector<int> writeBankHead_, writeBankTail_; ///< By bankIndexOf.
+    std::size_t readSize_ = 0, writeSize_ = 0;
+    std::uint64_t arrivalSeq_ = 0;
     std::priority_queue<PendingRead, std::vector<PendingRead>,
                         std::greater<>>
         pending_;
@@ -310,6 +398,8 @@ class MemoryController
     Cycle nextServeTry_ = 0;
     Cycle now_ = 0;
     std::uint64_t tokenSeq_ = 1;
+    /** Queue state changed outside a tick; see consumeHorizonDirty(). */
+    bool horizonDirty_ = true;
     CtrlStats stats_;
 };
 

@@ -17,6 +17,7 @@ RefreshScheduler::RefreshScheduler(const dram::DramSpec &spec) : spec_(spec)
     groups_ = org.rowsPerBank / rowsPerRef_;
 
     nextDue_.assign(org.ranksPerChannel, t.tREFI);
+    cachedNext_ = t.tREFI;
     refCount_.assign(org.ranksPerChannel, 0);
     lastRef_.resize(org.ranksPerChannel);
     startGroup_.resize(org.ranksPerChannel);
@@ -52,6 +53,9 @@ RefreshScheduler::onRefIssued(int rank, Cycle cycle)
     lastRef_[rank][group] = static_cast<std::int64_t>(cycle);
     ++refCount_[rank];
     nextDue_[rank] += spec_.timing.tREFI;
+    cachedNext_ = kNoCycle;
+    for (Cycle due : nextDue_)
+        cachedNext_ = due < cachedNext_ ? due : cachedNext_;
 }
 
 std::int64_t

@@ -40,17 +40,12 @@ class RefreshScheduler : public chargecache::RefreshInfo
 
     /**
      * Earliest cycle at which any rank next owes a REF — the refresh
-     * horizon for the event-skipping kernel. Always finite: refresh is
-     * the periodic heartbeat that bounds every skip.
+     * horizon for the event kernels. Always finite: refresh is the
+     * periodic heartbeat that bounds every skip. Cached (reposted on
+     * every REF issue) so the controller's horizon query is O(1)
+     * instead of a per-rank scan.
      */
-    Cycle
-    nextEventAt() const
-    {
-        Cycle next = kNoCycle;
-        for (Cycle due : nextDue_)
-            next = due < next ? due : next;
-        return next;
-    }
+    Cycle nextEventAt() const { return cachedNext_; }
 
     /** Total REFs issued to `rank`. */
     std::uint64_t refCount(int rank) const { return refCount_[rank]; }
@@ -74,6 +69,7 @@ class RefreshScheduler : public chargecache::RefreshInfo
      */
     std::vector<int> startGroup_;
     std::vector<Cycle> nextDue_;         ///< Per rank.
+    Cycle cachedNext_ = kNoCycle;        ///< min(nextDue_), kept current.
     std::vector<std::uint64_t> refCount_; ///< Per rank.
     /** lastRef_[rank][group]: cycle of the group's most recent REF. */
     std::vector<std::vector<std::int64_t>> lastRef_;

@@ -81,7 +81,7 @@ class Llc
         return mshrs_.empty() && writebackQ_.empty();
     }
 
-    // ---- event-skipping kernel support ------------------------------
+    // ---- event-kernel support (EventSkip and Calendar) --------------
 
     /** True when either drain queue is non-empty (tick() is otherwise a
         no-op, so callers may elide the call entirely). */
@@ -107,7 +107,10 @@ class Llc
     /**
      * Notification target for cores parked on a Blocked access: when
      * the line such a core is waiting for gets installed, the callback
-     * fires with the core id so the kernel can wake it.
+     * fires with the core id so the kernel can wake it. Together with
+     * the miss callback this is the complete external-wake surface —
+     * the calendar kernel routes both into its wake queue, so a core
+     * with no self-scheduled event needs nothing on the wheel at all.
      */
     void setWakeCallback(WakeCallback wake) { onWake_ = std::move(wake); }
 

@@ -25,7 +25,15 @@ schemeName(Scheme scheme)
 const char *
 kernelModeName(KernelMode mode)
 {
-    return mode == KernelMode::EventSkip ? "event-skip" : "per-cycle";
+    switch (mode) {
+      case KernelMode::Calendar:
+        return "calendar";
+      case KernelMode::EventSkip:
+        return "event-skip";
+      case KernelMode::PerCycle:
+        return "per-cycle";
+    }
+    return "?";
 }
 
 SimConfig

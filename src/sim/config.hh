@@ -36,16 +36,27 @@ enum class Scheme {
 const char *schemeName(Scheme scheme);
 
 /**
- * Simulation kernel driving System::run(). Both kernels produce
+ * Simulation kernel driving System::run(). All kernels produce
  * bit-identical SystemResult statistics (enforced by
- * tests/test_system.cc); EventSkip is strictly a wall-clock
- * optimisation. See docs/performance.md for the invariants.
+ * tests/test_system.cc); Calendar and EventSkip are strictly
+ * wall-clock optimisations. See docs/performance.md for the
+ * invariants.
  */
 enum class KernelMode {
     /**
+     * Calendar-queue event kernel (default): components post/repost
+     * timestamped events on a bucketed timing wheel; parked cores stay
+     * off the per-cycle tick path entirely until an event or a memory
+     * return wakes them, and the FR-FCFS scheduler issues from
+     * per-bank request lists. Iteration cost scales with events, not
+     * with awake-core cycles.
+     */
+    Calendar,
+    /**
      * Advance time directly to the next component event horizon
      * (nextEventAt()), parking stalled cores and idle controllers
-     * instead of ticking them. Default.
+     * instead of ticking them. Kept as a second optimised reference
+     * the calendar kernel is regression-gated against.
      */
     EventSkip,
     /** Reference loop: tick every component every cycle (seed loop). */
@@ -82,11 +93,14 @@ struct SimConfig {
     bool attachOracle = false;
     std::uint64_t seed = 42;
 
-    KernelMode kernel = KernelMode::EventSkip;
+    KernelMode kernel = KernelMode::Calendar;
     /**
-     * EventSkip only: execute would-be-skipped ticks anyway and assert
-     * each one is quiescent — a per-cycle-speed equivalence check of
-     * every skip decision (tests/debugging).
+     * Calendar/EventSkip only: execute would-be-skipped ticks anyway
+     * and assert each one is quiescent — a per-cycle-speed equivalence
+     * check of every skip decision (tests/debugging). For Calendar the
+     * kernel additionally shadow-runs the timing wheel and asserts it
+     * would have delivered every self-wake and controller event at
+     * exactly the cycle the per-cycle schedule needs it.
      */
     bool kernelParanoid = false;
 

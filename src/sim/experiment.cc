@@ -9,8 +9,6 @@
 
 namespace ccsim::sim {
 
-namespace {
-
 std::uint64_t
 envU64(const char *name, std::uint64_t def)
 {
@@ -25,7 +23,19 @@ envU64(const char *name, std::uint64_t def)
     return parsed;
 }
 
-} // namespace
+double
+envF64(const char *name, double def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    char *end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0')
+        CCSIM_FATAL("environment variable ", name, "='", v,
+                    "' is not a number");
+    return parsed;
+}
 
 ExpScale
 expScale()

@@ -35,6 +35,14 @@ struct ExpScale {
 /** Read CCSIM_INSTS / CCSIM_WARMUP from the environment. */
 ExpScale expScale();
 
+/**
+ * Validated environment scalars: unset/empty returns `def`; anything
+ * that does not parse fully is a CCSIM_FATAL naming the variable (a
+ * typo'd scale or gate knob must never silently become 0).
+ */
+std::uint64_t envU64(const char *name, std::uint64_t def);
+double envF64(const char *name, double def);
+
 /** Optional config mutation applied before a run. */
 using ConfigTweak = std::function<void(SimConfig &)>;
 

@@ -112,9 +112,10 @@ System::build(const std::vector<cpu::TraceSource *> &traces)
     }
 
     ctrl::CtrlConfig ctrl_cfg = config_.ctrl;
-    ctrl_cfg.useServeHorizon = config_.kernel == KernelMode::EventSkip;
+    ctrl_cfg.useServeHorizon = config_.kernel != KernelMode::PerCycle;
+    ctrl_cfg.useBankLists = config_.kernel == KernelMode::Calendar;
     ctrl_cfg.paranoidSchedule =
-        config_.kernel == KernelMode::EventSkip && config_.kernelParanoid;
+        ctrl_cfg.useServeHorizon && config_.kernelParanoid;
     for (int ch = 0; ch < config_.channels; ++ch) {
         controllers_.push_back(std::make_unique<ctrl::MemoryController>(
             chan_spec, ctrl_cfg, *providers_[ch], *refresh_[ch], ch));
@@ -135,11 +136,13 @@ System::build(const std::vector<cpu::TraceSource *> &traces)
         [this](int ch) { return controllers_[ch].get(); },
         [this](int core, std::uint64_t token) {
             wakeSignal_ = true;
+            calNoteWake(core);
             cores_[core]->onMissComplete(token);
         });
-    if (config_.kernel == KernelMode::EventSkip)
+    if (config_.kernel != KernelMode::PerCycle)
         llc_->setWakeCallback([this](int core) {
             wakeSignal_ = true;
+            calNoteWake(core);
             cores_[core]->externalWake();
         });
 
@@ -182,9 +185,62 @@ System::resetAllStats(CpuCycle now)
         energy_[ch]->resetAt(controllers_[ch]->now());
 }
 
+/**
+ * Forward-progress watchdog shared by the kernels: if no core retires
+ * anything for kStallLimit CPU cycles, the system is deadlocked — dump
+ * state and abort. Call checkAt(now) periodically.
+ */
+class System::StallWatchdog
+{
+  public:
+    explicit StallWatchdog(System &sys) : sys_(sys) {}
+
+    static constexpr CpuCycle kStallLimit = 10000000;
+
+    void
+    checkAt(CpuCycle now)
+    {
+        std::uint64_t retired = 0;
+        for (const auto &core : sys_.cores_)
+            retired += core->stats().retired;
+        if (retired != lastRetiredSum_) {
+            lastRetiredSum_ = retired;
+            lastProgress_ = now;
+            return;
+        }
+        if (now - lastProgress_ < kStallLimit)
+            return;
+        std::string dump;
+        for (size_t ch = 0; ch < sys_.controllers_.size(); ++ch) {
+            dump +=
+                " ch" + std::to_string(ch) + "{queued=" +
+                std::to_string(sys_.controllers_[ch]->queuedRequests()) +
+                ",pending=" +
+                std::to_string(sys_.controllers_[ch]->pendingReads()) + "}";
+        }
+        dump += " llc{quiesced=" +
+                std::to_string(sys_.llc_->quiesced() ? 1 : 0) +
+                ",blockedMshr=" +
+                std::to_string(sys_.llc_->stats().blockedMshr) + "}";
+        for (const auto &core : sys_.cores_)
+            dump += " core" + std::to_string(core->id()) + "{retired=" +
+                    std::to_string(core->stats().retired) + "}";
+        CCSIM_PANIC("no forward progress for ", kStallLimit,
+                    " cpu cycles at cycle ", now, ":", dump);
+    }
+
+  private:
+    System &sys_;
+    std::uint64_t lastRetiredSum_ = 0;
+    CpuCycle lastProgress_ = 0;
+};
+
 SystemResult
 System::run()
 {
+    if (config_.kernel == KernelMode::Calendar && !config_.kernelParanoid)
+        return runCalendar();
+
     CpuCycle now = 0;
     bool warm = false;
     CpuCycle warm_end = 0;
@@ -196,40 +252,7 @@ System::run()
         return true;
     };
 
-    // Forward-progress watchdog: if no core retires anything for this
-    // many CPU cycles, the system is deadlocked — dump state and abort.
-    constexpr CpuCycle kStallLimit = 10000000;
-    std::uint64_t last_retired_sum = 0;
-    CpuCycle last_progress = 0;
-    auto check_progress = [&]() {
-        std::uint64_t retired = 0;
-        for (const auto &core : cores_)
-            retired += core->stats().retired;
-        if (retired != last_retired_sum) {
-            last_retired_sum = retired;
-            last_progress = now;
-            return;
-        }
-        if (now - last_progress < kStallLimit)
-            return;
-        std::string dump;
-        for (size_t ch = 0; ch < controllers_.size(); ++ch) {
-            dump += " ch" + std::to_string(ch) +
-                    "{queued=" +
-                    std::to_string(controllers_[ch]->queuedRequests()) +
-                    ",pending=" +
-                    std::to_string(controllers_[ch]->pendingReads()) + "}";
-        }
-        dump += " llc{quiesced=" +
-                std::to_string(llc_->quiesced() ? 1 : 0) +
-                ",blockedMshr=" +
-                std::to_string(llc_->stats().blockedMshr) + "}";
-        for (const auto &core : cores_)
-            dump += " core" + std::to_string(core->id()) + "{retired=" +
-                    std::to_string(core->stats().retired) + "}";
-        CCSIM_PANIC("no forward progress for ", kStallLimit,
-                    " cpu cycles at cycle ", now, ":", dump);
-    };
+    StallWatchdog watchdog(*this);
 
     // ------------------------------------------------------------------
     // Simulation kernel. The PerCycle reference ticks every component
@@ -242,12 +265,29 @@ System::run()
     //  - replaces provably-idle controller ticks with skipTicks();
     //  - when every core is parked, advances `now` directly to the
     //    minimum event horizon over all components.
+    // The Calendar kernel (runCalendar) goes further and derives all of
+    // the above from posted events instead of polling; non-paranoid
+    // Calendar runs never reach this loop.
+    //
     // kernelParanoid executes every would-be-skipped tick anyway and
     // asserts it was quiescent, validating each skip decision at
-    // per-cycle speed.
+    // per-cycle speed. For KernelMode::Calendar it additionally
+    // shadow-runs the timing wheel and the cached controller horizons
+    // and asserts they would have delivered every wake-up at exactly
+    // the cycle this per-cycle schedule needs it.
     const CpuCycle ratio = static_cast<CpuCycle>(config_.cpuRatio);
-    const bool event = config_.kernel == KernelMode::EventSkip;
+    const bool event = config_.kernel != KernelMode::PerCycle;
     const bool paranoid = event && config_.kernelParanoid;
+    const bool cal_shadow =
+        paranoid && config_.kernel == KernelMode::Calendar;
+
+    // Calendar shadow state: self-wake events posted at park time, the
+    // per-cycle due set they resolve to, and the cached (repost-driven)
+    // controller horizons the calendar kernel would steer by.
+    TimingWheel shadow_wheel;
+    std::vector<char> shadow_due(cores_.size(), 0);
+    std::vector<int> shadow_due_list;
+    std::vector<CpuCycle> shadow_ctrl_next(controllers_.size(), 0);
 
     // Cycle since which each core's ticks have been elided (kNoCycle =
     // ticking normally). In paranoid mode the parked state is tracked
@@ -264,13 +304,7 @@ System::run()
                 continue;
             CCSIM_ASSERT(upto >= parkedSince[i],
                          "core parked in the future");
-            CpuCycle skipped = upto - parkedSince[i];
-            if (skipped == 0)
-                continue;
-            cores_[i]->accountStallCycles(skipped);
-            if (cores_[i]->stallKind() ==
-                cpu::Core::StallKind::BlockedLlc)
-                llc_->accountBlockedProbes(skipped);
+            settleCoreStalls(static_cast<int>(i), upto - parkedSince[i]);
             parkedSince[i] = upto;
         }
     };
@@ -317,17 +351,49 @@ System::run()
             }
         }
 
+        if (cal_shadow) {
+            // Resolve the wheel's deliveries for this cycle so the
+            // unpark sites below can assert the calendar kernel would
+            // have woken each self-scheduled core exactly now.
+            for (int i : shadow_due_list)
+                shadow_due[i] = 0;
+            shadow_due_list.clear();
+            shadow_wheel.drainUpTo(now, [&](TimingWheel::Payload p) {
+                int i = static_cast<int>(p);
+                shadow_due[i] = 1;
+                shadow_due_list.push_back(i);
+            });
+        }
+
         if (now % ratio == 0) {
             if (!event) {
                 for (auto &mc : controllers_)
                     mc->tick();
             } else if (paranoid) {
-                for (auto &mc : controllers_) {
-                    bool could = mc->nextEventAt() <= mc->now();
-                    bool active = mc->tick();
+                for (size_t ch = 0; ch < controllers_.size(); ++ch) {
+                    ctrl::MemoryController &mc = *controllers_[ch];
+                    // Mirror the calendar kernel's lazy repost: consume
+                    // the dirty flag at the boundary before deciding.
+                    if (cal_shadow && mc.consumeHorizonDirty())
+                        shadow_ctrl_next[ch] =
+                            static_cast<CpuCycle>(mc.nextEventAt()) *
+                            ratio;
+                    bool could = mc.nextEventAt() <= mc.now();
+                    bool cached_could = shadow_ctrl_next[ch] <= now;
+                    bool active = mc.tick();
                     CCSIM_ASSERT(!active || could,
                                  "event kernel would have skipped an "
                                  "active controller tick");
+                    if (cal_shadow) {
+                        CCSIM_ASSERT(
+                            !active || cached_could,
+                            "calendar posted horizon would have "
+                            "skipped an active controller tick");
+                        mc.consumeHorizonDirty();
+                        shadow_ctrl_next[ch] =
+                            static_cast<CpuCycle>(mc.nextEventAt()) *
+                            ratio;
+                    }
                 }
             } else {
                 for (auto &mc : controllers_)
@@ -357,15 +423,21 @@ System::run()
                         }
                         continue;
                     }
-                    if (!paranoid) {
-                        CpuCycle skipped = now - parkedSince[i];
-                        if (skipped) {
-                            core.accountStallCycles(skipped);
-                            if (core.stallKind() ==
-                                cpu::Core::StallKind::BlockedLlc)
-                                llc_->accountBlockedProbes(skipped);
-                        }
+                    if (cal_shadow && !core.wakePending()) {
+                        // Purely self-scheduled wake-up: the calendar
+                        // wheel must have delivered this core's event
+                        // at exactly this cycle.
+                        CCSIM_ASSERT(core.nextEventAt() == now,
+                                     "self-wake fired late for core ",
+                                     i);
+                        CCSIM_ASSERT(shadow_due[i],
+                                     "calendar wheel missed the "
+                                     "self-wake of core ",
+                                     i, " at cycle ", now);
                     }
+                    if (!paranoid)
+                        settleCoreStalls(static_cast<int>(i),
+                                         now - parkedSince[i]);
                     parkedSince[i] = kNoCycle;
                     ++awake_cores;
                     transitions = true;
@@ -376,6 +448,13 @@ System::run()
                     parkedSince[i] = now + 1; // Elide from next cycle.
                     --awake_cores;
                     transitions = true;
+                    if (cal_shadow) {
+                        CpuCycle e = core.nextEventAt();
+                        if (e != kNoCycle)
+                            shadow_wheel.post(
+                                e, CalendarKernelState::coreEvent(
+                                       static_cast<int>(i)));
+                    }
                 }
             }
             if (event && transitions)
@@ -383,6 +462,7 @@ System::run()
             if (any_progress)
                 progress_since_check = true;
         }
+
 
         CpuCycle next = now + 1;
         if (event && !paranoid && !any_progress) {
@@ -411,7 +491,7 @@ System::run()
         now = next;
 
         while (now >= next_progress_check) {
-            check_progress();
+            watchdog.checkAt(now);
             next_progress_check += 65536;
         }
         if (now > config_.maxCpuCycles)
@@ -421,7 +501,12 @@ System::run()
     }
 
     settle_parked(now);
+    return collectResults(now, warm_end);
+}
 
+SystemResult
+System::collectResults(CpuCycle now, CpuCycle warm_end)
+{
     SystemResult res;
     res.cpuCycles = now - warm_end;
     for (const auto &core : cores_) {
@@ -497,6 +582,273 @@ System::run()
         res.afterRefresh8ms = acts ? after_ref / acts : 0.0;
     }
     return res;
+}
+
+void
+System::settleCoreStalls(int core, CpuCycle skipped)
+{
+    if (skipped == 0)
+        return;
+    cores_[core]->accountStallCycles(skipped);
+    if (cores_[core]->stallKind() == cpu::Core::StallKind::BlockedLlc)
+        llc_->accountBlockedProbes(skipped);
+}
+
+void
+System::calUnpark(int core, CpuCycle now)
+{
+    CalendarKernelState &cal = *cal_;
+    CpuCycle since = cal.parkedSince[core];
+    CCSIM_ASSERT(since != kNoCycle, "unparking an awake core");
+    CCSIM_ASSERT(now >= since, "core parked in the future");
+    // Settle the stall statistics the elided ticks would have accrued
+    // over [since, now) — identical to the EventSkip bulk accounting.
+    settleCoreStalls(core, now - since);
+    cal.parkedSince[core] = kNoCycle;
+    cal.awake.insert(
+        std::lower_bound(cal.awake.begin(), cal.awake.end(), core), core);
+}
+
+void
+System::calNoteWake(int core)
+{
+    if (!cal_)
+        return;
+    CalendarKernelState &cal = *cal_;
+    if (cal.parkedSince[core] == kNoCycle)
+        return; // Awake cores tick anyway.
+    if (cal.inCorePhase && core > cal.currentCore) {
+        // The id-ordered walk has not reached this core yet, so the
+        // per-cycle reference would tick it this very cycle: unpark it
+        // straight into the (sorted) awake list ahead of the cursor.
+        calUnpark(core, cal.now);
+    } else if (!cal.wakeQueued[core]) {
+        // Woken by the controller/LLC phase, or by a core the walk
+        // already passed: it re-ticks at the next core phase.
+        cal.wakeQueued[core] = 1;
+        cal.pendingWake.push_back(core);
+    }
+}
+
+SystemResult
+System::runCalendar()
+{
+    // ------------------------------------------------------------------
+    // Calendar-queue event kernel. Semantics are identical to the
+    // PerCycle reference and the EventSkip kernel (bit-identical
+    // SystemResult; enforced by tests/test_system.cc) but every "when
+    // does anything next happen" question is answered by posted events
+    // instead of polling:
+    //  - a parked core with a self-scheduled LLC-hit return posts one
+    //    wake event at park time (its hit queue is frozen while
+    //    parked, so the event never moves); a purely externally-driven
+    //    core posts nothing and is revived by the LLC callbacks;
+    //  - each controller's nextEventAt() is cached in CPU cycles and
+    //    reposted only when it changes — after one of its own ticks, or
+    //    when an enqueue dirties it (consumeHorizonDirty) — so awake
+    //    phases cost one integer compare per controller per DRAM cycle
+    //    and jumps need no controller polling at all;
+    //  - only awake cores are visited in the core phase (the sorted
+    //    awake list preserves the reference's id-ordered tick order);
+    //    parked cores are entirely off the per-cycle path;
+    //  - when everything is parked, `now` jumps to the wheel's next
+    //    event. Stale wheel entries (a source reposted a nearer event)
+    //    can only stop the jump early — at a cycle where nothing fires
+    //    and nothing is due, which is statistically invisible — never
+    //    skip past a real event, because posting only adds entries.
+    // kernelParanoid runs the per-cycle schedule in run() instead, with
+    // this kernel's wheel and cached horizons shadowed and asserted.
+    // ------------------------------------------------------------------
+    CCSIM_ASSERT(!cal_, "runCalendar is not reentrant");
+    cal_ = std::make_unique<CalendarKernelState>(cores_.size());
+    CalendarKernelState &cal = *cal_;
+
+    CpuCycle now = 0;
+    bool warm = false;
+    CpuCycle warm_end = 0;
+    const CpuCycle ratio = static_cast<CpuCycle>(config_.cpuRatio);
+
+    auto all_retired_at_least = [&](std::uint64_t n) {
+        for (const auto &core : cores_)
+            if (core->stats().retired < n)
+                return false;
+        return true;
+    };
+
+    StallWatchdog watchdog(*this);
+    CpuCycle next_progress_check = 65536;
+
+    // Controller event slots: each channel's posted horizon, in CPU
+    // cycles — the cycle of its next tick that could do observable
+    // work. Controllers repost after each of their own ticks; enqueues
+    // from the core/LLC side dirty the slot (consumeHorizonDirty) and
+    // the value is refreshed lazily at the next boundary or jump
+    // decision. Channels are few and their horizons move every DRAM
+    // cycle while serving, so a dedicated slot array beats wheel
+    // entries (no stale-entry churn); the wheel carries the per-core
+    // wake events, whose timestamps are arbitrary and sparse.
+    std::vector<CpuCycle> ctrl_next(controllers_.size(), 0);
+    auto repost_ctrl = [&](std::size_t ch) {
+        ctrl_next[ch] =
+            static_cast<CpuCycle>(controllers_[ch]->nextEventAt()) * ratio;
+    };
+
+    // Settle every parked core's stall statistics up to `upto` and
+    // re-base its park time (warm-up boundary and end of run).
+    auto settle_all_parked = [&](CpuCycle upto) {
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            if (cal.parkedSince[i] == kNoCycle)
+                continue;
+            CCSIM_ASSERT(upto >= cal.parkedSince[i],
+                         "core parked in the future");
+            settleCoreStalls(static_cast<int>(i),
+                             upto - cal.parkedSince[i]);
+            cal.parkedSince[i] = upto;
+        }
+    };
+
+    bool progress_since_check = true;
+
+    while (true) {
+        if (progress_since_check) {
+            progress_since_check = false;
+            if (!warm && all_retired_at_least(config_.warmupInsts)) {
+                warm = true;
+                warm_end = now;
+                settle_all_parked(now);
+                resetAllStats(now);
+            }
+            if (warm) {
+                bool done = true;
+                for (const auto &core : cores_)
+                    if (!core->reachedTarget())
+                        done = false;
+                if (done)
+                    break;
+            }
+        }
+
+        cal.now = now;
+
+        // Deliver core wake events due this cycle (one compare when
+        // nothing is due). Entries revalidate against the core's own
+        // horizon so stale posts from an earlier park are dropped.
+        cal.wheel.drainUpTo(now, [&](TimingWheel::Payload p) {
+            int i = static_cast<int>(p);
+            if (cal.parkedSince[i] != kNoCycle &&
+                cores_[i]->nextEventAt() <= now && !cal.wakeQueued[i]) {
+                cal.wakeQueued[i] = 1;
+                cal.pendingWake.push_back(i);
+            }
+        });
+
+        if (now % ratio == 0) {
+            for (std::size_t ch = 0; ch < controllers_.size(); ++ch) {
+                if (controllers_[ch]->consumeHorizonDirty())
+                    repost_ctrl(ch);
+                if (ctrl_next[ch] <= now) {
+                    controllers_[ch]->tick();
+                    controllers_[ch]->consumeHorizonDirty();
+                    repost_ctrl(ch);
+                } else {
+                    // Posted horizon proves this tick would be a pure
+                    // clock advance.
+                    controllers_[ch]->advanceIdle();
+                }
+            }
+            if (llc_->needsAnyDrain())
+                llc_->tick();
+        }
+
+        // Core phase: unpark everything the last cycle's events or the
+        // controller phase woke, then tick the awake list in id order.
+        if (!cal.pendingWake.empty()) {
+            for (int i : cal.pendingWake) {
+                cal.wakeQueued[i] = 0;
+                if (cal.parkedSince[i] != kNoCycle)
+                    calUnpark(i, now);
+            }
+            cal.pendingWake.clear();
+        }
+        bool any_progress = false;
+        bool any_parked = false;
+        cal.inCorePhase = true;
+        for (std::size_t k = 0; k < cal.awake.size(); ++k) {
+            int i = cal.awake[k];
+            cal.currentCore = i;
+            if (cores_[i]->tick(now)) {
+                any_progress = true;
+            } else {
+                cal.parkedSince[i] = now + 1; // Elide from next cycle.
+                any_parked = true;
+            }
+        }
+        cal.inCorePhase = false;
+        cal.currentCore = -1;
+        if (any_parked) {
+            // Compact the awake list; freshly parked cores post their
+            // self-wake (if any) once — their hit queue is frozen while
+            // parked, so the event cannot move until they wake.
+            std::size_t w = 0;
+            for (std::size_t k = 0; k < cal.awake.size(); ++k) {
+                int i = cal.awake[k];
+                if (cal.parkedSince[i] == kNoCycle) {
+                    cal.awake[w++] = i;
+                } else {
+                    CpuCycle e = cores_[i]->nextEventAt();
+                    if (e != kNoCycle)
+                        cal.wheel.post(
+                            e, CalendarKernelState::coreEvent(i));
+                }
+            }
+            cal.awake.resize(w);
+        }
+        if (any_progress)
+            progress_since_check = true;
+
+        CpuCycle next = now + 1;
+        if (!any_progress && cal.awake.empty() &&
+            cal.pendingWake.empty()) {
+            // Everything is parked and nothing fired: jump to the
+            // earliest posted event — wheel (core wakes) and controller
+            // slots, refreshed where an enqueue dirtied them. The
+            // horizon is always finite: refresh keeps every controller
+            // posting.
+            CpuCycle horizon = cal.wheel.nextEventAt();
+            for (std::size_t ch = 0; ch < controllers_.size(); ++ch) {
+                if (controllers_[ch]->consumeHorizonDirty())
+                    repost_ctrl(ch);
+                horizon = std::min(horizon, ctrl_next[ch]);
+            }
+            Cycle ctrl_now = controllers_[0]->now();
+            if (llc_->needsTick())
+                horizon = std::min<CpuCycle>(horizon, ctrl_now * ratio);
+            CCSIM_ASSERT(horizon != kNoCycle, "no future event horizon");
+            next = std::max(now + 1, horizon);
+            if (next > now + 1) {
+                // Controller ticks inside (now, next) are provably
+                // idle; fast-forward their clocks in one step.
+                Cycle skipped_ticks = (next - 1) / ratio - now / ratio;
+                if (skipped_ticks)
+                    for (auto &mc : controllers_)
+                        mc->skipTicks(skipped_ticks);
+            }
+        }
+        now = next;
+
+        while (now >= next_progress_check) {
+            watchdog.checkAt(now);
+            next_progress_check += 65536;
+        }
+        if (now > config_.maxCpuCycles)
+            CCSIM_FATAL("simulation exceeded maxCpuCycles=",
+                        config_.maxCpuCycles,
+                        "; workload cannot make progress?");
+    }
+
+    settle_all_parked(now);
+    cal_.reset();
+    return collectResults(now, warm_end);
 }
 
 } // namespace ccsim::sim

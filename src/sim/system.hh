@@ -19,6 +19,7 @@
 #include "dram/oracle.hh"
 #include "energy/energy_model.hh"
 #include "mem/llc.hh"
+#include "sim/calendar.hh"
 #include "sim/config.hh"
 #include "workloads/synthetic.hh"
 
@@ -97,9 +98,26 @@ class System
     const SimConfig &config() const { return config_; }
 
   private:
+    class StallWatchdog;
+
     void build(const std::vector<cpu::TraceSource *> &traces);
     void makeProviders();
     void resetAllStats(CpuCycle now);
+
+    /** Calendar-queue event kernel (KernelMode::Calendar, non-paranoid). */
+    SystemResult runCalendar();
+    /** LLC wake/completion hook into the calendar kernel (no-op unless
+        runCalendar is executing). */
+    void calNoteWake(int core);
+    /** Unpark `core` at `now`: settle its bulk stall statistics and put
+        it back on the sorted awake list. */
+    void calUnpark(int core, CpuCycle now);
+    /** Account `skipped` elided park cycles of `core`: the same
+        one-per-cycle stall statistics the per-cycle loop would have
+        accrued (plus the LLC-side retry counters for BlockedLlc). */
+    void settleCoreStalls(int core, CpuCycle skipped);
+    /** Gather every end-of-run metric (shared by all kernels). */
+    SystemResult collectResults(CpuCycle now, CpuCycle warm_end);
 
     SimConfig config_;
     dram::DramSpec spec_;
@@ -120,6 +138,13 @@ class System
      * core phase of a cycle without polling each core's wake state.
      */
     bool wakeSignal_ = false;
+
+    /**
+     * Calendar kernel state: allocated for the duration of
+     * runCalendar() only. The LLC callbacks (bound once in build())
+     * route wakes through it when present.
+     */
+    std::unique_ptr<CalendarKernelState> cal_;
 };
 
 } // namespace ccsim::sim

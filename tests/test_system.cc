@@ -2,13 +2,41 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
 #include "sim/config.hh"
 #include "sim/experiment.hh"
 #include "sim/system.hh"
 #include "workloads/profiles.hh"
+#include "workloads/trace_file.hh"
 
 namespace ccsim::sim {
 namespace {
+
+/**
+ * CCSIM_PARANOID=1 (the dedicated CI job) upgrades every optimised
+ * kernel under test to its shadow-validation mode: all skip decisions
+ * are executed-and-asserted instead of taken on faith, and the
+ * calendar kernel's wheel and cached horizons are cross-checked
+ * against the per-cycle schedule.
+ */
+bool
+envParanoid()
+{
+    const char *v = std::getenv("CCSIM_PARANOID");
+    return v && *v && *v != '0';
+}
+
+void
+applyEnvParanoia(SimConfig &cfg)
+{
+    if (cfg.kernel != KernelMode::PerCycle && envParanoid())
+        cfg.kernelParanoid = true;
+}
 
 SimConfig
 tinySingle(Scheme scheme)
@@ -296,9 +324,10 @@ TEST(System, TimingModelDurationOverride)
 }
 
 // ---------------------------------------------------------------------
-// Kernel equivalence: the event-skipping kernel must be a pure
-// wall-clock optimisation — every statistic a figure could consume has
-// to come out bit-identical to the per-cycle reference loop.
+// Kernel equivalence: the event kernels (calendar queue and
+// event-skip) must be pure wall-clock optimisations — every statistic
+// a figure could consume has to come out bit-identical to the
+// per-cycle reference loop.
 
 SimConfig
 tinyTwoCore(Scheme scheme, KernelMode kernel)
@@ -314,6 +343,7 @@ tinyTwoCore(Scheme scheme, KernelMode kernel)
     cfg.warmupInsts = 2000;
     cfg.kernel = kernel;
     cfg.finalizeChargeCache();
+    applyEnvParanoia(cfg);
     return cfg;
 }
 
@@ -393,24 +423,48 @@ TEST(KernelEquivalence, EventSkipMatchesPerCycleAllSchemes)
     }
 }
 
-TEST(KernelEquivalence, OpenRowSingleCoreAllSchemes)
+TEST(KernelEquivalence, CalendarMatchesPerCycleAllSchemes)
 {
-    // The paper's single-core system is open-row: cover the optimized
-    // scheduler's open-row path (no auto-precharge decisions) too.
+    // The calendar-queue kernel (the default) against the seed
+    // reference, for every scheme: posted events, per-bank request
+    // lists and the sorted awake list must reproduce the per-cycle
+    // schedule bit for bit.
+    const std::vector<std::string> workloads = {"tpch6", "mcf"};
     for (Scheme s : {Scheme::Baseline, Scheme::ChargeCache, Scheme::Nuat,
                      Scheme::ChargeCacheNuat, Scheme::LlDram}) {
-        SimConfig ref_cfg = tinySingle(s);
-        ref_cfg.ctrl.trackRltl = true;
-        ref_cfg.cc.trackUnlimited = true;
-        ref_cfg.kernel = KernelMode::PerCycle;
-        SimConfig fast_cfg = ref_cfg;
-        fast_cfg.kernel = KernelMode::EventSkip;
-        System ref(ref_cfg, {"apache20"});
-        System fast(fast_cfg, {"apache20"});
+        System ref(tinyTwoCore(s, KernelMode::PerCycle), workloads);
+        System fast(tinyTwoCore(s, KernelMode::Calendar), workloads);
         SystemResult rr = ref.run();
         SystemResult rf = fast.run();
         expectIdenticalResults(rr, rf, schemeName(s));
-        expectIdenticalCoreStats(ref, fast, 1, schemeName(s));
+        expectIdenticalCoreStats(ref, fast, 2, schemeName(s));
+    }
+}
+
+TEST(KernelEquivalence, OpenRowSingleCoreAllSchemes)
+{
+    // The paper's single-core system is open-row: cover the optimized
+    // schedulers' open-row paths (no auto-precharge decisions) too.
+    for (KernelMode k : {KernelMode::EventSkip, KernelMode::Calendar}) {
+        for (Scheme s :
+             {Scheme::Baseline, Scheme::ChargeCache, Scheme::Nuat,
+              Scheme::ChargeCacheNuat, Scheme::LlDram}) {
+            SimConfig ref_cfg = tinySingle(s);
+            ref_cfg.ctrl.trackRltl = true;
+            ref_cfg.cc.trackUnlimited = true;
+            ref_cfg.kernel = KernelMode::PerCycle;
+            SimConfig fast_cfg = ref_cfg;
+            fast_cfg.kernel = k;
+            applyEnvParanoia(fast_cfg);
+            System ref(ref_cfg, {"apache20"});
+            System fast(fast_cfg, {"apache20"});
+            SystemResult rr = ref.run();
+            SystemResult rf = fast.run();
+            std::string label = std::string(kernelModeName(k)) + "/" +
+                                schemeName(s);
+            expectIdenticalResults(rr, rf, label.c_str());
+            expectIdenticalCoreStats(ref, fast, 1, label.c_str());
+        }
     }
 }
 
@@ -432,17 +486,146 @@ TEST(KernelEquivalence, ParanoidModeValidatesEverySkipDecision)
     }
 }
 
+TEST(KernelEquivalence, CalendarParanoidShadowValidates)
+{
+    // Calendar paranoia shadow-runs the timing wheel and the cached
+    // controller horizons under the per-cycle schedule: a missed or
+    // late wheel delivery, or a cached horizon that would have skipped
+    // an active controller tick, panics. Results must still be
+    // bit-identical to the reference.
+    const std::vector<std::string> workloads = {"apache20", "STREAMcopy"};
+    for (Scheme s : {Scheme::Baseline, Scheme::ChargeCache}) {
+        System ref(tinyTwoCore(s, KernelMode::PerCycle), workloads);
+        SimConfig cfg = tinyTwoCore(s, KernelMode::Calendar);
+        cfg.kernelParanoid = true;
+        System paranoid(cfg, workloads);
+        SystemResult rr = ref.run();
+        SystemResult rp = paranoid.run();
+        expectIdenticalResults(rr, rp, schemeName(s));
+    }
+}
+
 TEST(KernelEquivalence, EightCoreTwoChannel)
 {
     // Multi-channel: controller clock fast-forwarding must stay in
-    // lockstep across channels.
-    SimConfig ref_cfg = tinyEight(Scheme::ChargeCacheNuat);
-    ref_cfg.kernel = KernelMode::PerCycle;
-    SimConfig fast_cfg = tinyEight(Scheme::ChargeCacheNuat);
-    fast_cfg.kernel = KernelMode::EventSkip;
-    System ref(ref_cfg, workloads::mixWorkloads(2));
-    System fast(fast_cfg, workloads::mixWorkloads(2));
-    expectIdenticalResults(ref.run(), fast.run(), "8-core CC+NUAT");
+    // lockstep across channels — for both event kernels.
+    for (KernelMode k : {KernelMode::EventSkip, KernelMode::Calendar}) {
+        SimConfig ref_cfg = tinyEight(Scheme::ChargeCacheNuat);
+        ref_cfg.kernel = KernelMode::PerCycle;
+        SimConfig fast_cfg = tinyEight(Scheme::ChargeCacheNuat);
+        fast_cfg.kernel = k;
+        applyEnvParanoia(fast_cfg);
+        System ref(ref_cfg, workloads::mixWorkloads(2));
+        System fast(fast_cfg, workloads::mixWorkloads(2));
+        expectIdenticalResults(ref.run(), fast.run(), kernelModeName(k));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace-file workloads (ROADMAP open item): finite traces end mid-run
+// and wrap through TraceSource::reset(), so a parked core's wake
+// pattern crosses the wrap point. The calendar park/wake invariants
+// must hold and all kernels must still agree bit for bit.
+
+class FiniteTraceFile : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // Unique per test *and* process: ctest runs each test in its
+        // own process, possibly concurrently.
+        path_ = ::testing::TempDir() + "ccsim_finite_trace_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                "_" + std::to_string(::getpid()) + ".txt";
+        std::ofstream out(path_);
+        ASSERT_TRUE(out.good());
+        // A short trace with compute gaps, strided reads over several
+        // rows/banks, and occasional writes; far shorter than the
+        // instruction target so every core wraps it many times and the
+        // run repeatedly crosses the end-of-trace reset mid-flight.
+        out << "# finite trace for kernel park/wake tests\n";
+        // 256 KiB stride = 4096 lines: every access maps to the same
+        // LLC set, so the 16-way set thrashes and every trace wrap
+        // keeps missing to DRAM (plus dirty writebacks) — the traffic
+        // the park/wake machinery has to stay sound under.
+        for (int i = 0; i < 48; ++i) {
+            Addr rd = 0x10000 + static_cast<Addr>(i) * 262144;
+            out << (i % 7) << " " << rd;
+            if (i % 5 == 0)
+                out << " " << (0x20000 + static_cast<Addr>(i) * 262144);
+            out << "\n";
+        }
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    SimConfig
+    config(KernelMode kernel) const
+    {
+        SimConfig cfg;
+        cfg.nCores = 2;
+        cfg.channels = 1;
+        cfg.ctrl.rowPolicy = ctrl::RowPolicy::Closed;
+        cfg.targetInsts = 9000;
+        cfg.warmupInsts = 1500;
+        cfg.kernel = kernel;
+        cfg.finalizeChargeCache();
+        return cfg;
+    }
+
+    SystemResult
+    runWith(SimConfig cfg)
+    {
+        workloads::RamulatorTraceReader t0(path_);
+        workloads::RamulatorTraceReader t1(path_);
+        System sys(cfg, std::vector<cpu::TraceSource *>{&t0, &t1});
+        return sys.run();
+    }
+
+    std::string path_;
+};
+
+TEST_F(FiniteTraceFile, AllKernelsAgree)
+{
+    SystemResult ref = runWith(config(KernelMode::PerCycle));
+    EXPECT_GT(ref.activations, 0u);
+    for (KernelMode k : {KernelMode::EventSkip, KernelMode::Calendar}) {
+        SimConfig cfg = config(k);
+        applyEnvParanoia(cfg);
+        SystemResult r = runWith(cfg);
+        expectIdenticalResults(ref, r, kernelModeName(k));
+    }
+}
+
+TEST_F(FiniteTraceFile, CalendarParanoidParkWakeInvariantsHold)
+{
+    // Every park, wake and cached-horizon decision the calendar kernel
+    // would take over the wrapping trace is executed-and-asserted.
+    SimConfig cfg = config(KernelMode::Calendar);
+    cfg.kernelParanoid = true;
+    SystemResult r = runWith(cfg);
+    SystemResult ref = runWith(config(KernelMode::PerCycle));
+    expectIdenticalResults(ref, r, "paranoid calendar on finite trace");
+}
+
+TEST_F(FiniteTraceFile, ChargeCacheSchemeOnTraces)
+{
+    // The provider stack on trace-driven workloads, calendar kernel.
+    SimConfig cfg = config(KernelMode::Calendar);
+    cfg.scheme = Scheme::ChargeCache;
+    cfg.finalizeChargeCache();
+    applyEnvParanoia(cfg);
+    SystemResult r = runWith(cfg);
+    SimConfig ref_cfg = config(KernelMode::PerCycle);
+    ref_cfg.scheme = Scheme::ChargeCache;
+    ref_cfg.finalizeChargeCache();
+    SystemResult ref = runWith(ref_cfg);
+    expectIdenticalResults(ref, r, "ChargeCache on finite trace");
+    EXPECT_GE(r.hcracHitRate, 0.0);
+    EXPECT_LE(r.hcracHitRate, 1.0);
 }
 
 TEST(Experiment, WeightedSpeedupOfIdenticalIpcIsCoreCount)
