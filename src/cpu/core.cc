@@ -5,8 +5,8 @@
 namespace ccsim::cpu {
 
 Core::Core(int id, const CoreConfig &config, TraceSource &trace,
-           mem::Llc &llc)
-    : id_(id), config_(config), trace_(trace), llc_(llc)
+           mem::Llc &llc, vm::Mmu *mmu)
+    : id_(id), config_(config), trace_(trace), llc_(llc), mmu_(mmu)
 {
     CCSIM_ASSERT(config_.issueWidth >= 1 && config_.windowSize >= 1,
                  "bad core configuration");
@@ -16,11 +16,81 @@ void
 Core::onMissComplete(std::uint64_t token)
 {
     wakePending_ = true;
+    if (token == kXlatToken) {
+        xlatReady_ = true;
+        return;
+    }
     if (token < windowBaseSeq_)
         return; // A store that already retired.
     std::uint64_t idx = token - windowBaseSeq_;
     if (idx < window_.size())
         window_[idx].completed = true;
+}
+
+Core::IssueResult
+Core::issuePte(CpuCycle now)
+{
+    mem::Llc::Result res =
+        llc_.access(id_, mmu_->pteLine(), false, kXlatToken,
+                    /*is_ptw=*/true);
+    if (res == mem::Llc::Result::Blocked) {
+        ++stats_.blockedAccesses;
+        return IssueResult::Blocked;
+    }
+    xlatState_ = XlatState::WaitPte;
+    xlatReady_ = false;
+    if (res == mem::Llc::Result::Hit)
+        xlatEventAt_ = now + llc_.config().hitLatencyCpu;
+    // Miss: the PTE arrives through onMissComplete(kXlatToken).
+    return IssueResult::XlatStep;
+}
+
+Core::IssueResult
+Core::advanceTranslation(CpuCycle now)
+{
+    switch (xlatState_) {
+      case XlatState::None: {
+        vm::Mmu::Result r = mmu_->beginTranslate(record_.addr, now);
+        if (r == vm::Mmu::Result::L1Hit) {
+            translatedLine_ = mmu_->translatedLine();
+            return IssueResult::Issued;
+        }
+        if (r == vm::Mmu::Result::L2Hit) {
+            xlatState_ = XlatState::WaitL2;
+            xlatReady_ = false;
+            xlatEventAt_ = now + mmu_->config().l2HitLatency;
+            return IssueResult::XlatStep;
+        }
+        xlatState_ = XlatState::NeedPte;
+        return issuePte(now);
+      }
+      case XlatState::WaitL2:
+        if (!xlatReady_) {
+            ++stats_.xlatStallCycles;
+            return IssueResult::XlatWait;
+        }
+        xlatReady_ = false;
+        mmu_->completeL2();
+        translatedLine_ = mmu_->translatedLine();
+        xlatState_ = XlatState::None;
+        return IssueResult::Issued;
+      case XlatState::WaitPte:
+        if (!xlatReady_) {
+            ++stats_.xlatStallCycles;
+            return IssueResult::XlatWait;
+        }
+        xlatReady_ = false;
+        if (mmu_->pteReturned(now)) {
+            translatedLine_ = mmu_->translatedLine();
+            xlatState_ = XlatState::None;
+            return IssueResult::Issued;
+        }
+        xlatState_ = XlatState::NeedPte;
+        return issuePte(now);
+      case XlatState::NeedPte:
+        return issuePte(now);
+    }
+    CCSIM_PANIC("unreachable translation state");
 }
 
 Core::IssueResult
@@ -39,6 +109,7 @@ Core::issueOne(CpuCycle now)
         pendingCompute_ = record_.nonMemInsts;
         memIssued_ = false;
         recordValid_ = true;
+        translatedLine_ = kNoAddr;
     }
     if (pendingCompute_ > 0) {
         window_.push_back({true, false});
@@ -47,8 +118,18 @@ Core::issueOne(CpuCycle now)
         return IssueResult::Issued;
     }
     CCSIM_ASSERT(!memIssued_, "record should have been refreshed");
-    Addr line_addr =
-        record_.addr / static_cast<Addr>(llc_.config().lineBytes);
+    Addr line_addr;
+    if (mmu_) {
+        if (translatedLine_ == kNoAddr) {
+            IssueResult xr = advanceTranslation(now);
+            if (xr != IssueResult::Issued)
+                return xr;
+        }
+        line_addr = translatedLine_;
+    } else {
+        line_addr =
+            record_.addr / static_cast<Addr>(llc_.config().lineBytes);
+    }
     mem::Llc::Result res =
         llc_.access(id_, line_addr, record_.isWrite, seq_);
     if (res == mem::Llc::Result::Blocked) {
@@ -64,8 +145,13 @@ Core::issueOne(CpuCycle now)
     } else {
         entry.completed = false;
         ++stats_.memReads;
-        if (res == mem::Llc::Result::Hit)
-            hitQueue_.emplace(now + llc_.config().hitLatencyCpu, seq_);
+        if (res == mem::Llc::Result::Hit) {
+            CpuCycle ret = now + llc_.config().hitLatencyCpu;
+            CCSIM_ASSERT(hitQueue_.empty() ||
+                             hitQueue_.back().first <= ret,
+                         "hit queue must stay cycle-monotone");
+            hitQueue_.emplace_back(ret, seq_);
+        }
         // Miss: completion arrives through onMissComplete().
     }
     window_.push_back(entry);
@@ -79,12 +165,19 @@ bool
 Core::tick(CpuCycle now)
 {
     bool progressed = false;
-    // LLC-hit data returns.
-    while (!hitQueue_.empty() && hitQueue_.top().first <= now) {
-        std::uint64_t token = hitQueue_.top().second;
-        hitQueue_.pop();
+    // Deliver scheduled LLC-hit data returns due by now. Delivery alone
+    // is not progress (see tick() docs): while the core was parked past
+    // some of these cycles, the per-cycle reference performed the same
+    // deliveries on ticks whose only other effect was the one
+    // stall-statistic increment the parked accounting settles in bulk.
+    while (!hitQueue_.empty() && hitQueue_.front().first <= now) {
+        std::uint64_t token = hitQueue_.front().second;
+        hitQueue_.pop_front();
         onMissComplete(token);
-        progressed = true;
+    }
+    if (xlatEventAt_ <= now) {
+        xlatEventAt_ = kNoCycle;
+        xlatReady_ = true;
     }
     // In-order retire, up to issue width.
     for (int i = 0; i < config_.issueWidth && !window_.empty(); ++i) {
@@ -103,6 +196,12 @@ Core::tick(CpuCycle now)
     IssueResult last = IssueResult::Issued;
     for (int i = 0; i < config_.issueWidth; ++i) {
         last = issueOne(now);
+        if (last == IssueResult::XlatStep) {
+            // A translation step (TLB timer armed or PTE fetch sent)
+            // consumes the rest of this cycle's issue bandwidth.
+            progressed = true;
+            break;
+        }
         if (last != IssueResult::Issued)
             break;
         progressed = true;
@@ -111,10 +210,18 @@ Core::tick(CpuCycle now)
         stallKind_ = StallKind::None;
     } else {
         // A no-progress tick always ends in exactly one failed issue:
-        // either the window is full or the LLC rejected the access.
-        stallKind_ = last == IssueResult::WindowFull
-                         ? StallKind::WindowFull
-                         : StallKind::BlockedLlc;
+        // window full, LLC rejection, or a translation still in flight.
+        switch (last) {
+          case IssueResult::WindowFull:
+            stallKind_ = StallKind::WindowFull;
+            break;
+          case IssueResult::XlatWait:
+            stallKind_ = StallKind::XlatWait;
+            break;
+          default:
+            stallKind_ = StallKind::BlockedLlc;
+            break;
+        }
     }
     wakePending_ = false;
     return progressed;
@@ -127,6 +234,8 @@ Core::accountStallCycles(CpuCycle cycles)
         stats_.stallCyclesFull += cycles;
     else if (stallKind_ == StallKind::BlockedLlc)
         stats_.blockedAccesses += cycles;
+    else if (stallKind_ == StallKind::XlatWait)
+        stats_.xlatStallCycles += cycles;
 }
 
 void

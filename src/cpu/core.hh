@@ -11,17 +11,26 @@
  * up to issue-width per cycle, so a long-latency load at the head
  * eventually stalls the core — the mechanism by which DRAM latency
  * becomes IPC.
+ *
+ * When a vm::Mmu is attached, trace addresses are virtual: a memory
+ * record translates before it issues. An L1 TLB hit is free (part of
+ * the load pipeline); an L2 TLB hit self-schedules after a fixed
+ * latency; a full miss walks the radix page table, with each PTE
+ * fetched as a real read through the LLC — the walk stalls issue until
+ * its last PTE returns, via the same hit-queue / miss-callback wake
+ * paths data uses, so all three simulation kernels stay bit-identical.
  */
 
 #ifndef CCSIM_CPU_CORE_HH
 #define CCSIM_CPU_CORE_HH
 
 #include <deque>
-#include <queue>
+#include <limits>
 
 #include "common/types.hh"
 #include "cpu/trace.hh"
 #include "mem/llc.hh"
+#include "vm/mmu.hh"
 
 namespace ccsim::cpu {
 
@@ -37,6 +46,7 @@ struct CoreStats {
     std::uint64_t memWrites = 0;
     std::uint64_t stallCyclesFull = 0; ///< Window full at issue.
     std::uint64_t blockedAccesses = 0; ///< LLC said Blocked.
+    std::uint64_t xlatStallCycles = 0; ///< Awaiting TLB/page-walk data.
 };
 
 class Core
@@ -54,18 +64,23 @@ class Core
         None,       ///< Last tick made progress.
         WindowFull, ///< Instruction window full, head incomplete.
         BlockedLlc, ///< Memory op rejected by the LLC (MSHRs full).
+        XlatWait,   ///< Translation waiting on TLB/PTE data (VM mode).
     };
 
     Core(int id, const CoreConfig &config, TraceSource &trace,
-         mem::Llc &llc);
+         mem::Llc &llc, vm::Mmu *mmu = nullptr);
 
     /**
      * Advance one CPU cycle. Returns true if the tick made progress
-     * (completed, retired, issued, or fetched a trace record); a false
-     * return guarantees that re-ticking on subsequent cycles stays a
-     * no-op apart from one stall-statistic increment per cycle, until
-     * either `nextEventAt()` is reached or an external completion
-     * arrives (`wakePending()`).
+     * (retired, issued, advanced a translation, or fetched a trace
+     * record); a false return guarantees that re-ticking on subsequent
+     * cycles stays a no-op apart from one stall-statistic increment per
+     * cycle, until either `nextEventAt()` is reached or an external
+     * completion arrives (`wakePending()`). Delivering scheduled
+     * LLC-hit returns is deliberately *not* progress by itself:
+     * completing window entries behind an incomplete head is invisible
+     * until retire or issue can move, which is what lets the event
+     * kernels batch a burst of returns into a single wake.
      */
     bool tick(CpuCycle now);
 
@@ -80,16 +95,31 @@ class Core
 
     /**
      * Earliest future cycle at which a stalled tick could make progress
-     * without external input: the next self-scheduled LLC-hit return,
-     * or kNoCycle when purely externally driven. While the core is
-     * parked it issues nothing, so the hit queue — and therefore this
-     * horizon — is frozen: the calendar kernel posts it to the timing
-     * wheel once at park time and never needs a repost.
+     * without external input, or kNoCycle when purely externally
+     * driven. Only two self-scheduled events qualify:
+     *  - the hit-return of the window *head* (younger returns cannot
+     *    retire past an incomplete head and cannot free window space,
+     *    so their delivery is deferred to the next wake — the batched
+     *    wake optimisation); the hit queue is (cycle, seq)-monotone,
+     *    so the head's return, when queued, is its front;
+     *  - the translation timer (L2 TLB latency or a PTE LLC-hit
+     *    return), unless the window is full — a full window blocks
+     *    issue before the translation state machine can advance.
+     * While the core is parked it issues and retires nothing, so every
+     * input to this horizon is frozen: the calendar kernel posts it to
+     * the timing wheel once at park time and never needs a repost.
      */
     CpuCycle
     nextEventAt() const
     {
-        return hitQueue_.empty() ? kNoCycle : hitQueue_.top().first;
+        CpuCycle ev = kNoCycle;
+        if (!hitQueue_.empty() &&
+            hitQueue_.front().second == windowBaseSeq_)
+            ev = hitQueue_.front().first;
+        if (xlatEventAt_ < ev &&
+            window_.size() < static_cast<size_t>(config_.windowSize))
+            ev = xlatEventAt_;
+        return ev;
     }
 
     /** Stall reason of the last no-progress tick. */
@@ -111,6 +141,7 @@ class Core
 
     int id() const { return id_; }
     const CoreStats &stats() const { return stats_; }
+    const vm::Mmu *mmu() const { return mmu_; }
 
     /**
      * Zero statistics and re-base instruction counting at `now`
@@ -127,29 +158,61 @@ class Core
     }
 
   private:
+    /**
+     * Token marking a translation-machine completion (L2 TLB timer or
+     * PTE fetch) in the miss callback; distinct from any window seq.
+     */
+    static constexpr std::uint64_t kXlatToken =
+        std::numeric_limits<std::uint64_t>::max();
+
     struct WinEntry {
         bool completed = true;
         bool isMem = false;
     };
 
-    enum class IssueResult { Issued, WindowFull, Blocked };
+    enum class IssueResult {
+        Issued,     ///< Window entry pushed (or translation finished).
+        WindowFull, ///< No slot; head incomplete.
+        Blocked,    ///< LLC rejected an access (data or PTE).
+        XlatStep,   ///< Translation advanced (progress, ends the cycle).
+        XlatWait,   ///< Translation waiting on scheduled/external data.
+    };
+
+    /** Translation state of the current memory record (VM mode). */
+    enum class XlatState {
+        None,    ///< Not started (or finished; translatedLine_ valid).
+        WaitL2,  ///< L2 TLB hit latency in flight (xlatEventAt_).
+        WaitPte, ///< PTE read in flight (LLC hit timer or miss return).
+        NeedPte, ///< Next PTE fetch must issue (start or Blocked retry).
+    };
 
     IssueResult issueOne(CpuCycle now);
+    IssueResult advanceTranslation(CpuCycle now);
+    IssueResult issuePte(CpuCycle now);
 
     int id_;
     CoreConfig config_;
     TraceSource &trace_;
     mem::Llc &llc_;
+    vm::Mmu *mmu_; ///< Null: physical mode (legacy behavior).
 
     std::deque<WinEntry> window_;
     std::uint64_t windowBaseSeq_ = 0; ///< Seq number of window_.front().
     std::uint64_t seq_ = 0;           ///< Next entry's seq number.
 
-    /** Self-scheduled completions for LLC hits: (cycle, seq). */
-    std::priority_queue<std::pair<CpuCycle, std::uint64_t>,
-                        std::vector<std::pair<CpuCycle, std::uint64_t>>,
-                        std::greater<>>
-        hitQueue_;
+    /**
+     * Self-scheduled completions for LLC data hits: (cycle, seq). Every
+     * hit return is scheduled `hitLatencyCpu` after its issue, so the
+     * deque is monotone in both cycle and seq — the front is at once
+     * the earliest return and the oldest (the head's, if queued).
+     */
+    std::deque<std::pair<CpuCycle, std::uint64_t>> hitQueue_;
+
+    /** Translation timer: L2-hit latency or a PTE LLC-hit return. */
+    CpuCycle xlatEventAt_ = kNoCycle;
+    XlatState xlatState_ = XlatState::None;
+    bool xlatReady_ = false;     ///< Awaited translation data arrived.
+    Addr translatedLine_ = kNoAddr; ///< Physical line of the record.
 
     /** Remaining compute insts of the current trace record. */
     std::uint32_t pendingCompute_ = 0;

@@ -169,6 +169,8 @@ MemoryController::enqueue(Request req)
         req.token = tokenSeq_++;
     if (req.type == ReqType::Read) {
         horizonDirty_ = true;
+        if (req.isPtw)
+            ++stats_.ptwReads;
         // Read-after-write forwarding from the write queue. Completion
         // is delivered through the pending heap on the next tick —
         // callbacks must never fire inside enqueue (reentrancy).
@@ -242,7 +244,8 @@ MemoryController::recordPrechargeOf(int rank, int bank, int row)
 }
 
 void
-MemoryController::issueAct(const dram::DramAddr &addr, int core_id)
+MemoryController::issueAct(const dram::DramAddr &addr, int core_id,
+                           bool is_ptw)
 {
     dram::EffActTiming eff;
     switch (providerKind_) {
@@ -265,6 +268,13 @@ MemoryController::issueAct(const dram::DramAddr &addr, int core_id)
     issue(cmd, &eff);
     bankCtl_[addr.rank][addr.bank].ownerCore = core_id;
     ++stats_.acts;
+    if (is_ptw) {
+        // Row opened on behalf of a page-table walk: track how often
+        // the walker's rows themselves enjoy HCRAC-reduced timing.
+        ++stats_.ptwActs;
+        if (eff.reduced)
+            ++stats_.ptwActHits;
+    }
     if (rltl_)
         rltl_->onActivate(addr, now_);
 }
@@ -573,7 +583,7 @@ MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
     const dram::DramAddr &a = qr.req.addr;
     classify(qr);
     if (pre_act_is_act) {
-        issueAct(a, qr.req.coreId);
+        issueAct(a, qr.req.coreId, qr.req.isPtw);
     } else {
         const dram::Bank &b = *bankPtr_[bankIndexOf(a)];
         int row = b.openRow();
@@ -690,7 +700,7 @@ MemoryController::serveQueueBankLists(bool is_write)
     const dram::DramAddr &a = qr.req.addr;
     classify(qr);
     if (best_is_act) {
-        issueAct(a, qr.req.coreId);
+        issueAct(a, qr.req.coreId, qr.req.isPtw);
     } else {
         const dram::Bank &b = *bankPtr_[bankIndexOf(a)];
         int row = b.openRow();
@@ -752,7 +762,7 @@ MemoryController::serveQueueReference(std::deque<QueuedReq> &queue,
             dram::Command act{dram::CmdType::ACT, a};
             if (channel_.canIssue(act, now_)) {
                 classify(qr);
-                issueAct(a, qr.req.coreId);
+                issueAct(a, qr.req.coreId, qr.req.isPtw);
                 return true;
             }
         } else if (b.openRow() != a.row) {

@@ -87,6 +87,9 @@ struct CtrlStats {
     std::uint64_t rowConflicts = 0;
     std::uint64_t readForwards = 0; ///< Reads served from the write queue.
     std::uint64_t readLatencySum = 0; ///< Sum over reads, ctrl cycles.
+    std::uint64_t ptwReads = 0;   ///< Reads injected by page-table walks.
+    std::uint64_t ptwActs = 0;    ///< ACTs triggered by PTW reads.
+    std::uint64_t ptwActHits = 0; ///< PTW ACTs issued with reduced timing.
 };
 
 class MemoryController
@@ -249,7 +252,7 @@ class MemoryController
 
     void notify(const dram::Command &cmd, const dram::EffActTiming *eff);
     void issue(const dram::Command &cmd, const dram::EffActTiming *eff);
-    void issueAct(const dram::DramAddr &addr, int core_id);
+    void issueAct(const dram::DramAddr &addr, int core_id, bool is_ptw);
     void recordPrechargeOf(int rank, int bank, int row);
     bool tryRefresh();
     bool trickleWrites() const;

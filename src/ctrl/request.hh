@@ -26,6 +26,7 @@ struct Request {
     Addr lineAddr = 0;       ///< Cache-line address (byte addr >> 6).
     dram::DramAddr addr;     ///< Decoded DRAM coordinates.
     int coreId = -1;         ///< Requesting core (-1: e.g. writeback).
+    bool isPtw = false;      ///< Page-table-walker read (VM mode).
     Cycle arrive = 0;        ///< Controller-clock arrival cycle.
     std::uint64_t token = 0; ///< Opaque caller cookie.
 

@@ -93,6 +93,7 @@ Llc::sendFetch(Addr line_addr)
     req.lineAddr = line_addr;
     req.addr = mapper_.decode(line_addr);
     req.coreId = it->second.waiters.front().core;
+    req.isPtw = it->second.isPtw;
     req.callback = [](void *ctx, const ctrl::Request &r, Cycle) {
         static_cast<Llc *>(ctx)->onFill(r.lineAddr);
     };
@@ -108,7 +109,8 @@ Llc::sendFetch(Addr line_addr)
 }
 
 Llc::Result
-Llc::access(int core, Addr line_addr, bool is_write, std::uint64_t token)
+Llc::access(int core, Addr line_addr, bool is_write, std::uint64_t token,
+            bool is_ptw)
 {
     ++stats_.accesses;
     // Drop a stale park-watch once the core retries (it either
@@ -156,6 +158,7 @@ Llc::access(int core, Addr line_addr, bool is_write, std::uint64_t token)
         return Result::Miss;
     }
     MshrEntry entry;
+    entry.isPtw = is_ptw;
     entry.waiters.push_back({core, token, is_write});
     auto [ins, ok] = mshrs_.emplace(line_addr, std::move(entry));
     CCSIM_ASSERT(ok, "duplicate MSHR");

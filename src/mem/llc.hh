@@ -67,9 +67,13 @@ class Llc
      * Access `line_addr` for `core`. On Miss, `token` is returned via
      * the miss callback when data arrives. Writes allocate and are
      * acknowledged by the same mechanism (stores occupy MSHRs too).
+     * `is_ptw` tags page-table-walker reads so their DRAM requests can
+     * be attributed separately by the controller; walker and data
+     * lines are disjoint by construction, so a fetch's tag is simply
+     * that of its first requester.
      */
     Result access(int core, Addr line_addr, bool is_write,
-                  std::uint64_t token);
+                  std::uint64_t token, bool is_ptw = false);
 
     /** Drain pending writebacks into the controller write queues. */
     void tick();
@@ -148,6 +152,7 @@ class Llc
         };
         std::vector<Waiter> waiters;
         bool issued = false; ///< Fetch accepted by the controller.
+        bool isPtw = false;  ///< Fetch is a page-table-walker read.
     };
 
     Line *findLine(Addr line_addr);

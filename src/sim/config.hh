@@ -21,6 +21,7 @@
 #include "dram/addr.hh"
 #include "dram/spec.hh"
 #include "mem/llc.hh"
+#include "vm/mmu.hh"
 
 namespace ccsim::sim {
 
@@ -74,6 +75,13 @@ struct SimConfig {
     ctrl::CtrlConfig ctrl;
     mem::LlcConfig llc;
     cpu::CoreConfig core;
+    /**
+     * Virtual-memory subsystem (per-core two-level TLBs, radix
+     * page-table walker, pluggable page allocator). Disabled by
+     * default: cores then issue trace addresses as physical and the
+     * simulator behaves byte-for-byte like the pre-VM code.
+     */
+    vm::VmConfig vm;
     int cpuRatio = 5; ///< CPU cycles per DRAM bus cycle (4 GHz / 800 MHz).
 
     std::uint64_t warmupInsts = 50000;  ///< Per core.

@@ -146,11 +146,25 @@ System::build(const std::vector<cpu::TraceSource *> &traces)
             cores_[core]->externalWake();
         });
 
+    // Per-core MMUs: each core's allocator and page tables live inside
+    // its own physical region (the same disjoint-region split the
+    // workload generators use), so first-touch allocation order is a
+    // purely per-core property and kernel-invariant.
+    if (config_.vm.enable) {
+        Addr capacity = mapper_->numLines();
+        Addr region = capacity / static_cast<Addr>(config_.nCores);
+        for (int i = 0; i < config_.nCores; ++i)
+            mmus_.push_back(std::make_unique<vm::Mmu>(
+                config_.vm, i, region * i, region,
+                config_.llc.lineBytes));
+    }
+
     cpu::CoreConfig core_cfg = config_.core;
     core_cfg.targetInsts = config_.targetInsts;
     for (int i = 0; i < config_.nCores; ++i)
-        cores_.push_back(
-            std::make_unique<cpu::Core>(i, core_cfg, *traces[i], *llc_));
+        cores_.push_back(std::make_unique<cpu::Core>(
+            i, core_cfg, *traces[i], *llc_,
+            mmus_.empty() ? nullptr : mmus_[i].get()));
 }
 
 ctrl::MemoryController &
@@ -181,6 +195,8 @@ System::resetAllStats(CpuCycle now)
     llc_->resetStats();
     for (auto &core : cores_)
         core->resetStats(now);
+    for (auto &mmu : mmus_)
+        mmu->resetStats();
     for (size_t ch = 0; ch < energy_.size(); ++ch)
         energy_[ch]->resetAt(controllers_[ch]->now());
 }
@@ -550,7 +566,14 @@ System::collectResults(CpuCycle now, CpuCycle warm_end)
         res.ctrl.rowConflicts += s.rowConflicts;
         res.ctrl.readForwards += s.readForwards;
         res.ctrl.readLatencySum += s.readLatencySum;
+        res.ctrl.ptwReads += s.ptwReads;
+        res.ctrl.ptwActs += s.ptwActs;
+        res.ctrl.ptwActHits += s.ptwActHits;
     }
+    for (auto &mmu : mmus_)
+        res.vm += mmu->stats();
+    for (const auto &core : cores_)
+        res.xlatStallCycles += core->stats().xlatStallCycles;
     res.llc = llc_->stats();
     res.rmpkc = res.cpuCycles
                     ? double(res.ctrl.acts) / (res.cpuCycles / 1000.0)

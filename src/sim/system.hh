@@ -58,6 +58,8 @@ struct SystemResult {
     ctrl::CtrlStats ctrl; ///< Summed over channels.
     mem::LlcStats llc;
     energy::EnergyBreakdown energy;
+    vm::VmStats vm; ///< Summed over cores (zero when VM is disabled).
+    std::uint64_t xlatStallCycles = 0; ///< Summed core translation stalls.
 
     std::vector<double> rltl; ///< Per configured window.
     std::vector<double> rltlWindowsMs;
@@ -93,6 +95,11 @@ class System
     ctrl::MemoryController &controller(int channel);
     mem::Llc &llc() { return *llc_; }
     cpu::Core &core(int idx) { return *cores_[idx]; }
+    /** Per-core MMU (null when the VM subsystem is disabled). */
+    vm::Mmu *mmu(int idx)
+    {
+        return mmus_.empty() ? nullptr : mmus_[idx].get();
+    }
     chargecache::LatencyProvider &provider(int channel);
     OracleListener *oracleListener(int channel);
     const SimConfig &config() const { return config_; }
@@ -130,6 +137,7 @@ class System
     std::vector<std::unique_ptr<energy::EnergyModel>> energy_;
     std::vector<std::unique_ptr<OracleListener>> oracles_;
     std::unique_ptr<mem::Llc> llc_;
+    std::vector<std::unique_ptr<vm::Mmu>> mmus_; ///< Empty when VM off.
     std::vector<std::unique_ptr<cpu::Core>> cores_;
 
     /**

@@ -1,0 +1,137 @@
+#include "vm/mmu.hh"
+
+#include "common/log.hh"
+
+namespace ccsim::vm {
+
+Mmu::RegionSplit
+Mmu::splitRegion(const VmConfig &config, Addr region_base_line,
+                 Addr region_lines, int line_bytes)
+{
+    std::uint64_t region_bytes =
+        region_lines * static_cast<std::uint64_t>(line_bytes);
+    auto pages = static_cast<std::uint64_t>(
+        double(region_bytes / PageTable::kTableBytes) *
+        config.ptPoolFraction);
+    RegionSplit s;
+    s.ptPages = pages ? pages : 1;
+    std::uint64_t pt_lines =
+        s.ptPages * (PageTable::kTableBytes / line_bytes);
+    s.ptBaseLine = region_base_line + region_lines - pt_lines;
+    s.dataLines = region_lines - pt_lines;
+    return s;
+}
+
+Mmu::Mmu(const VmConfig &config, int core_id, Addr region_base_line,
+         Addr region_lines, int line_bytes)
+    : Mmu(config, core_id, region_base_line, line_bytes,
+          splitRegion(config, region_base_line, region_lines,
+                      line_bytes))
+{}
+
+Mmu::Mmu(const VmConfig &config, int core_id, Addr region_base_line,
+         int line_bytes, const RegionSplit &split)
+    : config_(config),
+      coreId_(core_id),
+      lineShift_(log2Exact(static_cast<std::uint64_t>(line_bytes))),
+      pageShift_(log2Exact(
+          static_cast<std::uint64_t>(config.effectivePageBytes()))),
+      pageLines_(static_cast<Addr>(config.effectivePageBytes()) /
+                 line_bytes),
+      dataBaseLine_(region_base_line),
+      dataFrames_(split.dataLines / pageLines_),
+      l1_(config.l1Entries, config.l1Ways),
+      l2_(config.l2Entries, config.l2Ways),
+      alloc_(config.alloc, dataFrames_, config.fragSeed,
+             config.fragDegree, core_id),
+      pageTable_(config.walkLevels(), split.ptBaseLine, split.ptPages,
+                 line_bytes)
+{
+    CCSIM_ASSERT(lineShift_ >= 0 && pageShift_ > lineShift_,
+                 "page size must be a power-of-two multiple of a line");
+    CCSIM_ASSERT(dataFrames_ > 0, "region too small for a data frame");
+}
+
+Addr
+Mmu::mapPage(Addr vpn)
+{
+    auto it = pageMap_.find(vpn);
+    if (it != pageMap_.end())
+        return it->second;
+    std::uint64_t frame = alloc_.frameFor(touchCount_++);
+    pageMap_.emplace(vpn, frame);
+    ++stats_.pagesMapped;
+    return frame;
+}
+
+void
+Mmu::finishTranslation(Addr ppn)
+{
+    translatedLine_ = dataBaseLine_ + ppn * pageLines_ +
+                      ((xlatVaddr_ >> lineShift_) & (pageLines_ - 1));
+}
+
+Mmu::Result
+Mmu::beginTranslate(Addr vaddr, CpuCycle now)
+{
+    xlatVaddr_ = vaddr;
+    translatedLine_ = kNoAddr;
+    Addr vpn = vaddr >> pageShift_;
+    ++stats_.lookups;
+    Addr ppn;
+    if (l1_.lookup(vpn, ppn)) {
+        ++stats_.l1Hits;
+        finishTranslation(ppn);
+        return Result::L1Hit;
+    }
+    if (l2_.lookup(vpn, ppn)) {
+        ++stats_.l2Hits;
+        l1_.insert(vpn, ppn);
+        finishTranslation(ppn);
+        // The caller holds the result for l2HitLatency before using it
+        // (completeL2 is a semantic no-op kept as the state handshake).
+        return Result::L2Hit;
+    }
+    ++stats_.walks;
+    walkLevel_ = 0;
+    walkStart_ = now;
+    pteLine_ = pageTable_.pteLineFor(vpn, 0);
+    ++stats_.pteFetches;
+    return Result::Miss;
+}
+
+void
+Mmu::completeL2()
+{
+    CCSIM_ASSERT(translatedLine_ != kNoAddr,
+                 "completeL2 without a pending L2 hit");
+}
+
+bool
+Mmu::pteReturned(CpuCycle now)
+{
+    Addr vpn = xlatVaddr_ >> pageShift_;
+    ++walkLevel_;
+    if (walkLevel_ < pageTable_.levels()) {
+        pteLine_ = pageTable_.pteLineFor(vpn, walkLevel_);
+        ++stats_.pteFetches;
+        return false;
+    }
+    // Leaf PTE returned: resolve (first touch allocates), fill TLBs.
+    Addr ppn = mapPage(vpn);
+    l2_.insert(vpn, ppn);
+    l1_.insert(vpn, ppn);
+    finishTranslation(ppn);
+    stats_.walkCycleSum += now - walkStart_;
+    pteLine_ = kNoAddr;
+    return true;
+}
+
+const VmStats &
+Mmu::stats() const
+{
+    stats_.ptTables = pageTable_.tablesAllocated();
+    return stats_;
+}
+
+} // namespace ccsim::vm

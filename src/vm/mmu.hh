@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Per-core memory-management unit: a two-level TLB (L1 D-TLB over a
+ * larger unified L2) in front of a radix page-table walker, plus the
+ * physical-page allocator that decides the virtual→physical mapping —
+ * and therefore how much of a workload's row-level temporal locality
+ * survives translation (the quantity ChargeCache's benefit depends on).
+ *
+ * The Mmu is a passive state machine driven by cpu::Core, which owns
+ * all timing: the core asks to translate, and on a full TLB miss pulls
+ * PTE line addresses out of the walker one level at a time, issuing
+ * each as a *real* read through the LLC and memory controllers (so
+ * page-walk rows charge the HCRAC and interact with RLTL exactly like
+ * data rows). One translation is in flight per core at a time, which
+ * matches the core's in-order issue of its memory record stream.
+ *
+ * With VmConfig::enable false (the default) no Mmu is built and cores
+ * issue trace addresses as physical, byte-for-byte identical to the
+ * pre-VM simulator.
+ */
+
+#ifndef CCSIM_VM_MMU_HH
+#define CCSIM_VM_MMU_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "vm/page_alloc.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+
+namespace ccsim::vm {
+
+struct VmConfig {
+    bool enable = false; ///< Off: legacy physical-address mode.
+
+    int pageBytes = 4096;             ///< Base page size.
+    int hugePageBytes = 2 * 1024 * 1024; ///< HugePage policy page size.
+
+    int l1Entries = 64; ///< L1 D-TLB entries.
+    int l1Ways = 4;
+    int l2Entries = 1024; ///< Unified L2 TLB entries.
+    int l2Ways = 8;
+    CpuCycle l2HitLatency = 8; ///< Extra cycles on an L1-miss/L2-hit.
+
+    PageAlloc alloc = PageAlloc::Contiguous;
+    std::uint64_t fragSeed = 1;  ///< Fragmented: shuffle seed.
+    double fragDegree = 0.5;     ///< Fragmented: shuffle probability.
+
+    /** Fraction of each core's region reserved for page-table frames. */
+    double ptPoolFraction = 1.0 / 16;
+
+    /** Page size the active allocator maps at. */
+    int
+    effectivePageBytes() const
+    {
+        return alloc == PageAlloc::HugePage ? hugePageBytes : pageBytes;
+    }
+
+    /** Radix depth: 2 MB pages stop one level early at the PD. */
+    int
+    walkLevels() const
+    {
+        return alloc == PageAlloc::HugePage ? 3 : 4;
+    }
+};
+
+/** Counters the figures and the fragmentation ablation consume. */
+struct VmStats {
+    std::uint64_t lookups = 0;  ///< Translations requested.
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;   ///< L1 misses that hit L2.
+    std::uint64_t walks = 0;    ///< Full TLB misses (walks started).
+    std::uint64_t pteFetches = 0;    ///< PTE reads injected.
+    std::uint64_t walkCycleSum = 0;  ///< CPU cycles, begin→last PTE.
+    std::uint64_t pagesMapped = 0;   ///< Data pages first-touched.
+    std::uint64_t ptTables = 0;      ///< Table frames allocated (gauge).
+
+    double
+    l1HitRate() const
+    {
+        return lookups ? double(l1Hits) / lookups : 0.0;
+    }
+
+    double
+    missRate() const
+    {
+        return lookups ? double(walks) / lookups : 0.0;
+    }
+
+    double
+    avgWalkCycles() const
+    {
+        return walks ? double(walkCycleSum) / walks : 0.0;
+    }
+
+    VmStats &
+    operator+=(const VmStats &o)
+    {
+        lookups += o.lookups;
+        l1Hits += o.l1Hits;
+        l2Hits += o.l2Hits;
+        walks += o.walks;
+        pteFetches += o.pteFetches;
+        walkCycleSum += o.walkCycleSum;
+        pagesMapped += o.pagesMapped;
+        ptTables += o.ptTables;
+        return *this;
+    }
+};
+
+class Mmu
+{
+  public:
+    enum class Result {
+        L1Hit, ///< translatedLine() is valid now.
+        L2Hit, ///< Valid after l2HitLatency; call completeL2().
+        Miss,  ///< Walk begun; fetch pteLine(), then pteReturned().
+    };
+
+    /**
+     * @param region_base_line first physical line of this core's
+     *        region; data frames grow from here, page-table frames
+     *        occupy the top ptPoolFraction of the region.
+     * @param region_lines region size in cache lines.
+     */
+    Mmu(const VmConfig &config, int core_id, Addr region_base_line,
+        Addr region_lines, int line_bytes = 64);
+
+    /** Start translating the byte address `vaddr` at cycle `now`. */
+    Result beginTranslate(Addr vaddr, CpuCycle now);
+
+    /** Physical line of the in-progress/completed translation. */
+    Addr translatedLine() const { return translatedLine_; }
+
+    /** L2Hit path: install into L1 and finalize the translation. */
+    void completeL2();
+
+    /** Walk path: physical line of the current level's PTE. */
+    Addr pteLine() const { return pteLine_; }
+
+    /**
+     * Walk path: the current PTE arrived at `now`. Advances the walk;
+     * returns true when it finished (TLBs filled, translatedLine()
+     * valid) and false when the next level's pteLine() needs fetching.
+     */
+    bool pteReturned(CpuCycle now);
+
+    const VmConfig &config() const { return config_; }
+    const VmStats &stats() const;
+    void resetStats() { stats_ = VmStats(); }
+
+    // Structure access for tests.
+    TlbArray &l1Tlb() { return l1_; }
+    TlbArray &l2Tlb() { return l2_; }
+    const PageAllocator &allocator() const { return alloc_; }
+    const PageTable &pageTable() const { return pageTable_; }
+    Addr dataBaseLine() const { return dataBaseLine_; }
+
+  private:
+    /** The region's split into data frames and the page-table pool
+        (computed once; both pools derive from the same instance so
+        they can never overlap). */
+    struct RegionSplit {
+        std::uint64_t ptPages;   ///< 4 KB table frames, top of region.
+        Addr ptBaseLine;         ///< First line of the PT pool.
+        std::uint64_t dataLines; ///< Lines below it, for data frames.
+    };
+
+    static RegionSplit splitRegion(const VmConfig &config,
+                                   Addr region_base_line,
+                                   Addr region_lines, int line_bytes);
+
+    Mmu(const VmConfig &config, int core_id, Addr region_base_line,
+        int line_bytes, const RegionSplit &split);
+
+    Addr mapPage(Addr vpn);
+    void finishTranslation(Addr ppn);
+
+    VmConfig config_;
+    int coreId_;
+    int lineShift_;   ///< log2(line_bytes).
+    int pageShift_;   ///< log2(effectivePageBytes).
+    Addr pageLines_;  ///< Lines per page.
+    Addr dataBaseLine_;
+    std::uint64_t dataFrames_;
+
+    TlbArray l1_;
+    TlbArray l2_;
+    PageAllocator alloc_;
+    PageTable pageTable_;
+
+    /** Authoritative page table contents: vpn -> pool-relative frame. */
+    std::unordered_map<Addr, std::uint64_t> pageMap_;
+    std::uint64_t touchCount_ = 0;
+
+    // In-flight translation (one at a time, owned by the core's issue).
+    Addr xlatVaddr_ = 0;
+    Addr translatedLine_ = kNoAddr;
+    int walkLevel_ = 0;
+    Addr pteLine_ = kNoAddr;
+    CpuCycle walkStart_ = 0;
+
+    mutable VmStats stats_;
+};
+
+} // namespace ccsim::vm
+
+#endif // CCSIM_VM_MMU_HH

@@ -1,0 +1,48 @@
+#include "vm/page_alloc.hh"
+
+#include "common/log.hh"
+#include "common/random.hh"
+
+namespace ccsim::vm {
+
+const char *
+pageAllocName(PageAlloc policy)
+{
+    switch (policy) {
+      case PageAlloc::Contiguous:
+        return "Contiguous";
+      case PageAlloc::Fragmented:
+        return "Fragmented";
+      case PageAlloc::HugePage:
+        return "HugePage";
+    }
+    return "?";
+}
+
+PageAllocator::PageAllocator(PageAlloc policy, std::uint64_t pool_frames,
+                             std::uint64_t frag_seed, double frag_degree,
+                             int core_id)
+    : policy_(policy), poolFrames_(pool_frames)
+{
+    CCSIM_ASSERT(pool_frames > 0, "empty physical frame pool");
+    CCSIM_ASSERT(pool_frames <= (1ull << 32),
+                 "frame pool exceeds 32-bit order indices");
+    if (policy != PageAlloc::Fragmented || frag_degree <= 0.0)
+        return;
+    CCSIM_ASSERT(frag_degree <= 1.0, "fragmentation degree is in [0,1]");
+    order_.resize(pool_frames);
+    for (std::uint64_t i = 0; i < pool_frames; ++i)
+        order_[i] = static_cast<std::uint32_t>(i);
+    // Partial Fisher-Yates: each position participates in a swap with
+    // probability `frag_degree`, so the expected displacement — and the
+    // destruction of row adjacency — grows monotonically with it.
+    Rng rng(mix64(frag_seed ^ (0xF4A6ull + std::uint64_t(core_id) * 0x9E3779B97F4A7C15ull)));
+    for (std::uint64_t i = 0; i + 1 < pool_frames; ++i) {
+        if (!rng.chance(frag_degree))
+            continue;
+        std::uint64_t j = i + rng.below(pool_frames - i);
+        std::swap(order_[i], order_[j]);
+    }
+}
+
+} // namespace ccsim::vm

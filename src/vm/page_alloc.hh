@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pluggable physical-page allocators: the policy that decides which
+ * physical frame backs each first-touched virtual page, and therefore
+ * how virtual-page adjacency maps onto DRAM-row adjacency — the knob
+ * the fragmentation ablation (bench/abl_vm_fragmentation) sweeps.
+ *
+ *  - Contiguous:        frames handed out sequentially in touch order
+ *                       (an idle-system OS with a defragmented free
+ *                       list); preserves row adjacency for streams.
+ *  - Fragmented(s, d):  the frame order is a partial Fisher-Yates
+ *                       shuffle seeded by `s`: each position is swapped
+ *                       with a random later one with probability `d`.
+ *                       d=0 degenerates to Contiguous; d=1 is a fully
+ *                       random free list (a long-running fragmented
+ *                       system). Higher d scatters adjacent virtual
+ *                       pages across unrelated rows.
+ *  - HugePage:          2 MB frames handed out sequentially; row
+ *                       adjacency is preserved across a whole huge
+ *                       page and walks are one level shorter.
+ *
+ * Allocation is lazy (first touch) and wraps modulo the pool when the
+ * virtual footprint exceeds it — pages then share frames, which only
+ * matters as address reuse, never as data (the simulator carries no
+ * data). Everything is deterministic given (policy, seed, touch order),
+ * and touch order is identical across simulation kernels by the
+ * bit-identical-schedule invariant.
+ */
+
+#ifndef CCSIM_VM_PAGE_ALLOC_HH
+#define CCSIM_VM_PAGE_ALLOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccsim::vm {
+
+/** Allocation policy (see file header). */
+enum class PageAlloc {
+    Contiguous,
+    Fragmented,
+    HugePage,
+};
+
+const char *pageAllocName(PageAlloc policy);
+
+class PageAllocator
+{
+  public:
+    /**
+     * @param policy frame-ordering policy.
+     * @param pool_frames frames available (data region / frame size).
+     * @param frag_seed Fragmented: shuffle seed (mixed with `core_id`).
+     * @param frag_degree Fragmented: per-position shuffle probability.
+     */
+    PageAllocator(PageAlloc policy, std::uint64_t pool_frames,
+                  std::uint64_t frag_seed, double frag_degree,
+                  int core_id);
+
+    /** Frame index (pool-relative) of the `touch_idx`-th touched page. */
+    std::uint64_t
+    frameFor(std::uint64_t touch_idx) const
+    {
+        std::uint64_t slot = touch_idx % poolFrames_;
+        return order_.empty() ? slot : order_[slot];
+    }
+
+    std::uint64_t poolFrames() const { return poolFrames_; }
+    PageAlloc policy() const { return policy_; }
+
+  private:
+    PageAlloc policy_;
+    std::uint64_t poolFrames_;
+    /** Shuffled frame order (Fragmented only; empty = identity). */
+    std::vector<std::uint32_t> order_;
+};
+
+} // namespace ccsim::vm
+
+#endif // CCSIM_VM_PAGE_ALLOC_HH

@@ -1,0 +1,43 @@
+#include "vm/page_table.hh"
+
+#include "common/log.hh"
+
+namespace ccsim::vm {
+
+PageTable::PageTable(int levels, Addr pool_base_line,
+                     std::uint64_t pool_pages, int line_bytes)
+    : levels_(levels), poolBaseLine_(pool_base_line),
+      poolPages_(pool_pages)
+{
+    CCSIM_ASSERT(levels >= 1 && levels <= 4, "bad radix depth");
+    CCSIM_ASSERT(pool_pages > 0, "empty page-table pool");
+    CCSIM_ASSERT(line_bytes >= kPteBytes && line_bytes % kPteBytes == 0,
+                 "line size must hold whole PTEs");
+    linesPerTable_ = kTableBytes / line_bytes;
+    pteShift_ = log2Exact(
+        static_cast<std::uint64_t>(line_bytes / kPteBytes));
+    CCSIM_ASSERT(pteShift_ >= 0, "PTEs per line must be a power of two");
+}
+
+Addr
+PageTable::pteLineFor(Addr vpn, int level)
+{
+    CCSIM_ASSERT(level >= 0 && level < levels_, "walk level out of range");
+    // The table consulted at `level` is identified by the vpn bits
+    // above this level's 9-bit index; the root (level 0) has id 0 for
+    // any vpn that fits the modeled address width.
+    std::uint64_t table_id = vpn >> (kIndexBits * (levels_ - level));
+    std::uint64_t entry =
+        (vpn >> (kIndexBits * (levels_ - 1 - level))) & 511u;
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(level) << 58) | table_id;
+    auto [it, inserted] = tables_.try_emplace(key, nextFrame_);
+    if (inserted)
+        nextFrame_ = (nextFrame_ + 1) % poolPages_;
+    std::uint64_t frame = it->second;
+    return poolBaseLine_ +
+           frame * static_cast<std::uint64_t>(linesPerTable_) +
+           (entry >> pteShift_);
+}
+
+} // namespace ccsim::vm

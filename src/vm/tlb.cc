@@ -1,0 +1,68 @@
+#include "vm/tlb.hh"
+
+#include "common/log.hh"
+
+namespace ccsim::vm {
+
+TlbArray::TlbArray(int entries, int ways) : ways_(ways)
+{
+    CCSIM_ASSERT(entries > 0 && ways > 0 && entries % ways == 0,
+                 "bad TLB geometry");
+    sets_ = entries / ways;
+    CCSIM_ASSERT(isPow2(static_cast<std::uint64_t>(sets_)),
+                 "TLB set count must be a power of two");
+    entries_.resize(static_cast<std::size_t>(entries));
+}
+
+TlbArray::Entry *
+TlbArray::setBase(Addr vpn)
+{
+    std::uint64_t set = vpn & (static_cast<std::uint64_t>(sets_) - 1);
+    return &entries_[set * static_cast<std::size_t>(ways_)];
+}
+
+bool
+TlbArray::lookup(Addr vpn, Addr &ppn)
+{
+    Entry *base = setBase(vpn);
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].vpn == vpn) {
+            base[w].lru = ++clock_;
+            ppn = base[w].ppn;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TlbArray::insert(Addr vpn, Addr ppn)
+{
+    Entry *base = setBase(vpn);
+    Entry *victim = &base[0];
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].vpn == vpn) {
+            victim = &base[w]; // Refresh in place.
+            break;
+        }
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->ppn = ppn;
+    victim->lru = ++clock_;
+}
+
+void
+TlbArray::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+} // namespace ccsim::vm

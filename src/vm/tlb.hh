@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Set-associative LRU translation lookaside buffer.
+ *
+ * One TlbArray models one TLB level; vm::Mmu stacks a small L1 D-TLB
+ * over a larger unified L2 (the instruction side is not modeled — the
+ * cores are trace-driven and fetch no instructions from memory). Shapes
+ * follow the Virtuoso/Sniper translation stack: entries tagged by
+ * virtual page number, full-LRU within a set, no prefetching.
+ */
+
+#ifndef CCSIM_VM_TLB_HH
+#define CCSIM_VM_TLB_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccsim::vm {
+
+class TlbArray
+{
+  public:
+    /** `entries` total, `ways`-associative; sets must be a power of 2. */
+    TlbArray(int entries, int ways);
+
+    /** Look up `vpn`; on a hit, touch LRU and write the frame number. */
+    bool lookup(Addr vpn, Addr &ppn);
+
+    /** Install (or refresh) a translation, evicting the set's LRU. */
+    void insert(Addr vpn, Addr ppn);
+
+    /** Drop every entry (not used on the hot path; tests/ablation). */
+    void flush();
+
+    int numSets() const { return sets_; }
+    int numWays() const { return ways_; }
+
+  private:
+    struct Entry {
+        Addr vpn = 0;
+        Addr ppn = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    Entry *setBase(Addr vpn);
+
+    int sets_;
+    int ways_;
+    std::uint64_t clock_ = 0;
+    std::vector<Entry> entries_; ///< sets_ * ways_, set-major.
+};
+
+} // namespace ccsim::vm
+
+#endif // CCSIM_VM_TLB_HH

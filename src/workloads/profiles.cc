@@ -149,4 +149,13 @@ mixWorkloads(int mix_id, int cores)
     return mix;
 }
 
+std::vector<SyntheticProfile>
+mixProfiles(int mix_id, int cores)
+{
+    std::vector<SyntheticProfile> profiles;
+    for (const std::string &name : mixWorkloads(mix_id, cores))
+        profiles.push_back(profileByName(name));
+    return profiles;
+}
+
 } // namespace ccsim::workloads

@@ -38,6 +38,16 @@ const std::vector<SyntheticProfile> &allProfiles();
  */
 std::vector<std::string> mixWorkloads(int mix_id, int cores = 8);
 
+/**
+ * The same mix as `mixWorkloads(mix_id, cores)`, as mutable per-core
+ * profile copies — the handle through which VM experiments adorn a mix
+ * (e.g. override `SyntheticProfile::vmPages`) without perturbing the
+ * registered profiles or the mix draw itself. Composition is pinned by
+ * tests/test_workloads.cc: this function draws through mixWorkloads,
+ * so the w1..w20 lineups can never drift from the names API.
+ */
+std::vector<SyntheticProfile> mixProfiles(int mix_id, int cores = 8);
+
 } // namespace ccsim::workloads
 
 #endif // CCSIM_WORKLOADS_PROFILES_HH

@@ -16,6 +16,17 @@ SyntheticProfile::footprintLines() const
     return lines;
 }
 
+std::uint64_t
+SyntheticProfile::footprintPages(int page_bytes, int line_bytes) const
+{
+    if (vmPages)
+        return vmPages;
+    std::uint64_t lines_per_page =
+        static_cast<std::uint64_t>(page_bytes) / line_bytes;
+    CCSIM_ASSERT(lines_per_page > 0, "page smaller than a line");
+    return (footprintLines() + lines_per_page - 1) / lines_per_page;
+}
+
 SyntheticTrace::SyntheticTrace(const SyntheticProfile &profile,
                                std::uint64_t seed, Addr base_line,
                                Addr capacity_lines)

@@ -50,8 +50,25 @@ struct SyntheticProfile {
     std::vector<StreamSpec> streams;
     int linesPerRow = 128; ///< 8 KB rows of 64 B lines.
 
+    /**
+     * Virtual-memory working set in pages (vm subsystem). 0 means
+     * "derive from footprintLines()"; profiles or benches can override
+     * to model a sparser page footprint than the line footprint
+     * implies (e.g. pointer-chasing over scattered pages).
+     */
+    std::uint64_t vmPages = 0;
+
     /** Total footprint of the generator in lines. */
     std::uint64_t footprintLines() const;
+
+    /**
+     * Working-set page count at `page_bytes` granularity: the explicit
+     * `vmPages` override when set, else the page-rounded line
+     * footprint. Sizes TLB-reach and allocator-pressure expectations
+     * in the VM benches.
+     */
+    std::uint64_t footprintPages(int page_bytes,
+                                 int line_bytes = 64) const;
 };
 
 class SyntheticTrace : public cpu::TraceSource

@@ -373,6 +373,13 @@ expectIdenticalResults(const SystemResult &a, const SystemResult &b,
     EXPECT_EQ(a.ctrl.rowConflicts, b.ctrl.rowConflicts);
     EXPECT_EQ(a.ctrl.readForwards, b.ctrl.readForwards);
     EXPECT_EQ(a.ctrl.readLatencySum, b.ctrl.readLatencySum);
+    EXPECT_EQ(a.ctrl.ptwReads, b.ctrl.ptwReads);
+    EXPECT_EQ(a.ctrl.ptwActs, b.ctrl.ptwActs);
+    EXPECT_EQ(a.ctrl.ptwActHits, b.ctrl.ptwActHits);
+    EXPECT_EQ(a.vm.lookups, b.vm.lookups);
+    EXPECT_EQ(a.vm.walks, b.vm.walks);
+    EXPECT_EQ(a.vm.walkCycleSum, b.vm.walkCycleSum);
+    EXPECT_EQ(a.xlatStallCycles, b.xlatStallCycles);
 
     EXPECT_EQ(a.llc.accesses, b.llc.accesses);
     EXPECT_EQ(a.llc.hits, b.llc.hits);
@@ -406,6 +413,7 @@ expectIdenticalCoreStats(System &a, System &b, int cores,
         EXPECT_EQ(sa.memWrites, sb.memWrites) << "core " << i;
         EXPECT_EQ(sa.stallCyclesFull, sb.stallCyclesFull) << "core " << i;
         EXPECT_EQ(sa.blockedAccesses, sb.blockedAccesses) << "core " << i;
+        EXPECT_EQ(sa.xlatStallCycles, sb.xlatStallCycles) << "core " << i;
     }
 }
 

@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Virtual-memory subsystem tests: TLB replacement, walker level-by-level
+ * PTE addresses, allocator determinism, full-system translation flow,
+ * and — most load-bearing — kernel equivalence with VM enabled: the
+ * PTW-injected DRAM traffic and translation stalls must leave all three
+ * simulation kernels bit-identical (CCSIM_PARANOID=1 upgrades the
+ * equivalence cases to shadow-validated paranoid configs, exactly like
+ * tests/test_system.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "sim/config.hh"
+#include "sim/system.hh"
+#include "vm/mmu.hh"
+#include "vm/page_alloc.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+#include "workloads/profiles.hh"
+
+namespace ccsim {
+namespace {
+
+// ---------------------------------------------------------------------
+// TLB replacement.
+
+TEST(Tlb, HitAfterInsertMissBefore)
+{
+    vm::TlbArray tlb(64, 4);
+    Addr ppn = 0;
+    EXPECT_FALSE(tlb.lookup(42, ppn));
+    tlb.insert(42, 7);
+    ASSERT_TRUE(tlb.lookup(42, ppn));
+    EXPECT_EQ(ppn, 7u);
+}
+
+TEST(Tlb, LruEvictsLeastRecentlyUsedWay)
+{
+    // 8 entries, 4 ways -> 2 sets; even vpns map to set 0.
+    vm::TlbArray tlb(8, 4);
+    for (Addr v = 0; v < 8; v += 2)
+        tlb.insert(v, v + 100); // Fills set 0: vpns 0,2,4,6.
+    Addr ppn = 0;
+    ASSERT_TRUE(tlb.lookup(0, ppn)); // Touch 0: vpn 2 is now LRU.
+    tlb.insert(8, 108);              // Evicts vpn 2.
+    EXPECT_FALSE(tlb.lookup(2, ppn));
+    EXPECT_TRUE(tlb.lookup(0, ppn));
+    EXPECT_TRUE(tlb.lookup(4, ppn));
+    EXPECT_TRUE(tlb.lookup(6, ppn));
+    EXPECT_TRUE(tlb.lookup(8, ppn));
+}
+
+TEST(Tlb, InsertRefreshesExistingEntryInPlace)
+{
+    vm::TlbArray tlb(8, 2);
+    tlb.insert(4, 1);
+    tlb.insert(8, 2); // Same set (4 sets: vpn & 3 == 0).
+    tlb.insert(4, 9); // Refresh, not a second copy.
+    Addr ppn = 0;
+    ASSERT_TRUE(tlb.lookup(4, ppn));
+    EXPECT_EQ(ppn, 9u);
+    EXPECT_TRUE(tlb.lookup(8, ppn)); // Not evicted by the refresh.
+}
+
+TEST(Tlb, FlushDropsEverything)
+{
+    vm::TlbArray tlb(16, 4);
+    tlb.insert(1, 10);
+    tlb.flush();
+    Addr ppn = 0;
+    EXPECT_FALSE(tlb.lookup(1, ppn));
+}
+
+// ---------------------------------------------------------------------
+// Page-table walker address generation.
+
+TEST(PageTable, FourLevelWalkVisitsDistinctTablesPerLevel)
+{
+    // Pool of 64 table frames starting at line 1000.
+    vm::PageTable pt(4, 1000, 64, 64);
+    // vpn with distinct 9-bit indices per level:
+    //   L0 idx 1, L1 idx 2, L2 idx 3, L3 idx 4.
+    Addr vpn = (Addr(1) << 27) | (Addr(2) << 18) | (Addr(3) << 9) | 4;
+    // Root is the first frame allocated; each deeper level allocates
+    // the next frame on first touch. A 4 KB table is 64 lines; a line
+    // holds 8 PTEs, so the line offset within a table is idx / 8.
+    EXPECT_EQ(pt.pteLineFor(vpn, 0), 1000u + 0 * 64 + 1 / 8);
+    EXPECT_EQ(pt.pteLineFor(vpn, 1), 1000u + 1 * 64 + 2 / 8);
+    EXPECT_EQ(pt.pteLineFor(vpn, 2), 1000u + 2 * 64 + 3 / 8);
+    EXPECT_EQ(pt.pteLineFor(vpn, 3), 1000u + 3 * 64 + 4 / 8);
+    EXPECT_EQ(pt.tablesAllocated(), 4u);
+}
+
+TEST(PageTable, AdjacentPagesShareLeafTableAndOftenALine)
+{
+    vm::PageTable pt(4, 0, 64, 64);
+    // Walk page 0 fully, then page 1: levels 0..2 reuse the same
+    // tables, and the leaf PTEs of vpn 0 and vpn 1 share one line
+    // (8 PTEs per 64 B line) — the page-walk locality that makes PTW
+    // rows chargeable in the HCRAC.
+    for (int level = 0; level < 4; ++level)
+        pt.pteLineFor(0, level);
+    EXPECT_EQ(pt.tablesAllocated(), 4u);
+    for (int level = 0; level < 3; ++level)
+        pt.pteLineFor(1, level);
+    EXPECT_EQ(pt.tablesAllocated(), 4u); // No new tables.
+    EXPECT_EQ(pt.pteLineFor(1, 3), pt.pteLineFor(0, 3));
+    // vpn 8 is the first leaf PTE on the next line of the same table.
+    EXPECT_EQ(pt.pteLineFor(8, 3), pt.pteLineFor(0, 3) + 1);
+}
+
+TEST(PageTable, ThreeLevelWalkForHugePages)
+{
+    vm::PageTable pt(3, 500, 16, 64);
+    Addr vpn2m = (Addr(1) << 18) | (Addr(2) << 9) | 3;
+    EXPECT_EQ(pt.pteLineFor(vpn2m, 0), 500u + 0 * 64 + 0);
+    EXPECT_EQ(pt.pteLineFor(vpn2m, 1), 500u + 1 * 64 + 2 / 8);
+    EXPECT_EQ(pt.pteLineFor(vpn2m, 2), 500u + 2 * 64 + 3 / 8);
+    EXPECT_EQ(pt.tablesAllocated(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Allocator determinism.
+
+TEST(PageAllocator, ContiguousIsIdentityInTouchOrder)
+{
+    vm::PageAllocator a(vm::PageAlloc::Contiguous, 128, 0, 0.0, 0);
+    for (std::uint64_t i = 0; i < 128; ++i)
+        EXPECT_EQ(a.frameFor(i), i);
+    EXPECT_EQ(a.frameFor(130), 2u); // Wraps modulo the pool.
+}
+
+TEST(PageAllocator, FragmentedIsAPermutationAndDeterministic)
+{
+    vm::PageAllocator a(vm::PageAlloc::Fragmented, 256, 99, 0.7, 1);
+    vm::PageAllocator b(vm::PageAlloc::Fragmented, 256, 99, 0.7, 1);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        EXPECT_EQ(a.frameFor(i), b.frameFor(i)) << i;
+        EXPECT_LT(a.frameFor(i), 256u);
+        seen.insert(a.frameFor(i));
+    }
+    EXPECT_EQ(seen.size(), 256u); // Bijection: no frame reused.
+}
+
+TEST(PageAllocator, SeedAndCoreChangeTheShuffle)
+{
+    vm::PageAllocator a(vm::PageAlloc::Fragmented, 256, 1, 1.0, 0);
+    vm::PageAllocator b(vm::PageAlloc::Fragmented, 256, 2, 1.0, 0);
+    vm::PageAllocator c(vm::PageAlloc::Fragmented, 256, 1, 1.0, 1);
+    int diff_seed = 0, diff_core = 0;
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        diff_seed += a.frameFor(i) != b.frameFor(i);
+        diff_core += a.frameFor(i) != c.frameFor(i);
+    }
+    EXPECT_GT(diff_seed, 128);
+    EXPECT_GT(diff_core, 128);
+}
+
+TEST(PageAllocator, DegreeControlsDisplacement)
+{
+    // Mean |frame - slot| displacement grows with the degree — the
+    // quantity that destroys virtual-adjacency in physical space.
+    auto displacement = [](double degree) {
+        vm::PageAllocator a(vm::PageAlloc::Fragmented, 4096, 7, degree, 0);
+        double sum = 0;
+        for (std::uint64_t i = 0; i < 4096; ++i) {
+            double d = double(a.frameFor(i)) - double(i);
+            sum += d < 0 ? -d : d;
+        }
+        return sum / 4096;
+    };
+    double d0 = displacement(0.0);
+    double d_half = displacement(0.5);
+    double d_full = displacement(1.0);
+    EXPECT_EQ(d0, 0.0);
+    EXPECT_GT(d_half, 64.0);
+    EXPECT_GT(d_full, d_half);
+}
+
+// ---------------------------------------------------------------------
+// Mmu translation flow.
+
+TEST(Mmu, WalkThenTlbHitsThenCapacityMiss)
+{
+    vm::VmConfig cfg;
+    cfg.enable = true;
+    cfg.l1Entries = 8;
+    cfg.l1Ways = 4;
+    cfg.l2Entries = 16;
+    cfg.l2Ways = 4;
+    // Region: 1 << 20 lines = 64 MB.
+    vm::Mmu mmu(cfg, 0, 0, 1ull << 20);
+
+    // First touch of page 0: full miss, 4-level walk.
+    ASSERT_EQ(mmu.beginTranslate(0x234, 0), vm::Mmu::Result::Miss);
+    for (int level = 1; level < 4; ++level)
+        EXPECT_FALSE(mmu.pteReturned(10 * level));
+    EXPECT_TRUE(mmu.pteReturned(40));
+    // Contiguous allocator: the first-touched page gets frame 0; the
+    // line carries the in-page offset (0x234 >> 6 = line 8).
+    EXPECT_EQ(mmu.translatedLine(), mmu.dataBaseLine() + 0x234 / 64);
+
+    // Same page again: L1 hit, same frame.
+    ASSERT_EQ(mmu.beginTranslate(0x100, 5), vm::Mmu::Result::L1Hit);
+    EXPECT_EQ(mmu.translatedLine(), mmu.dataBaseLine() + 0x100 / 64);
+
+    // Blow out L1 set 0 (2 sets x 4 ways; even vpns land in set 0):
+    // walking pages 1..8 pushes four more even vpns through it, so
+    // vpn 0 falls out of L1 — but its L2 set ({0,4,8} of 4 ways)
+    // still holds it.
+    for (Addr p = 1; p <= 8; ++p) {
+        if (mmu.beginTranslate(p * 4096, 100 + p) == vm::Mmu::Result::Miss)
+            while (!mmu.pteReturned(100 + p)) {
+            }
+    }
+    EXPECT_EQ(mmu.beginTranslate(0x0, 200), vm::Mmu::Result::L2Hit);
+    mmu.completeL2();
+    EXPECT_EQ(mmu.translatedLine(), mmu.dataBaseLine() + 0u);
+
+    const vm::VmStats &s = mmu.stats();
+    EXPECT_EQ(s.walks, 9u); // Pages 0..8 each walked once.
+    EXPECT_EQ(s.pteFetches, 9u * 4);
+    EXPECT_EQ(s.pagesMapped, 9u);
+    EXPECT_GE(s.l2Hits, 1u);
+    EXPECT_GT(s.walkCycleSum, 0u);
+}
+
+TEST(Mmu, WalkLatencyAccountsBeginToLastPte)
+{
+    vm::VmConfig cfg;
+    cfg.enable = true;
+    vm::Mmu mmu(cfg, 0, 0, 1ull << 20);
+    ASSERT_EQ(mmu.beginTranslate(0, 1000), vm::Mmu::Result::Miss);
+    mmu.pteReturned(1100);
+    mmu.pteReturned(1200);
+    mmu.pteReturned(1300);
+    EXPECT_TRUE(mmu.pteReturned(1400));
+    EXPECT_EQ(mmu.stats().walkCycleSum, 400u);
+    EXPECT_DOUBLE_EQ(mmu.stats().avgWalkCycles(), 400.0);
+}
+
+TEST(Mmu, HugePagesWalkThreeLevelsAndPreserveAdjacency)
+{
+    vm::VmConfig cfg;
+    cfg.enable = true;
+    cfg.alloc = vm::PageAlloc::HugePage;
+    vm::Mmu mmu(cfg, 0, 0, 1ull << 22); // 256 MB region.
+    ASSERT_EQ(mmu.beginTranslate(0, 0), vm::Mmu::Result::Miss);
+    EXPECT_FALSE(mmu.pteReturned(1));
+    EXPECT_FALSE(mmu.pteReturned(2));
+    EXPECT_TRUE(mmu.pteReturned(3)); // 3 levels only.
+    Addr line0 = mmu.translatedLine();
+    // Any address inside the same 2 MB page is an L1 hit at the
+    // expected line offset — adjacency across the whole huge page.
+    ASSERT_EQ(mmu.beginTranslate((2 << 20) - 64, 4),
+              vm::Mmu::Result::L1Hit);
+    EXPECT_EQ(mmu.translatedLine(), line0 + (2 << 20) / 64 - 1);
+}
+
+TEST(Mmu, PtPoolLinesAreDisjointFromDataLines)
+{
+    vm::VmConfig cfg;
+    cfg.enable = true;
+    vm::Mmu mmu(cfg, 0, 0, 1ull << 20);
+    // Walk a few scattered pages and collect PTE lines.
+    std::set<Addr> pte_lines;
+    for (Addr p : {0ull, 77ull, 512ull, 100000ull}) {
+        auto r = mmu.beginTranslate(p * 4096, 0);
+        if (r == vm::Mmu::Result::Miss) {
+            pte_lines.insert(mmu.pteLine());
+            while (!mmu.pteReturned(0))
+                pte_lines.insert(mmu.pteLine());
+        }
+    }
+    // Data frames occupy the bottom of the region; every PTE line must
+    // sit above the highest possible data line.
+    Addr data_top = mmu.dataBaseLine() +
+                    mmu.allocator().poolFrames() * (4096 / 64);
+    for (Addr line : pte_lines)
+        EXPECT_GE(line, data_top);
+}
+
+// ---------------------------------------------------------------------
+// Full-system behavior with VM enabled.
+
+bool
+envParanoid()
+{
+    const char *v = std::getenv("CCSIM_PARANOID");
+    return v && *v && *v != '0';
+}
+
+sim::SimConfig
+vmSingle(sim::Scheme scheme, vm::PageAlloc alloc,
+         double frag_degree = 0.75)
+{
+    sim::SimConfig cfg = sim::SimConfig::singleCore();
+    cfg.scheme = scheme;
+    cfg.targetInsts = 15000;
+    cfg.warmupInsts = 3000;
+    cfg.vm.enable = true;
+    cfg.vm.alloc = alloc;
+    cfg.vm.fragDegree = frag_degree;
+    cfg.finalizeChargeCache();
+    return cfg;
+}
+
+TEST(VmSystem, TranslationFlowProducesWalkTrafficAndSaneMetrics)
+{
+    sim::System sys(vmSingle(sim::Scheme::ChargeCache,
+                             vm::PageAlloc::Contiguous),
+                    {"apache20"});
+    sim::SystemResult r = sys.run();
+    EXPECT_GT(r.ipc[0], 0.0);
+    EXPECT_GT(r.vm.lookups, 0u);
+    EXPECT_GT(r.vm.walks, 0u);
+    // 4-level walks; a walk straddling the warm-up stats reset can
+    // shift the count by up to one walk's worth of fetches.
+    EXPECT_NEAR(double(r.vm.pteFetches), double(r.vm.walks) * 4, 4.0);
+    EXPECT_GT(r.ctrl.ptwReads, 0u);             // Walks reached DRAM.
+    EXPECT_GT(r.ctrl.ptwActs, 0u);
+    EXPECT_LE(r.ctrl.ptwActHits, r.ctrl.ptwActs);
+    EXPECT_GT(r.ctrl.ptwActHits, 0u); // PTW rows do charge the HCRAC.
+    EXPECT_GT(r.xlatStallCycles, 0u);
+    EXPECT_GE(r.vm.l1HitRate(), 0.0);
+    EXPECT_LE(r.vm.l1HitRate(), 1.0);
+    EXPECT_GT(r.vm.avgWalkCycles(), 0.0);
+}
+
+TEST(VmSystem, DisabledVmMatchesLegacyPhysicalModeExactly)
+{
+    // The byte-identity acceptance criterion, in-tree: a VM-disabled
+    // run must equal a run of the same config built before the vm
+    // member existed — i.e. the vm field's presence alone must not
+    // perturb anything.
+    sim::SimConfig cfg = sim::SimConfig::singleCore();
+    cfg.scheme = sim::Scheme::ChargeCache;
+    cfg.targetInsts = 15000;
+    cfg.warmupInsts = 3000;
+    cfg.finalizeChargeCache();
+    sim::System a(cfg, {"tpch6"});
+    sim::System b(cfg, {"tpch6"});
+    sim::SystemResult ra = a.run();
+    sim::SystemResult rb = b.run();
+    EXPECT_EQ(ra.cpuCycles, rb.cpuCycles);
+    EXPECT_EQ(ra.activations, rb.activations);
+    EXPECT_EQ(ra.vm.lookups, 0u);
+    EXPECT_EQ(ra.ctrl.ptwReads, 0u);
+    EXPECT_EQ(ra.xlatStallCycles, 0u);
+}
+
+TEST(VmSystem, HugePagesRaiseTlbReachAndIpc)
+{
+    sim::System small(vmSingle(sim::Scheme::Baseline,
+                               vm::PageAlloc::Contiguous),
+                      {"apache20"});
+    sim::System huge(vmSingle(sim::Scheme::Baseline,
+                              vm::PageAlloc::HugePage),
+                     {"apache20"});
+    sim::SystemResult rs = small.run();
+    sim::SystemResult rh = huge.run();
+    EXPECT_GT(rh.vm.l1HitRate(), rs.vm.l1HitRate());
+    EXPECT_LT(rh.vm.missRate(), rs.vm.missRate());
+    EXPECT_GT(rh.ipc[0], rs.ipc[0]);
+    // 3-level walks (modulo one walk straddling the warm-up reset).
+    EXPECT_NEAR(double(rh.vm.pteFetches), double(rh.vm.walks) * 3, 3.0);
+}
+
+TEST(VmSystem, FragmentationDegradesChargeCacheHitRate)
+{
+    // The tentpole claim at test scale: scattering pages destroys the
+    // row locality ChargeCache feeds on (bench/abl_vm_fragmentation
+    // sweeps this fully).
+    sim::System contig(vmSingle(sim::Scheme::ChargeCache,
+                                vm::PageAlloc::Contiguous),
+                       {"apache20"});
+    sim::SimConfig frag_cfg = vmSingle(sim::Scheme::ChargeCache,
+                                       vm::PageAlloc::Fragmented, 1.0);
+    sim::System frag(frag_cfg, {"apache20"});
+    sim::SystemResult rc = contig.run();
+    sim::SystemResult rf = frag.run();
+    EXPECT_GT(rc.hcracHitRate, rf.hcracHitRate);
+}
+
+TEST(VmSystem, DeterministicAcrossRuns)
+{
+    sim::SimConfig cfg = vmSingle(sim::Scheme::ChargeCache,
+                                  vm::PageAlloc::Fragmented, 0.6);
+    sim::System a(cfg, {"apache20"});
+    sim::System b(cfg, {"apache20"});
+    sim::SystemResult ra = a.run();
+    sim::SystemResult rb = b.run();
+    EXPECT_EQ(ra.cpuCycles, rb.cpuCycles);
+    EXPECT_EQ(ra.activations, rb.activations);
+    EXPECT_EQ(ra.vm.walks, rb.vm.walks);
+    EXPECT_EQ(ra.vm.walkCycleSum, rb.vm.walkCycleSum);
+    EXPECT_EQ(ra.ctrl.ptwActHits, rb.ctrl.ptwActHits);
+}
+
+// ---------------------------------------------------------------------
+// Kernel equivalence with VM enabled: TLB-miss stalls, PTE fetches and
+// walk wake-ups ride the existing park/wake machinery, so PerCycle,
+// EventSkip and Calendar must still agree bit for bit — including the
+// new VM/PTW statistics. Named KernelEquivalence.* so the
+// `kernel_equivalence_suite` ctest (labels kernel;equivalence) and the
+// CI paranoid job pick these up automatically.
+
+sim::SimConfig
+vmTwoCore(sim::Scheme scheme, sim::KernelMode kernel, vm::PageAlloc alloc)
+{
+    sim::SimConfig cfg;
+    cfg.nCores = 2;
+    cfg.channels = 1;
+    cfg.ctrl.rowPolicy = ctrl::RowPolicy::Closed;
+    cfg.ctrl.trackRltl = true;
+    cfg.scheme = scheme;
+    cfg.targetInsts = 9000;
+    cfg.warmupInsts = 1500;
+    cfg.kernel = kernel;
+    cfg.vm.enable = true;
+    cfg.vm.alloc = alloc;
+    cfg.vm.fragDegree = 0.8;
+    // A small L2 TLB keeps walks frequent at test scale.
+    cfg.vm.l2Entries = 64;
+    cfg.vm.l2Ways = 4;
+    cfg.finalizeChargeCache();
+    if (kernel != sim::KernelMode::PerCycle && envParanoid())
+        cfg.kernelParanoid = true;
+    return cfg;
+}
+
+void
+expectVmResultsIdentical(const sim::SystemResult &a,
+                         const sim::SystemResult &b, const char *label)
+{
+    SCOPED_TRACE(label);
+    ASSERT_EQ(a.ipc.size(), b.ipc.size());
+    for (size_t i = 0; i < a.ipc.size(); ++i)
+        EXPECT_EQ(a.ipc[i], b.ipc[i]) << "core " << i;
+    EXPECT_EQ(a.cpuCycles, b.cpuCycles);
+    EXPECT_EQ(a.activations, b.activations);
+    EXPECT_EQ(a.providerHitRate, b.providerHitRate);
+    EXPECT_EQ(a.hcracHitRate, b.hcracHitRate);
+    EXPECT_EQ(a.ctrl.reads, b.ctrl.reads);
+    EXPECT_EQ(a.ctrl.writes, b.ctrl.writes);
+    EXPECT_EQ(a.ctrl.acts, b.ctrl.acts);
+    EXPECT_EQ(a.ctrl.rowHits, b.ctrl.rowHits);
+    EXPECT_EQ(a.ctrl.rowConflicts, b.ctrl.rowConflicts);
+    EXPECT_EQ(a.ctrl.readLatencySum, b.ctrl.readLatencySum);
+    EXPECT_EQ(a.ctrl.ptwReads, b.ctrl.ptwReads);
+    EXPECT_EQ(a.ctrl.ptwActs, b.ctrl.ptwActs);
+    EXPECT_EQ(a.ctrl.ptwActHits, b.ctrl.ptwActHits);
+    EXPECT_EQ(a.llc.accesses, b.llc.accesses);
+    EXPECT_EQ(a.llc.hits, b.llc.hits);
+    EXPECT_EQ(a.llc.misses, b.llc.misses);
+    EXPECT_EQ(a.llc.blockedMshr, b.llc.blockedMshr);
+    EXPECT_EQ(a.vm.lookups, b.vm.lookups);
+    EXPECT_EQ(a.vm.l1Hits, b.vm.l1Hits);
+    EXPECT_EQ(a.vm.l2Hits, b.vm.l2Hits);
+    EXPECT_EQ(a.vm.walks, b.vm.walks);
+    EXPECT_EQ(a.vm.pteFetches, b.vm.pteFetches);
+    EXPECT_EQ(a.vm.walkCycleSum, b.vm.walkCycleSum);
+    EXPECT_EQ(a.vm.pagesMapped, b.vm.pagesMapped);
+    EXPECT_EQ(a.xlatStallCycles, b.xlatStallCycles);
+    EXPECT_EQ(a.energy.totalNj(), b.energy.totalNj());
+}
+
+TEST(KernelEquivalence, VmEnabledAllKernelsAgree)
+{
+    const std::vector<std::string> workloads = {"apache20", "mcf"};
+    for (vm::PageAlloc alloc :
+         {vm::PageAlloc::Contiguous, vm::PageAlloc::Fragmented,
+          vm::PageAlloc::HugePage}) {
+        sim::System ref(vmTwoCore(sim::Scheme::ChargeCache,
+                                  sim::KernelMode::PerCycle, alloc),
+                        workloads);
+        sim::SystemResult rr = ref.run();
+        ASSERT_GT(rr.vm.walks, 0u) << vm::pageAllocName(alloc);
+        for (sim::KernelMode k :
+             {sim::KernelMode::EventSkip, sim::KernelMode::Calendar}) {
+            sim::System fast(vmTwoCore(sim::Scheme::ChargeCache, k,
+                                       alloc),
+                             workloads);
+            sim::SystemResult rf = fast.run();
+            std::string label = std::string(vm::pageAllocName(alloc)) +
+                                "/" + sim::kernelModeName(k);
+            expectVmResultsIdentical(rr, rf, label.c_str());
+        }
+    }
+}
+
+TEST(KernelEquivalence, VmParanoidShadowValidates)
+{
+    // Every skip/park/wake decision the event kernels take across
+    // translation stalls and PTE fetch returns is executed-and-asserted
+    // under the per-cycle schedule (the calendar variant additionally
+    // shadow-runs its wheel and cached horizons).
+    const std::vector<std::string> workloads = {"apache20", "mcf"};
+    sim::System ref(vmTwoCore(sim::Scheme::ChargeCache,
+                              sim::KernelMode::PerCycle,
+                              vm::PageAlloc::Fragmented),
+                    workloads);
+    sim::SystemResult rr = ref.run();
+    for (sim::KernelMode k :
+         {sim::KernelMode::EventSkip, sim::KernelMode::Calendar}) {
+        sim::SimConfig cfg = vmTwoCore(sim::Scheme::ChargeCache, k,
+                                       vm::PageAlloc::Fragmented);
+        cfg.kernelParanoid = true;
+        sim::System paranoid(cfg, workloads);
+        sim::SystemResult rp = paranoid.run();
+        expectVmResultsIdentical(rr, rp, sim::kernelModeName(k));
+    }
+}
+
+} // namespace
+} // namespace ccsim

@@ -123,6 +123,73 @@ TEST(Synthetic, ResetReplaysFromTheStart)
     EXPECT_EQ(first.addr, again.addr);
 }
 
+TEST(Profiles, MixCompositionPinned)
+{
+    // Regression pin for the paper's 20 eight-core mixes: the mix draw
+    // consumes the profile-name list through a fixed Rng stream, so
+    // any change to profile registration order, the Rng, or the draw
+    // loop (e.g. while adding VM-footprint plumbing) shows up here as
+    // an exact-composition diff. Generated from the w1..w20 state at
+    // the time the VM subsystem landed.
+    const std::vector<std::vector<std::string>> expected = {
+        {"STREAMcopy", "bwaves", "tpch2", "libquantum", "libquantum", "STREAMcopy", "bwaves", "milc"},
+        {"astar", "tpch2", "apache20", "STREAMcopy", "tpch6", "bwaves", "cactusADM", "bwaves"},
+        {"tpch2", "leslie3d", "astar", "libquantum", "bwaves", "cactusADM", "leslie3d", "tpch17"},
+        {"tpch17", "tpch2", "tonto", "bwaves", "sjeng", "cactusADM", "mcf", "lbm"},
+        {"bzip2", "bwaves", "astar", "astar", "cactusADM", "leslie3d", "astar", "tpch17"},
+        {"libquantum", "STREAMcopy", "leslie3d", "libquantum", "hmmer", "mcf", "astar", "cactusADM"},
+        {"tonto", "mcf", "hmmer", "cactusADM", "soplex", "lbm", "sphinx3", "STREAMcopy"},
+        {"mcf", "mcf", "tpch6", "mcf", "hmmer", "tpch17", "tonto", "tpch17"},
+        {"lbm", "tpch17", "soplex", "astar", "tpcc64", "lbm", "bzip2", "GemsFDTD"},
+        {"tpcc64", "tpch6", "milc", "hmmer", "libquantum", "lbm", "tonto", "hmmer"},
+        {"soplex", "bzip2", "cactusADM", "sphinx3", "leslie3d", "mcf", "soplex", "tpch2"},
+        {"STREAMcopy", "libquantum", "leslie3d", "sjeng", "milc", "bwaves", "libquantum", "sjeng"},
+        {"mcf", "lbm", "tpch17", "GemsFDTD", "tpch6", "leslie3d", "astar", "tpcc64"},
+        {"apache20", "tpcc64", "tpch6", "sjeng", "libquantum", "soplex", "hmmer", "STREAMcopy"},
+        {"tpcc64", "hmmer", "GemsFDTD", "cactusADM", "tonto", "hmmer", "tpch17", "sjeng"},
+        {"sjeng", "hmmer", "libquantum", "STREAMcopy", "sphinx3", "sphinx3", "tpcc64", "sjeng"},
+        {"sjeng", "leslie3d", "hmmer", "tpch6", "astar", "cactusADM", "bzip2", "milc"},
+        {"omnetpp", "milc", "bwaves", "mcf", "omnetpp", "tonto", "astar", "tpch17"},
+        {"tonto", "bwaves", "bwaves", "bwaves", "STREAMcopy", "hmmer", "apache20", "libquantum"},
+        {"mcf", "omnetpp", "tpch6", "leslie3d", "cactusADM", "omnetpp", "apache20", "apache20"},
+    };
+    for (int m = 1; m <= 20; ++m)
+        EXPECT_EQ(mixWorkloads(m), expected[m - 1]) << "mix w" << m;
+}
+
+TEST(Profiles, MixProfilesMatchMixNamesAndCarryVmFootprint)
+{
+    // mixProfiles must hand back the exact composition of
+    // mixWorkloads as independent copies a VM experiment can adorn.
+    for (int m : {1, 7, 20}) {
+        auto names = mixWorkloads(m);
+        auto profiles = mixProfiles(m);
+        ASSERT_EQ(profiles.size(), names.size());
+        for (size_t i = 0; i < names.size(); ++i) {
+            EXPECT_EQ(profiles[i].name, names[i]);
+            EXPECT_EQ(profiles[i].vmPages, 0u); // Default: derived.
+            EXPECT_GT(profiles[i].footprintPages(4096), 0u);
+        }
+        // Adorning a copy must not touch the registry or later draws.
+        profiles[0].vmPages = 12345;
+        EXPECT_EQ(profileByName(names[0]).vmPages, 0u);
+        EXPECT_EQ(mixProfiles(m)[0].vmPages, 0u);
+        EXPECT_EQ(profiles[0].footprintPages(4096), 12345u);
+    }
+}
+
+TEST(Profiles, FootprintPagesTracksPageSize)
+{
+    const SyntheticProfile &p = profileByName("mcf");
+    std::uint64_t small = p.footprintPages(4096);
+    std::uint64_t huge = p.footprintPages(2 * 1024 * 1024);
+    EXPECT_GT(small, huge);
+    EXPECT_GE(huge, 1u);
+    // Page-rounding: pages * lines/page covers the line footprint.
+    EXPECT_GE(small * (4096 / 64), p.footprintLines());
+    EXPECT_LT((small - 1) * (4096 / 64), p.footprintLines());
+}
+
 TEST(Synthetic, MeanComputeGapMatchesMemPerInst)
 {
     const SyntheticProfile &p = profileByName("libquantum");
