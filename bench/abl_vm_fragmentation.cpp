@@ -20,8 +20,15 @@
  * property — HCRAC hit rate falling monotonically from Contiguous
  * through Fragmented(1.0)). Appends the summary to the file named by
  * CCSIM_BENCH_TRAJECTORY when set, following BENCH_kernel.json's
- * JSONL-trajectory convention. No CI gate yet: the first data point
- * starts the trajectory.
+ * JSONL-trajectory convention.
+ *
+ * With CCSIM_VM_GATE=1 (the CI perf-trajectory job) the run exits
+ * non-zero when either trajectory invariant regresses, mirroring
+ * CCSIM_KERNEL_GATE:
+ *   - the HCRAC-hit monotone-drop invariant (`monotone_drop`) fails, or
+ *   - the huge-page IPC uplift over the contiguous 4K baseline falls
+ *     below CCSIM_VM_GATE_RATIO (default 1.0; the checked-in
+ *     trajectory measures ~1.2-1.3x).
  *
  * Scale via CCSIM_VM_INSTS (default 40000 insts/core; CI smoke uses
  * less), CCSIM_VM_MIXES (default 2) and CCSIM_THREADS.
@@ -184,6 +191,12 @@ main()
                 (unsigned long long)r.ptwActHits);
         }
     };
+    // Huge-page IPC uplift over the contiguous 4K baseline — the other
+    // gated trajectory invariant (TLB reach + walk elimination must
+    // keep paying off).
+    const double huge_ipc_uplift =
+        folded[0].ipcSum > 0 ? folded[5].ipcSum / folded[0].ipcSum : 0.0;
+
     auto write_summary = [&](std::FILE *f) {
         std::fprintf(
             f,
@@ -191,10 +204,12 @@ main()
             "\"insts_per_core\": %llu, \"mixes\": %d, "
             "\"monotone_drop\": %s, "
             "\"hcrac_contiguous\": %.6f, \"hcrac_frag_full\": %.6f, "
-            "\"hcrac_hugepage\": %.6f}\n",
+            "\"hcrac_hugepage\": %.6f, "
+            "\"huge_ipc_uplift\": %.4f}\n",
             (unsigned long long)insts, mixes,
             monotone ? "true" : "false", folded[0].hcracHitRate,
-            folded[4].hcracHitRate, folded[5].hcracHitRate);
+            folded[4].hcracHitRate, folded[5].hcracHitRate,
+            huge_ipc_uplift);
     };
 
     std::FILE *json = std::fopen("BENCH_vm.json", "w");
@@ -217,6 +232,28 @@ main()
         write_summary(f);
         std::fclose(f);
         std::printf("appended summary to %s\n", traj);
+    }
+
+    // CI regression gate over the two trajectory invariants (mirrors
+    // CCSIM_KERNEL_GATE in micro_kernel).
+    if (envU64("CCSIM_VM_GATE", 0)) {
+        const double tol = sim::envF64("CCSIM_VM_GATE_RATIO", 1.0);
+        if (!monotone) {
+            std::fprintf(stderr,
+                         "GATE FAILED: HCRAC hit rate no longer drops "
+                         "monotonically contiguous -> frag(1.0)\n");
+            return 2;
+        }
+        if (huge_ipc_uplift < tol) {
+            std::fprintf(stderr,
+                         "GATE FAILED: huge-page IPC uplift %.3fx < "
+                         "%.3fx over the contiguous baseline\n",
+                         huge_ipc_uplift, tol);
+            return 2;
+        }
+        std::printf("vm gate passed: monotone drop holds, huge-page "
+                    "uplift %.2fx (threshold %.2f)\n",
+                    huge_ipc_uplift, tol);
     }
     return 0;
 }

@@ -794,7 +794,10 @@ MemoryController::tick()
         ++stats_.reads;
         stats_.readLatencySum += pr.done - pr.req.arrive;
         active = true;
-        pr.req.complete(pr.done);
+        if (completionSink_)
+            completionSink_(completionCtx_, pr.req, pr.done);
+        else
+            pr.req.complete(pr.done);
     }
 
     // Write drain hysteresis.

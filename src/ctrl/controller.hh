@@ -23,6 +23,7 @@
 #include "chargecache/providers.hh"
 #include "common/log.hh"
 #include "common/types.hh"
+#include "ctrl/port.hh"
 #include "ctrl/refresh.hh"
 #include "ctrl/request.hh"
 #include "ctrl/rltl.hh"
@@ -92,7 +93,7 @@ struct CtrlStats {
     std::uint64_t ptwActHits = 0; ///< PTW ACTs issued with reduced timing.
 };
 
-class MemoryController
+class MemoryController : public MemPort
 {
   public:
     /**
@@ -111,13 +112,13 @@ class MemoryController
     void addListener(CommandListener *listener);
 
     /** True if a read/write can be accepted this cycle. */
-    bool canAccept(ReqType type) const;
+    bool canAccept(ReqType type) const override;
 
     /**
      * Enqueue a request (must canAccept). Reads complete via
      * `req.callback`; writes are acknowledged immediately.
      */
-    void enqueue(Request req);
+    void enqueue(Request req) override;
 
     /**
      * Advance one controller (DRAM bus) cycle. Returns true if the tick
@@ -144,6 +145,39 @@ class MemoryController
         if (queuedRequests() != 0 && nextServeTry_ < ev)
             ev = nextServeTry_;
         return ev > now_ ? ev : now_;
+    }
+
+    /**
+     * Earliest cycle at which a tick will hand read data back to the
+     * requester (kNoCycle when no read is in flight). Completion times
+     * are fixed at issue time, so between two ticks this horizon can
+     * only be *raised* by the controller itself — the property the
+     * channel-sharded kernel's free-run window relies on: a shard may
+     * tick autonomously up to (but excluding) this cycle without any
+     * callback crossing threads.
+     */
+    Cycle
+    nextDeliveryAt() const
+    {
+        return pending_.empty() ? kNoCycle : pending_.top().done;
+    }
+
+    /**
+     * Completion routing for the channel-sharded kernel: when a sink is
+     * installed, tick() passes finished read data to it instead of
+     * invoking `req.complete()` directly. The sharded runner uses this
+     * to capture (request, done-cycle) pairs on the shard thread and
+     * replay the callbacks on the coordinator in serial channel order.
+     * Raw function pointer + context, mirroring Request::Callback.
+     */
+    using CompletionSink = void (*)(void *ctx, const Request &req,
+                                    Cycle done);
+
+    void
+    setCompletionSink(CompletionSink sink, void *ctx)
+    {
+        completionSink_ = sink;
+        completionCtx_ = ctx;
     }
 
     /**
@@ -403,6 +437,8 @@ class MemoryController
     std::uint64_t tokenSeq_ = 1;
     /** Queue state changed outside a tick; see consumeHorizonDirty(). */
     bool horizonDirty_ = true;
+    CompletionSink completionSink_ = nullptr;
+    void *completionCtx_ = nullptr;
     CtrlStats stats_;
 };
 

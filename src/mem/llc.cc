@@ -7,7 +7,7 @@
 namespace ccsim::mem {
 
 Llc::Llc(const LlcConfig &config, const dram::AddressMapper &mapper,
-         std::function<ctrl::MemoryController *(int channel)> route,
+         std::function<ctrl::MemPort *(int channel)> route,
          MissCallback on_miss_complete)
     : config_(config),
       mapper_(mapper),
@@ -98,7 +98,7 @@ Llc::sendFetch(Addr line_addr)
         static_cast<Llc *>(ctx)->onFill(r.lineAddr);
     };
     req.callbackCtx = this;
-    ctrl::MemoryController *mc = route_(req.addr.channel);
+    ctrl::MemPort *mc = route_(req.addr.channel);
     if (!mc->canAccept(ctrl::ReqType::Read))
         return false;
     // Mark before enqueue: `it` must not be touched afterwards (the
@@ -215,7 +215,7 @@ Llc::tick()
         req.lineAddr = line_addr;
         req.addr = mapper_.decode(line_addr);
         req.coreId = -1;
-        ctrl::MemoryController *mc = route_(req.addr.channel);
+        ctrl::MemPort *mc = route_(req.addr.channel);
         if (!mc->canAccept(ctrl::ReqType::Write))
             break;
         mc->enqueue(std::move(req));

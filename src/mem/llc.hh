@@ -56,11 +56,14 @@ class Llc
     using WakeCallback = std::function<void(int core)>;
 
     /**
-     * @param route maps a channel index to its memory controller.
+     * @param route maps a channel index to its memory port — the
+     *        controller itself in the serial kernels, or a shard proxy
+     *        (sim::ShardedRunner) when the channel lives on another
+     *        thread.
      * @param on_miss_complete completion notification for Miss results.
      */
     Llc(const LlcConfig &config, const dram::AddressMapper &mapper,
-        std::function<ctrl::MemoryController *(int channel)> route,
+        std::function<ctrl::MemPort *(int channel)> route,
         MissCallback on_miss_complete);
 
     /**
@@ -163,7 +166,7 @@ class Llc
 
     LlcConfig config_;
     const dram::AddressMapper &mapper_;
-    std::function<ctrl::MemoryController *(int)> route_;
+    std::function<ctrl::MemPort *(int)> route_;
     MissCallback onMissComplete_;
 
     int sets_;

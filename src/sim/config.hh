@@ -103,6 +103,30 @@ struct SimConfig {
 
     KernelMode kernel = KernelMode::Calendar;
     /**
+     * Channel-sharded multi-threaded simulation (KernelMode::Calendar,
+     * non-paranoid only; other kernels ignore it and run serially):
+     * 0 keeps the serial calendar kernel; N >= 1 partitions the
+     * per-channel controller/refresh/provider/energy state onto
+     * min(N, channels) worker threads while the cores and the shared
+     * LLC advance on the coordinator, connected by SPSC queues under a
+     * deterministic barrier protocol (see src/sim/shard.hh and
+     * docs/performance.md). Results are bit-identical to the serial
+     * kernels for every scheme, VM on or off — enforced by
+     * tests/test_shard.cc. N == 1 still exercises the full cross-thread
+     * protocol (useful for testing); speedup needs N >= 2 and >= 2
+     * channels on a multi-core host.
+     */
+    int shardThreads = 0;
+    /**
+     * Paranoid shadow for the sharded kernel: after the sharded run,
+     * replay the identical configuration on the serial calendar kernel
+     * and CCSIM_ASSERT every SystemResult field (incl. ptw/vm/xlat
+     * stats) matches bit for bit. Requires construction from workload
+     * names (the replay needs fresh trace sources). Costs a full serial
+     * re-run; meant for tests/CI.
+     */
+    bool shardShadow = false;
+    /**
      * Calendar/EventSkip only: execute would-be-skipped ticks anyway
      * and assert each one is quiescent — a per-cycle-speed equivalence
      * check of every skip decision (tests/debugging). For Calendar the

@@ -1,0 +1,784 @@
+#include "sim/shard.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.hh"
+#include "ctrl/controller.hh"
+#include "energy/energy_model.hh"
+#include "sim/system.hh"
+
+namespace ccsim::sim {
+
+namespace {
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/** The serial kernels' controller clock at coordinator cycle `c`:
+    every boundary strictly before `c` has been processed. */
+inline Cycle
+serialClockAt(CpuCycle c, CpuCycle ratio)
+{
+    return c == 0 ? 0 : static_cast<Cycle>((c - 1) / ratio) + 1;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Per-channel shared state and the worker thread.
+
+struct ShardedRunner::Channel {
+    // Coordinator -> worker commands; worker -> coordinator read
+    // completions captured from one tick.
+    SpscRing<ShardCmd, 256> cmds;
+    SpscRing<ShardCompletion, 1024> comps;
+
+    /**
+     * Commands processed, release-stored after the mirror fields below
+     * are written; the coordinator acquires it and, once it equals its
+     * own `sent`, reads the mirror — the exact state the serial kernel
+     * would observe after the same command sequence.
+     */
+    alignas(64) std::atomic<std::uint64_t> acked{0};
+    Cycle nextEvent = 0; ///< Controller nextEventAt() (DRAM cycles).
+                         ///< Init 0: forces the serial kernel's
+                         ///< unconditional first tick at cycle 0.
+    Cycle nextDelivery = kNoCycle; ///< nextDeliveryAt() (DRAM cycles).
+    std::uint32_t readCount = 0;
+    std::uint32_t writeCount = 0;
+
+    // Coordinator-only.
+    alignas(64) std::uint64_t sent = 0;
+    Worker *worker = nullptr;
+
+    // Worker-only.
+    std::uint64_t processed = 0;
+    bool stopped = false;
+
+    // Wiring (read-only during the run).
+    int index = 0;
+    ctrl::MemoryController *mc = nullptr;
+    energy::EnergyModel *energy = nullptr;
+};
+
+struct ShardedRunner::Worker {
+    std::vector<int> channels;
+    std::mutex m;
+    std::condition_variable cv;
+    std::atomic<bool> sleeping{false};
+    std::thread thread;
+};
+
+/**
+ * Per-channel proxy the LLC routes through during a sharded run.
+ * canAccept mirrors MemoryController::canAccept exactly (same counts,
+ * same limits); enqueue relays the request and waits for the ack so
+ * the mirror — including forwarding/coalescing effects only the
+ * controller can decide — is current before the caller continues.
+ */
+class ShardedRunner::Port final : public ctrl::MemPort
+{
+  public:
+    Port(ShardedRunner &runner, int ch) : runner_(runner), ch_(ch) {}
+
+    bool
+    canAccept(ctrl::ReqType type) const override
+    {
+        ShardedRunner &r = const_cast<ShardedRunner &>(runner_);
+        r.sync(ch_);
+        const Channel &c = *r.chs_[ch_];
+        if (type == ctrl::ReqType::Read)
+            return c.readCount < static_cast<std::uint32_t>(r.readQSize_);
+        return c.writeCount < static_cast<std::uint32_t>(r.writeQSize_);
+    }
+
+    void
+    enqueue(ctrl::Request req) override
+    {
+        ShardCmd cmd;
+        cmd.op = ShardCmd::Op::Enqueue;
+        // The request becomes visible at the same controller clock the
+        // serial kernels would stamp: the boundary covering `now_` has
+        // ticked (or provably idled), so the clock reads one past it.
+        cmd.target = static_cast<Cycle>(runner_.now_ / runner_.ratio_) + 1;
+        cmd.req = req;
+        runner_.send(ch_, cmd);
+        runner_.sync(ch_);
+    }
+
+  private:
+    ShardedRunner &runner_;
+    int ch_;
+};
+
+ShardedRunner::ShardedRunner(System &sys, int threads)
+    : sys_(sys), threads_(threads)
+{
+    ratio_ = static_cast<CpuCycle>(sys_.config_.cpuRatio);
+    const auto &t = sys_.spec_.timing;
+    lminDram_ = std::max<Cycle>(1, Cycle(t.tCL) + Cycle(t.tBL));
+    readQSize_ = sys_.config_.ctrl.readQueueSize;
+    writeQSize_ = sys_.config_.ctrl.writeQueueSize;
+}
+
+ShardedRunner::~ShardedRunner()
+{
+    if (!finished_ && !workers_.empty()) {
+        // Error-path teardown (run() threw): hard-stop the workers —
+        // no commands, no failure re-raise — we may be unwinding.
+        shutdown_.store(true, std::memory_order_release);
+        finish();
+    }
+}
+
+void
+ShardedRunner::start()
+{
+    const int n_ch = sys_.config_.channels;
+    const int n_workers = std::clamp(threads_, 1, n_ch);
+
+    // Oversubscribed hosts (fewer hardware threads than workers +
+    // coordinator) must hand the cpu over immediately instead of
+    // spinning through a scheduling quantum per handshake.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const bool oversub = hw == 0 || static_cast<int>(hw) < n_workers + 1;
+    workerSpin_ = oversub ? 1 : 4096;
+    coordSpin_ = oversub ? 1 : 4096;
+
+    for (int ch = 0; ch < n_ch; ++ch) {
+        auto c = std::make_unique<Channel>();
+        c->index = ch;
+        c->mc = sys_.controllers_[ch].get();
+        c->energy = ch < static_cast<int>(sys_.energy_.size())
+                        ? sys_.energy_[ch].get()
+                        : nullptr;
+        chs_.push_back(std::move(c));
+    }
+
+    // The LLC now talks to the shard ports; completions are captured
+    // instead of fired on the worker.
+    savedRoute_ = sys_.llcRoute_;
+    for (int ch = 0; ch < n_ch; ++ch) {
+        ports_.push_back(std::make_unique<Port>(*this, ch));
+        sys_.llcRoute_[ch] = ports_.back().get();
+        chs_[ch]->mc->setCompletionSink(&ShardedRunner::completionSinkThunk,
+                                        chs_[ch].get());
+    }
+
+    // Contiguous channel blocks per worker.
+    for (int w = 0; w < n_workers; ++w)
+        workers_.push_back(std::make_unique<Worker>());
+    for (int ch = 0; ch < n_ch; ++ch) {
+        Worker &w = *workers_[ch * n_workers / n_ch];
+        w.channels.push_back(ch);
+        chs_[ch]->worker = &w;
+    }
+    for (auto &w : workers_)
+        w->thread = std::thread([this, wp = w.get()] { workerLoop(*wp); });
+}
+
+void
+ShardedRunner::finish()
+{
+    for (auto &w : workers_) {
+        kick(*w);
+        if (w->thread.joinable())
+            w->thread.join();
+    }
+    for (auto &c : chs_)
+        c->mc->setCompletionSink(nullptr, nullptr);
+    if (!savedRoute_.empty())
+        sys_.llcRoute_ = savedRoute_;
+    finished_ = true;
+}
+
+void
+ShardedRunner::completionSinkThunk(void *ctx, const ctrl::Request &req,
+                                   Cycle done)
+{
+    Channel &c = *static_cast<Channel *>(ctx);
+    ShardCompletion sc;
+    sc.req = req;
+    sc.done = done;
+    bool ok = c.comps.tryPush(sc);
+    CCSIM_ASSERT(ok, "shard completion ring overflow on channel ",
+                 c.index);
+}
+
+void
+ShardedRunner::publish(Channel &c)
+{
+    const ctrl::MemoryController &mc = *c.mc;
+    c.nextEvent = mc.nextEventAt();
+    c.nextDelivery = mc.nextDeliveryAt();
+    c.readCount = static_cast<std::uint32_t>(mc.readCount());
+    c.writeCount = static_cast<std::uint32_t>(mc.writeCount());
+    c.acked.store(c.processed, std::memory_order_release);
+}
+
+void
+ShardedRunner::execute(Channel &c, const ShardCmd &cmd)
+{
+    ctrl::MemoryController &mc = *c.mc;
+    auto skip_to = [&mc](Cycle target) {
+        if (target > mc.now())
+            mc.skipTicks(target - mc.now()); // Asserts the idle region.
+    };
+
+    switch (cmd.op) {
+      case ShardCmd::Op::Tick:
+        skip_to(cmd.target);
+        mc.tick();
+        break;
+      case ShardCmd::Op::FreeRun: {
+        // Tick every horizon whose CPU cycle lies strictly below the
+        // epoch boundary; deliveries inside the window would break the
+        // serial visit order, and the epoch was chosen so none can
+        // occur — assert it per tick.
+        const CpuCycle limit = static_cast<CpuCycle>(cmd.target);
+        const Cycle bound =
+            static_cast<Cycle>((limit + ratio_ - 1) / ratio_);
+        while (true) {
+            Cycle e = mc.nextEventAt();
+            if (e >= bound)
+                break;
+            skip_to(e);
+            CCSIM_ASSERT(mc.nextDeliveryAt() > e,
+                         "free-run tick would cross a read delivery on "
+                         "channel ",
+                         c.index);
+            mc.tick();
+        }
+        skip_to(serialClockAt(limit, ratio_));
+        break;
+      }
+      case ShardCmd::Op::Enqueue: {
+        skip_to(cmd.target);
+        ctrl::Request req = cmd.req;
+        mc.enqueue(std::move(req));
+        break;
+      }
+      case ShardCmd::Op::Sync:
+        skip_to(cmd.target);
+        break;
+      case ShardCmd::Op::ResetStats:
+        mc.resetStats();
+        if (c.energy)
+            c.energy->resetAt(mc.now());
+        break;
+      case ShardCmd::Op::Stop:
+        c.stopped = true;
+        break;
+    }
+}
+
+bool
+ShardedRunner::drainChannel(Channel &c)
+{
+    bool did = false;
+    ShardCmd cmd;
+    while (!c.stopped && c.cmds.tryPop(cmd)) {
+        execute(c, cmd);
+        ++c.processed;
+        publish(c);
+        did = true;
+    }
+    return did;
+}
+
+void
+ShardedRunner::workerLoop(Worker &w)
+{
+    int spins = 0;
+    while (true) {
+        bool did = false;
+        bool live = false;
+        for (int ch : w.channels) {
+            Channel &c = *chs_[ch];
+            if (!c.stopped) {
+                // A panic (CCSIM_ASSERT throws) must not escape the
+                // thread entry — that would std::terminate and lose
+                // the coordinator's context (e.g. the randomized
+                // stress seed). Record it and let the coordinator
+                // re-raise from sync()/send().
+                try {
+                    did |= drainChannel(c);
+                } catch (const std::exception &e) {
+                    {
+                        std::lock_guard<std::mutex> lk(errorMutex_);
+                        if (workerError_.empty())
+                            workerError_ = e.what();
+                    }
+                    workerFailed_.store(true, std::memory_order_release);
+                    for (int dead : w.channels)
+                        chs_[dead]->stopped = true;
+                    return;
+                }
+            }
+            live |= !c.stopped;
+        }
+        if (!live || shutdown_.load(std::memory_order_acquire))
+            return;
+        if (did) {
+            spins = 0;
+            continue;
+        }
+        if (++spins < workerSpin_) {
+            cpuRelax();
+            continue;
+        }
+        // Park until the coordinator kicks (bounded wait: a lost
+        // wakeup in the sleeping-flag race costs one timeout, never
+        // progress).
+        std::unique_lock<std::mutex> lk(w.m);
+        w.sleeping.store(true, std::memory_order_seq_cst);
+        bool pending = false;
+        for (int ch : w.channels)
+            pending |= !chs_[ch]->cmds.emptyConsumer();
+        if (!pending)
+            w.cv.wait_for(lk, std::chrono::microseconds(200));
+        w.sleeping.store(false, std::memory_order_relaxed);
+        spins = 0;
+    }
+}
+
+void
+ShardedRunner::kick(Worker &w)
+{
+    if (w.sleeping.load(std::memory_order_seq_cst)) {
+        std::lock_guard<std::mutex> lk(w.m);
+        w.cv.notify_one();
+    }
+}
+
+void
+ShardedRunner::checkWorkerFailure()
+{
+    if (!workerFailed_.load(std::memory_order_acquire))
+        return;
+    std::string msg;
+    {
+        std::lock_guard<std::mutex> lk(errorMutex_);
+        msg = workerError_;
+    }
+    CCSIM_PANIC("shard worker failed: ", msg);
+}
+
+void
+ShardedRunner::send(int ch, const ShardCmd &cmd)
+{
+    Channel &c = *chs_[ch];
+    while (!c.cmds.tryPush(cmd)) {
+        // Ring full: the worker is mid-drain; give it the cpu.
+        checkWorkerFailure();
+        kick(*c.worker);
+        cpuRelax();
+    }
+    ++c.sent;
+    kick(*c.worker);
+}
+
+void
+ShardedRunner::sync(int ch)
+{
+    Channel &c = *chs_[ch];
+    if (c.acked.load(std::memory_order_acquire) == c.sent)
+        return;
+    kick(*c.worker);
+    int spins = 0;
+    while (c.acked.load(std::memory_order_acquire) != c.sent) {
+        checkWorkerFailure();
+        ++spins;
+        if (spins < coordSpin_) {
+            cpuRelax();
+        } else if (spins % 64 != 0) {
+            std::this_thread::yield();
+        } else {
+            kick(*c.worker);
+            std::this_thread::sleep_for(std::chrono::microseconds(20));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator loop: the serial calendar kernel (System::runCalendar)
+// with the controller phase relayed to the shards. Cores, LLC, wheel
+// and park/wake bookkeeping are byte-for-byte the serial logic.
+
+SystemResult
+ShardedRunner::run()
+{
+    System &sys = sys_;
+    CCSIM_ASSERT(!sys.cal_, "sharded run is not reentrant");
+    CCSIM_ASSERT(sys.config_.kernel == KernelMode::Calendar &&
+                     !sys.config_.kernelParanoid,
+                 "sharding drives the non-paranoid calendar kernel only");
+    start();
+
+    sys.cal_ = std::make_unique<CalendarKernelState>(sys.cores_.size());
+    CalendarKernelState &cal = *sys.cal_;
+
+    CpuCycle now = 0;
+    bool warm = false;
+    CpuCycle warm_end = 0;
+    const CpuCycle ratio = ratio_;
+    const std::size_t n_ch = chs_.size();
+
+    auto all_retired_at_least = [&](std::uint64_t n) {
+        for (const auto &core : sys.cores_)
+            if (core->stats().retired < n)
+                return false;
+        return true;
+    };
+
+    auto settle_all_parked = [&](CpuCycle upto) {
+        for (std::size_t i = 0; i < sys.cores_.size(); ++i) {
+            if (cal.parkedSince[i] == kNoCycle)
+                continue;
+            CCSIM_ASSERT(upto >= cal.parkedSince[i],
+                         "core parked in the future");
+            sys.settleCoreStalls(static_cast<int>(i),
+                                 upto - cal.parkedSince[i]);
+            cal.parkedSince[i] = upto;
+        }
+    };
+
+    // Forward-progress watchdog (mirror-based: the coordinator must
+    // not touch live controllers, so the dump syncs the shards first).
+    constexpr CpuCycle kStallLimit = 10000000;
+    std::uint64_t wd_retired = 0;
+    CpuCycle wd_progress = 0;
+    auto watchdog_check = [&](CpuCycle at) {
+        std::uint64_t retired = 0;
+        for (const auto &core : sys.cores_)
+            retired += core->stats().retired;
+        if (retired != wd_retired) {
+            wd_retired = retired;
+            wd_progress = at;
+            return;
+        }
+        if (at - wd_progress < kStallLimit)
+            return;
+        std::string dump;
+        for (std::size_t ch = 0; ch < n_ch; ++ch) {
+            sync(static_cast<int>(ch));
+            const Channel &c = *chs_[ch];
+            dump += " ch" + std::to_string(ch) +
+                    "{r=" + std::to_string(c.readCount) +
+                    ",w=" + std::to_string(c.writeCount) + "}";
+        }
+        for (const auto &core : sys.cores_)
+            dump += " core" + std::to_string(core->id()) + "{retired=" +
+                    std::to_string(core->stats().retired) + "}";
+        CCSIM_PANIC("no forward progress for ", kStallLimit,
+                    " cpu cycles at cycle ", at, " (sharded):", dump);
+    };
+    CpuCycle next_progress_check = 65536;
+
+    bool progress_since_check = true;
+
+    while (true) {
+        if (progress_since_check) {
+            progress_since_check = false;
+            if (!warm && all_retired_at_least(sys.config_.warmupInsts)) {
+                warm = true;
+                warm_end = now;
+                settle_all_parked(now);
+                // Coordinator-owned statistics.
+                sys.llc_->resetStats();
+                for (auto &core : sys.cores_)
+                    core->resetStats(now);
+                for (auto &mmu : sys.mmus_)
+                    mmu->resetStats();
+                // Shard-owned: reset at the serial controller clock so
+                // the energy model re-bases identically.
+                const Cycle a = serialClockAt(now, ratio);
+                for (std::size_t ch = 0; ch < n_ch; ++ch) {
+                    ShardCmd s;
+                    s.op = ShardCmd::Op::Sync;
+                    s.target = a;
+                    send(static_cast<int>(ch), s);
+                    ShardCmd r;
+                    r.op = ShardCmd::Op::ResetStats;
+                    send(static_cast<int>(ch), r);
+                }
+                for (std::size_t ch = 0; ch < n_ch; ++ch)
+                    sync(static_cast<int>(ch));
+            }
+            if (warm) {
+                bool done = true;
+                for (const auto &core : sys.cores_)
+                    if (!core->reachedTarget())
+                        done = false;
+                if (done)
+                    break;
+            }
+        }
+
+        cal.now = now;
+        now_ = now;
+
+        // Deliver core wake events due this cycle (serial logic).
+        cal.wheel.drainUpTo(now, [&](TimingWheel::Payload p) {
+            int i = static_cast<int>(p);
+            if (cal.parkedSince[i] != kNoCycle &&
+                sys.cores_[i]->nextEventAt() <= now && !cal.wakeQueued[i]) {
+                cal.wakeQueued[i] = 1;
+                cal.pendingWake.push_back(i);
+            }
+        });
+
+        if (now % ratio == 0) {
+            // Controller phase, relayed: send this boundary's ticks
+            // and keep going — the shards tick concurrently with the
+            // coordinator's LLC/core phase below. Only a boundary with
+            // a read delivery due must join first: its callbacks are
+            // replayed in channel order, exactly where the serial
+            // kernel's in-tick callbacks ran. The sync() at the top of
+            // each decision is the previous boundary's ack, normally
+            // long since satisfied.
+            const Cycle d = static_cast<Cycle>(now / ratio);
+            bool deliveries = false;
+            for (std::size_t ch = 0; ch < n_ch; ++ch) {
+                sync(static_cast<int>(ch));
+                Channel &c = *chs_[ch];
+                if (c.nextEvent <= d) {
+                    if (c.nextDelivery <= d)
+                        deliveries = true;
+                    ShardCmd t;
+                    t.op = ShardCmd::Op::Tick;
+                    t.target = d;
+                    send(static_cast<int>(ch), t);
+                }
+            }
+            if (deliveries) {
+                for (std::size_t ch = 0; ch < n_ch; ++ch)
+                    sync(static_cast<int>(ch));
+                for (std::size_t ch = 0; ch < n_ch; ++ch) {
+                    ShardCompletion sc;
+                    while (chs_[ch]->comps.tryPop(sc))
+                        sc.req.complete(sc.done);
+                }
+            }
+            if (sys.llc_->needsAnyDrain())
+                sys.llc_->tick();
+        }
+
+        // Core phase (serial logic, verbatim).
+        if (!cal.pendingWake.empty()) {
+            for (int i : cal.pendingWake) {
+                cal.wakeQueued[i] = 0;
+                if (cal.parkedSince[i] != kNoCycle)
+                    sys.calUnpark(i, now);
+            }
+            cal.pendingWake.clear();
+        }
+        bool any_progress = false;
+        bool any_parked = false;
+        cal.inCorePhase = true;
+        for (std::size_t k = 0; k < cal.awake.size(); ++k) {
+            int i = cal.awake[k];
+            cal.currentCore = i;
+            if (sys.cores_[i]->tick(now)) {
+                any_progress = true;
+            } else {
+                cal.parkedSince[i] = now + 1;
+                any_parked = true;
+            }
+        }
+        cal.inCorePhase = false;
+        cal.currentCore = -1;
+        if (any_parked) {
+            std::size_t w = 0;
+            for (std::size_t k = 0; k < cal.awake.size(); ++k) {
+                int i = cal.awake[k];
+                if (cal.parkedSince[i] == kNoCycle) {
+                    cal.awake[w++] = i;
+                } else {
+                    CpuCycle e = sys.cores_[i]->nextEventAt();
+                    if (e != kNoCycle)
+                        cal.wheel.post(e,
+                                       CalendarKernelState::coreEvent(i));
+                }
+            }
+            cal.awake.resize(w);
+        }
+        if (any_progress)
+            progress_since_check = true;
+
+        CpuCycle next = now + 1;
+        if (!any_progress && cal.awake.empty() &&
+            cal.pendingWake.empty()) {
+            if (!sys.llc_->needsAnyDrain()) {
+                // Epoch jump: free-run window up to the earliest cycle
+                // the coordinator could matter again — a wheel wake, a
+                // known read delivery, or (while reads could issue)
+                // the earliest possible *new* delivery. Controller
+                // horizons do not bound the window; the shards run
+                // them autonomously.
+                CpuCycle horizon = cal.wheel.nextEventAt();
+                bool any_reads = false;
+                for (std::size_t ch = 0; ch < n_ch; ++ch)
+                    sync(static_cast<int>(ch));
+                for (std::size_t ch = 0; ch < n_ch; ++ch) {
+                    const Channel &c = *chs_[ch];
+                    if (c.nextDelivery != kNoCycle)
+                        horizon = std::min<CpuCycle>(
+                            horizon,
+                            static_cast<CpuCycle>(c.nextDelivery) *
+                                ratio);
+                    any_reads |= c.readCount > 0;
+                }
+                if (any_reads)
+                    horizon = std::min<CpuCycle>(
+                        horizon,
+                        (now / ratio + 1 + lminDram_) * ratio);
+                // Bounded hop: keeps the watchdog cadence alive even
+                // with no posted event in reach.
+                horizon = std::min<CpuCycle>(horizon, now + 65536);
+                next = std::max(now + 1, horizon);
+                if (next > now + 1) {
+                    const Cycle bound =
+                        static_cast<Cycle>((next + ratio - 1) / ratio);
+                    for (std::size_t ch = 0; ch < n_ch; ++ch) {
+                        if (chs_[ch]->nextEvent >= bound)
+                            continue; // Nothing to tick; clock is lazy.
+                        ShardCmd f;
+                        f.op = ShardCmd::Op::FreeRun;
+                        f.target = static_cast<Cycle>(next);
+                        send(static_cast<int>(ch), f);
+                    }
+                }
+            } else {
+                // LLC drains pending: stay in lock-step, but only
+                // boundaries (and due wheel cycles) can matter.
+                next = std::max<CpuCycle>(
+                    now + 1, std::min<CpuCycle>(cal.wheel.nextEventAt(),
+                                                (now / ratio + 1) *
+                                                    ratio));
+            }
+        }
+        now = next;
+
+        while (now >= next_progress_check) {
+            watchdog_check(now);
+            next_progress_check += 65536;
+        }
+        if (now > sys.config_.maxCpuCycles)
+            CCSIM_FATAL("simulation exceeded maxCpuCycles=",
+                        sys.config_.maxCpuCycles,
+                        "; workload cannot make progress?");
+    }
+
+    settle_all_parked(now);
+
+    // Land every controller on the serial end-of-run clock (energy
+    // finalisation reads it), stop the workers, and only then collect.
+    const Cycle a_end = serialClockAt(now, ratio);
+    for (std::size_t ch = 0; ch < n_ch; ++ch) {
+        ShardCmd s;
+        s.op = ShardCmd::Op::Sync;
+        s.target = a_end;
+        send(static_cast<int>(ch), s);
+        ShardCmd stop;
+        stop.op = ShardCmd::Op::Stop;
+        send(static_cast<int>(ch), stop);
+    }
+    finish();
+    sys.cal_.reset();
+    return sys.collectResults(now, warm_end);
+}
+
+// ---------------------------------------------------------------------
+// Entry points used by System::run().
+
+SystemResult
+runShardedSystem(System &sys)
+{
+    ShardedRunner runner(sys, sys.config().shardThreads);
+    return runner.run();
+}
+
+void
+shardShadowReplay(System &sys, const SystemResult &sharded)
+{
+    CCSIM_ASSERT(!sys.workloadNames_.empty(),
+                 "shardShadow needs workload-name construction (the "
+                 "replay requires fresh trace sources)");
+    SimConfig cfg = sys.config_;
+    cfg.shardThreads = 0;
+    cfg.shardShadow = false;
+    System serial(cfg, sys.workloadNames_);
+    SystemResult ref = serial.run();
+
+    const SystemResult &a = sharded;
+    const SystemResult &b = ref;
+#define CCSIM_SHARD_EQ(field)                                           \
+    CCSIM_ASSERT(a.field == b.field,                                    \
+                 "shard shadow mismatch in " #field ": sharded=",       \
+                 a.field, " serial=", b.field)
+    CCSIM_ASSERT(a.ipc.size() == b.ipc.size(), "shard shadow: ipc size");
+    for (std::size_t i = 0; i < a.ipc.size(); ++i)
+        CCSIM_ASSERT(a.ipc[i] == b.ipc[i], "shard shadow: ipc of core ",
+                     i);
+    CCSIM_SHARD_EQ(cpuCycles);
+    CCSIM_SHARD_EQ(activations);
+    CCSIM_SHARD_EQ(providerHitRate);
+    CCSIM_SHARD_EQ(hcracHitRate);
+    CCSIM_SHARD_EQ(unlimitedHitRate);
+    CCSIM_SHARD_EQ(rmpkc);
+    CCSIM_SHARD_EQ(ctrl.reads);
+    CCSIM_SHARD_EQ(ctrl.writes);
+    CCSIM_SHARD_EQ(ctrl.acts);
+    CCSIM_SHARD_EQ(ctrl.pres);
+    CCSIM_SHARD_EQ(ctrl.autoPres);
+    CCSIM_SHARD_EQ(ctrl.refs);
+    CCSIM_SHARD_EQ(ctrl.rowHits);
+    CCSIM_SHARD_EQ(ctrl.rowMisses);
+    CCSIM_SHARD_EQ(ctrl.rowConflicts);
+    CCSIM_SHARD_EQ(ctrl.readForwards);
+    CCSIM_SHARD_EQ(ctrl.readLatencySum);
+    CCSIM_SHARD_EQ(ctrl.ptwReads);
+    CCSIM_SHARD_EQ(ctrl.ptwActs);
+    CCSIM_SHARD_EQ(ctrl.ptwActHits);
+    CCSIM_SHARD_EQ(vm.lookups);
+    CCSIM_SHARD_EQ(vm.l1Hits);
+    CCSIM_SHARD_EQ(vm.l2Hits);
+    CCSIM_SHARD_EQ(vm.walks);
+    CCSIM_SHARD_EQ(vm.pteFetches);
+    CCSIM_SHARD_EQ(vm.walkCycleSum);
+    CCSIM_SHARD_EQ(vm.pagesMapped);
+    CCSIM_SHARD_EQ(xlatStallCycles);
+    CCSIM_SHARD_EQ(llc.accesses);
+    CCSIM_SHARD_EQ(llc.hits);
+    CCSIM_SHARD_EQ(llc.misses);
+    CCSIM_SHARD_EQ(llc.mshrMerges);
+    CCSIM_SHARD_EQ(llc.writebacks);
+    CCSIM_SHARD_EQ(llc.blockedMshr);
+    CCSIM_SHARD_EQ(llc.blockedMemQueue);
+    CCSIM_SHARD_EQ(energy.actPreNj);
+    CCSIM_SHARD_EQ(energy.readNj);
+    CCSIM_SHARD_EQ(energy.writeNj);
+    CCSIM_SHARD_EQ(energy.refreshNj);
+    CCSIM_SHARD_EQ(energy.actStandbyNj);
+    CCSIM_SHARD_EQ(energy.preStandbyNj);
+    CCSIM_SHARD_EQ(energy.controllerNj);
+    CCSIM_ASSERT(a.rltl.size() == b.rltl.size(), "shard shadow: rltl");
+    for (std::size_t i = 0; i < a.rltl.size(); ++i)
+        CCSIM_ASSERT(a.rltl[i] == b.rltl[i],
+                     "shard shadow: rltl window ", i);
+    CCSIM_SHARD_EQ(afterRefresh8ms);
+#undef CCSIM_SHARD_EQ
+}
+
+} // namespace ccsim::sim

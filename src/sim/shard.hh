@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Channel-sharded multi-threaded simulation driver for the calendar
+ * kernel: per-channel MemoryController/RefreshScheduler/provider/energy
+ * state is partitioned onto worker threads while the cores and the
+ * shared LLC advance on the coordinator, connected by lock-free SPSC
+ * command/completion queues under a deterministic barrier protocol.
+ *
+ * Determinism contract (see docs/performance.md for the full
+ * argument): the sharded run produces a bit-identical SystemResult to
+ * the serial calendar kernel — and hence to EventSkip and the PerCycle
+ * reference — for every scheme, VM on or off. The protocol achieves
+ * this by preserving the serial kernel's exact visit order:
+ *
+ *  - A channel's controller state changes only when its worker
+ *    executes a command; commands per channel form a total order
+ *    chosen by the coordinator, identical to the serial schedule
+ *    (tick boundaries, enqueue cycles, clock advances).
+ *  - Read-data callbacks never fire on a worker: the controller's
+ *    completion sink captures (request, done) pairs, and the
+ *    coordinator replays them in channel order at exactly the cycle
+ *    the serial kernel's in-tick callbacks would have run. Channels
+ *    are mutually independent between callbacks, so ticking them
+ *    concurrently and replaying callbacks afterwards is equivalent.
+ *  - `canAccept` is answered from a mirror (queue occupancy, horizons)
+ *    the worker publishes after every command; the coordinator syncs
+ *    to its own last command before reading, so the mirror always
+ *    equals the state the serial kernel would observe.
+ *  - When every core is parked and the LLC is quiescent, the
+ *    coordinator grants shards a *free-run window*: each worker ticks
+ *    autonomously up to an epoch boundary — the minimum over the
+ *    wheel's next wake, every shard's published next read delivery,
+ *    and (when reads could issue) now + the minimum read latency, so
+ *    no completion can materialise inside the window. Workers assert
+ *    this invariant on every free-run tick.
+ */
+
+#ifndef CCSIM_SIM_SHARD_HH
+#define CCSIM_SIM_SHARD_HH
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+#include "ctrl/port.hh"
+#include "ctrl/request.hh"
+
+namespace ccsim::energy {
+class EnergyModel;
+}
+namespace ccsim::ctrl {
+class MemoryController;
+}
+
+namespace ccsim::sim {
+
+class System;
+struct SystemResult;
+
+/**
+ * Fixed-capacity lock-free single-producer/single-consumer ring.
+ * Release/acquire pairs on the indices publish the slot contents, so
+ * plain (trivially copyable) payloads need no further synchronisation.
+ */
+template <typename T, std::size_t N>
+class SpscRing
+{
+    static_assert((N & (N - 1)) == 0, "capacity must be a power of two");
+    static_assert(std::is_trivially_copyable<T>::value,
+                  "ring payloads cross threads by memcpy semantics");
+
+  public:
+    bool
+    tryPush(const T &v)
+    {
+        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        if (h - tail_.load(std::memory_order_acquire) == N)
+            return false;
+        slots_[h & (N - 1)] = v;
+        head_.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    tryPop(T &out)
+    {
+        const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+        if (t == head_.load(std::memory_order_acquire))
+            return false;
+        out = slots_[t & (N - 1)];
+        tail_.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer-side emptiness probe (used by the worker park path). */
+    bool
+    emptyConsumer() const
+    {
+        return tail_.load(std::memory_order_relaxed) ==
+               head_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::array<T, N> slots_;
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+/** One coordinator->worker command. `target` semantics depend on op. */
+struct ShardCmd {
+    enum class Op : std::uint8_t {
+        /** Advance to DRAM cycle `target`, then run one tick(). */
+        Tick,
+        /**
+         * Free-run window: autonomously tick every controller horizon
+         * whose CPU cycle lies strictly below `target` (a CPU cycle
+         * here), then land the clock on the serial value for `target`.
+         * No read delivery may occur inside the window (asserted).
+         */
+        FreeRun,
+        /** Advance to DRAM cycle `target`, then enqueue `req`. */
+        Enqueue,
+        /** Advance the controller clock to DRAM cycle `target`. */
+        Sync,
+        /** Reset controller/provider stats; re-base energy at now(). */
+        ResetStats,
+        /** Worker releases the channel and exits once all are stopped. */
+        Stop,
+    };
+
+    Op op = Op::Sync;
+    Cycle target = 0;
+    ctrl::Request req; ///< Enqueue only.
+};
+
+/** A captured read completion, replayed by the coordinator. */
+struct ShardCompletion {
+    ctrl::Request req;
+    Cycle done = 0;
+};
+
+/**
+ * Drives one sharded System::run(). Constructed per run by
+ * System::run() when SimConfig::shardThreads > 0 (calendar kernel,
+ * non-paranoid); tests may also construct it directly.
+ */
+class ShardedRunner
+{
+  public:
+    /** @param threads worker-thread count (clamped to [1, channels]). */
+    ShardedRunner(System &sys, int threads);
+    ~ShardedRunner();
+
+    ShardedRunner(const ShardedRunner &) = delete;
+    ShardedRunner &operator=(const ShardedRunner &) = delete;
+
+    /** Run warm-up + measurement under the sharded protocol. */
+    SystemResult run();
+
+    int workers() const { return static_cast<int>(workers_.size()); }
+
+  private:
+    struct Channel;
+    struct Worker;
+    class Port;
+
+    void start();
+    void finish();
+    void workerLoop(Worker &w);
+    bool drainChannel(Channel &c);
+    void execute(Channel &c, const ShardCmd &cmd);
+    void publish(Channel &c);
+    static void completionSinkThunk(void *ctx, const ctrl::Request &req,
+                                    Cycle done);
+
+    void send(int ch, const ShardCmd &cmd);
+    /** Block until channel `ch` has processed every sent command. */
+    void sync(int ch);
+    void kick(Worker &w);
+    /** Re-raise a worker-side panic on the coordinator thread, where
+        it propagates normally (gtest context, stress-seed trace). */
+    void checkWorkerFailure();
+
+    System &sys_;
+    const int threads_;
+    CpuCycle ratio_;
+    /**
+     * Minimum DRAM cycles from a read issue to its data delivery
+     * (tCL + tBL): the lower bound that makes free-run windows safe —
+     * a read issued inside the window cannot complete inside it.
+     */
+    Cycle lminDram_;
+    int readQSize_ = 0;
+    int writeQSize_ = 0;
+    int workerSpin_ = 1;
+    int coordSpin_ = 1;
+    CpuCycle now_ = 0; ///< Coordinator cycle (Port enqueue targets).
+    bool finished_ = false;
+
+    /** Hard shutdown (destructor on an error path): workers exit at
+        the next iteration without needing Stop commands. */
+    std::atomic<bool> shutdown_{false};
+    /** A worker caught a panic: message under errorMutex_, flag last
+        (release) so the coordinator re-raises it from sync/send. */
+    std::atomic<bool> workerFailed_{false};
+    std::mutex errorMutex_;
+    std::string workerError_;
+
+    std::vector<std::unique_ptr<Channel>> chs_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::unique_ptr<Port>> ports_;
+    std::vector<ctrl::MemPort *> savedRoute_;
+};
+
+/** System::run() entry point for the sharded path. */
+SystemResult runShardedSystem(System &sys);
+
+/**
+ * Paranoid shadow (SimConfig::shardShadow): replay the sharded run's
+ * configuration on the serial calendar kernel with fresh trace sources
+ * and CCSIM_ASSERT every SystemResult field — incl. ptw/vm/xlat stats,
+ * energy and RLTL — is bit-identical.
+ */
+void shardShadowReplay(System &sys, const SystemResult &sharded);
+
+} // namespace ccsim::sim
+
+#endif // CCSIM_SIM_SHARD_HH

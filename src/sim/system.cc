@@ -4,13 +4,14 @@
 
 #include "common/log.hh"
 #include "mcpat_lite/overhead.hh"
+#include "sim/shard.hh"
 #include "workloads/profiles.hh"
 
 namespace ccsim::sim {
 
 System::System(const SimConfig &config,
                const std::vector<std::string> &workloads)
-    : config_(config), spec_(config.buildSpec())
+    : config_(config), spec_(config.buildSpec()), workloadNames_(workloads)
 {
     CCSIM_ASSERT(static_cast<int>(workloads.size()) == config_.nCores,
                  "need one workload per core");
@@ -131,9 +132,11 @@ System::build(const std::vector<cpu::TraceSource *> &traces)
         }
     }
 
+    for (auto &mc : controllers_)
+        llcRoute_.push_back(mc.get());
     llc_ = std::make_unique<mem::Llc>(
         config_.llc, *mapper_,
-        [this](int ch) { return controllers_[ch].get(); },
+        [this](int ch) { return llcRoute_[ch]; },
         [this](int core, std::uint64_t token) {
             wakeSignal_ = true;
             calNoteWake(core);
@@ -254,6 +257,13 @@ class System::StallWatchdog
 SystemResult
 System::run()
 {
+    if (config_.kernel == KernelMode::Calendar &&
+        !config_.kernelParanoid && config_.shardThreads > 0) {
+        SystemResult res = runShardedSystem(*this);
+        if (config_.shardShadow)
+            shardShadowReplay(*this, res);
+        return res;
+    }
     if (config_.kernel == KernelMode::Calendar && !config_.kernelParanoid)
         return runCalendar();
 

@@ -44,6 +44,8 @@ class OracleListener : public ctrl::CommandListener
     dram::TimingOracle oracle_;
 };
 
+class ShardedRunner;
+
 /** Everything a figure could want from one run. */
 struct SystemResult {
     std::vector<double> ipc; ///< Per core, post-warm-up.
@@ -106,6 +108,10 @@ class System
 
   private:
     class StallWatchdog;
+    /** Channel-sharded multi-threaded driver (src/sim/shard.cc). */
+    friend class ShardedRunner;
+    friend void shardShadowReplay(System &sys,
+                                  const SystemResult &sharded);
 
     void build(const std::vector<cpu::TraceSource *> &traces);
     void makeProviders();
@@ -129,6 +135,8 @@ class System
     SimConfig config_;
     dram::DramSpec spec_;
     std::unique_ptr<dram::AddressMapper> mapper_;
+    /** Workload names when name-constructed (shard shadow replay). */
+    std::vector<std::string> workloadNames_;
 
     std::vector<std::unique_ptr<workloads::SyntheticTrace>> ownedTraces_;
     std::vector<std::unique_ptr<ctrl::RefreshScheduler>> refresh_;
@@ -136,6 +144,12 @@ class System
     std::vector<std::unique_ptr<ctrl::MemoryController>> controllers_;
     std::vector<std::unique_ptr<energy::EnergyModel>> energy_;
     std::vector<std::unique_ptr<OracleListener>> oracles_;
+    /**
+     * Per-channel ports the LLC routes through: the controllers
+     * themselves in the serial kernels; temporarily swapped to shard
+     * proxy ports by ShardedRunner for the duration of a sharded run.
+     */
+    std::vector<ctrl::MemPort *> llcRoute_;
     std::unique_ptr<mem::Llc> llc_;
     std::vector<std::unique_ptr<vm::Mmu>> mmus_; ///< Empty when VM off.
     std::vector<std::unique_ptr<cpu::Core>> cores_;

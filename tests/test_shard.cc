@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Deterministic-equivalence harness for the channel-sharded
+ * multi-threaded simulation (sim::ShardedRunner):
+ *
+ *  - a full equivalence matrix — every scheme × {1,2,4} worker threads
+ *    × every serial kernel (PerCycle, EventSkip, Calendar), VM on and
+ *    off — asserting the sharded run's SystemResult is bit-identical;
+ *  - a seeded randomized stress test over ~50 random SimConfigs
+ *    (cores, channels, schemes, VM on/off, page allocator, row policy;
+ *    seed printed on failure, overridable via CCSIM_SHARD_SEED);
+ *  - the FiniteTraceFile park/wake suite ported to run under
+ *    ShardedRunner (finite traces wrap mid-flight, crossing park/wake
+ *    with reset trace sources);
+ *  - the paranoid shadow mode (SimConfig::shardShadow): the sharded
+ *    run replayed serially inside System::run() and every field
+ *    compared. CCSIM_PARANOID=1 upgrades the suite: serial references
+ *    run shadow-validated and sharded runs add the serial replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/shard.hh"
+#include "sim/system.hh"
+#include "system_compare.hh"
+#include "workloads/profiles.hh"
+#include "workloads/trace_file.hh"
+
+namespace ccsim::sim {
+namespace {
+
+using test::applyEnvParanoia;
+using test::applyEnvShardParanoia;
+using test::expectIdenticalCoreStats;
+using test::expectIdenticalResults;
+
+SimConfig
+matrixConfig(Scheme scheme, bool vm)
+{
+    SimConfig cfg;
+    cfg.nCores = 4;
+    cfg.channels = 2;
+    cfg.ctrl.rowPolicy = ctrl::RowPolicy::Closed;
+    cfg.ctrl.trackRltl = true;
+    cfg.cc.trackUnlimited = true;
+    cfg.scheme = scheme;
+    cfg.targetInsts = 6000;
+    cfg.warmupInsts = 1000;
+    cfg.vm.enable = vm;
+    cfg.finalizeChargeCache();
+    return cfg;
+}
+
+std::vector<std::string>
+matrixWorkloads(int cores)
+{
+    return workloads::mixWorkloads(2, cores);
+}
+
+/** Run one sharded point (optionally shadow-replayed via env). */
+SystemResult
+runSharded(SimConfig cfg, const std::vector<std::string> &w, int threads)
+{
+    cfg.kernel = KernelMode::Calendar;
+    cfg.kernelParanoid = false;
+    cfg.shardThreads = threads;
+    applyEnvShardParanoia(cfg);
+    System sys(cfg, w);
+    return sys.run();
+}
+
+// ---------------------------------------------------------------------
+// The equivalence matrix: every scheme × {1,2,4} shard threads ×
+// {PerCycle, EventSkip, Calendar} serial references.
+
+TEST(ShardEquivalence, MatrixAllSchemesAllKernels)
+{
+    for (Scheme s : {Scheme::Baseline, Scheme::ChargeCache, Scheme::Nuat,
+                     Scheme::ChargeCacheNuat, Scheme::LlDram}) {
+        const SimConfig base = matrixConfig(s, false);
+        const auto w = matrixWorkloads(base.nCores);
+
+        // Serial references, one per kernel.
+        std::vector<std::pair<KernelMode, SystemResult>> refs;
+        for (KernelMode k : {KernelMode::PerCycle, KernelMode::EventSkip,
+                             KernelMode::Calendar}) {
+            SimConfig cfg = base;
+            cfg.kernel = k;
+            applyEnvParanoia(cfg);
+            System sys(cfg, w);
+            refs.emplace_back(k, sys.run());
+        }
+
+        for (int threads : {1, 2, 4}) {
+            SystemResult sharded = runSharded(base, w, threads);
+            for (const auto &[k, ref] : refs) {
+                std::string label = std::string(schemeName(s)) +
+                                    "/sharded-T" +
+                                    std::to_string(threads) + "-vs-" +
+                                    kernelModeName(k);
+                expectIdenticalResults(ref, sharded, label.c_str());
+            }
+        }
+    }
+}
+
+TEST(ShardEquivalence, MatrixAllSchemesVmOn)
+{
+    // The same matrix with the VM subsystem live: TLB misses, radix
+    // page-table walks as real DRAM reads (ptw stats), xlat stalls.
+    for (Scheme s : {Scheme::Baseline, Scheme::ChargeCache, Scheme::Nuat,
+                     Scheme::ChargeCacheNuat, Scheme::LlDram}) {
+        const SimConfig base = matrixConfig(s, true);
+        const auto w = matrixWorkloads(base.nCores);
+
+        std::vector<std::pair<KernelMode, SystemResult>> refs;
+        for (KernelMode k : {KernelMode::PerCycle, KernelMode::EventSkip,
+                             KernelMode::Calendar}) {
+            SimConfig cfg = base;
+            cfg.kernel = k;
+            applyEnvParanoia(cfg);
+            System sys(cfg, w);
+            refs.emplace_back(k, sys.run());
+        }
+
+        for (int threads : {1, 2, 4}) {
+            SystemResult sharded = runSharded(base, w, threads);
+            for (const auto &[k, ref] : refs) {
+                std::string label = std::string(schemeName(s)) +
+                                    "/vm/sharded-T" +
+                                    std::to_string(threads) + "-vs-" +
+                                    kernelModeName(k);
+                expectIdenticalResults(ref, sharded, label.c_str());
+                EXPECT_GT(sharded.vm.walks, 0u) << label;
+            }
+        }
+    }
+}
+
+TEST(ShardEquivalence, PerCoreStatsIdentical)
+{
+    // The bulk park/wake stall accounting must settle identically on
+    // the coordinator: compare per-core statistics, not just results.
+    SimConfig base = matrixConfig(Scheme::ChargeCache, false);
+    const auto w = matrixWorkloads(base.nCores);
+    SimConfig serial_cfg = base;
+    serial_cfg.kernel = KernelMode::PerCycle;
+    System serial(serial_cfg, w);
+    serial.run();
+    SimConfig shard_cfg = base;
+    shard_cfg.kernel = KernelMode::Calendar;
+    shard_cfg.shardThreads = 2;
+    System sharded(shard_cfg, w);
+    sharded.run();
+    expectIdenticalCoreStats(serial, sharded, base.nCores,
+                             "sharded per-core stats");
+}
+
+TEST(ShardEquivalence, ShadowReplayValidates)
+{
+    // SimConfig::shardShadow replays the run serially inside
+    // System::run() and CCSIM_ASSERTs every field — the library-level
+    // paranoid mode (a mismatch aborts, which gtest reports as death).
+    SimConfig cfg = matrixConfig(Scheme::ChargeCacheNuat, true);
+    cfg.shardThreads = 2;
+    cfg.shardShadow = true;
+    System sys(cfg, matrixWorkloads(cfg.nCores));
+    SystemResult r = sys.run();
+    EXPECT_GT(r.activations, 0u);
+}
+
+TEST(ShardEquivalence, WorkerCountClampsToChannels)
+{
+    // More threads than channels must not change anything (workers are
+    // clamped); single-channel sharding exercises the full protocol.
+    SimConfig base = matrixConfig(Scheme::Baseline, false);
+    base.channels = 1;
+    const auto w = matrixWorkloads(base.nCores);
+    SimConfig serial_cfg = base;
+    System serial(serial_cfg, w);
+    SystemResult ref = serial.run();
+    SystemResult sharded = runSharded(base, w, 8);
+    expectIdenticalResults(ref, sharded, "1-channel clamp");
+}
+
+// ---------------------------------------------------------------------
+// Seeded randomized stress: ~50 random configurations, each asserting
+// sharded(T) ≡ serial with T cycling through {1, 2, 4}.
+
+std::uint64_t
+stressSeed()
+{
+    if (const char *v = std::getenv("CCSIM_SHARD_SEED"); v && *v)
+        return std::strtoull(v, nullptr, 0);
+    return 20260726;
+}
+
+std::uint64_t
+stressCount()
+{
+    if (const char *v = std::getenv("CCSIM_SHARD_STRESS_N"); v && *v)
+        return std::strtoull(v, nullptr, 0);
+    return 50;
+}
+
+TEST(ShardStress, RandomizedEquivalence)
+{
+    const std::uint64_t seed = stressSeed();
+    const std::uint64_t count = stressCount();
+    std::mt19937_64 rng(seed);
+    const int threads_cycle[3] = {1, 2, 4};
+
+    for (std::uint64_t it = 0; it < count; ++it) {
+        SimConfig cfg;
+        cfg.nCores = 1 + static_cast<int>(rng() % 4);
+        cfg.channels = 1 << (rng() % 3); // 1, 2 or 4 (must be pow2).
+        cfg.scheme = static_cast<Scheme>(rng() % 5);
+        cfg.ctrl.rowPolicy = (rng() % 2) ? ctrl::RowPolicy::Closed
+                                         : ctrl::RowPolicy::Open;
+        cfg.ctrl.trackRltl = rng() % 2 == 0;
+        cfg.cc.trackUnlimited = rng() % 2 == 0;
+        cfg.cc.sharedTable = rng() % 4 == 0;
+        cfg.targetInsts = 1500 + rng() % 2000;
+        cfg.warmupInsts = rng() % 500;
+        cfg.seed = rng();
+        if (rng() % 5 < 2) {
+            cfg.vm.enable = true;
+            switch (rng() % 3) {
+              case 0:
+                cfg.vm.alloc = vm::PageAlloc::Contiguous;
+                break;
+              case 1:
+                cfg.vm.alloc = vm::PageAlloc::Fragmented;
+                cfg.vm.fragDegree = double(rng() % 100) / 100.0;
+                break;
+              default:
+                cfg.vm.alloc = vm::PageAlloc::HugePage;
+                break;
+            }
+        }
+        cfg.finalizeChargeCache();
+        const int mix = 1 + static_cast<int>(rng() % 20);
+        const int threads = threads_cycle[it % 3];
+        const auto w = workloads::mixWorkloads(mix, cfg.nCores);
+
+        std::ostringstream label;
+        label << "CCSIM_SHARD_SEED=" << seed << " iter=" << it
+              << " cores=" << cfg.nCores << " ch=" << cfg.channels
+              << " scheme=" << schemeName(cfg.scheme)
+              << " vm=" << (cfg.vm.enable ? 1 : 0) << " mix=w" << mix
+              << " T=" << threads;
+        SCOPED_TRACE(label.str());
+
+        SimConfig serial_cfg = cfg;
+        serial_cfg.kernel = KernelMode::Calendar;
+        System serial(serial_cfg, w);
+        SystemResult ref = serial.run();
+
+        SystemResult sharded = runSharded(cfg, w, threads);
+        expectIdenticalResults(ref, sharded, "randomized config");
+        if (::testing::Test::HasFailure()) {
+            std::fprintf(stderr,
+                         "ShardStress failed; reproduce with %s\n",
+                         label.str().c_str());
+            FAIL();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Finite-trace park/wake coverage under the sharded runner: traces end
+// mid-run and wrap through TraceSource::reset(), so parked-core wake
+// patterns cross the wrap point while channel shards run ahead.
+
+class ShardFiniteTrace : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "ccsim_shard_trace_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                "_" + std::to_string(::getpid()) + ".txt";
+        std::ofstream out(path_);
+        ASSERT_TRUE(out.good());
+        // Same shape as the FiniteTraceFile suite: one-set LLC
+        // thrashing with compute gaps, so every wrap keeps missing to
+        // DRAM with dirty writebacks — maximal park/wake churn.
+        out << "# finite trace for sharded park/wake tests\n";
+        for (int i = 0; i < 48; ++i) {
+            Addr rd = 0x10000 + static_cast<Addr>(i) * 262144;
+            out << (i % 7) << " " << rd;
+            if (i % 5 == 0)
+                out << " " << (0x20000 + static_cast<Addr>(i) * 262144);
+            out << "\n";
+        }
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    SimConfig
+    config(KernelMode kernel) const
+    {
+        SimConfig cfg;
+        cfg.nCores = 2;
+        cfg.channels = 2;
+        cfg.ctrl.rowPolicy = ctrl::RowPolicy::Closed;
+        cfg.targetInsts = 9000;
+        cfg.warmupInsts = 1500;
+        cfg.kernel = kernel;
+        cfg.finalizeChargeCache();
+        return cfg;
+    }
+
+    SystemResult
+    runWith(SimConfig cfg)
+    {
+        workloads::RamulatorTraceReader t0(path_);
+        workloads::RamulatorTraceReader t1(path_);
+        System sys(cfg, std::vector<cpu::TraceSource *>{&t0, &t1});
+        return sys.run();
+    }
+
+    std::string path_;
+};
+
+TEST_F(ShardFiniteTrace, AllThreadCountsAgreeWithAllKernels)
+{
+    SystemResult percycle = runWith(config(KernelMode::PerCycle));
+    EXPECT_GT(percycle.activations, 0u);
+    SimConfig cal_cfg = config(KernelMode::Calendar);
+    applyEnvParanoia(cal_cfg);
+    SystemResult calendar = runWith(cal_cfg);
+    expectIdenticalResults(percycle, calendar, "serial calendar");
+    for (int threads : {1, 2, 4}) {
+        SimConfig cfg = config(KernelMode::Calendar);
+        cfg.shardThreads = threads;
+        SystemResult r = runWith(cfg);
+        std::string label =
+            "sharded T=" + std::to_string(threads) + " on finite trace";
+        expectIdenticalResults(percycle, r, label.c_str());
+    }
+}
+
+TEST_F(ShardFiniteTrace, ParkWakeAcrossWrapsUnderParanoidReference)
+{
+    // The serial reference runs with every park/wake/horizon decision
+    // executed-and-asserted (calendar paranoia); the sharded run must
+    // match it bit for bit across the trace wraps.
+    SimConfig ref_cfg = config(KernelMode::Calendar);
+    ref_cfg.kernelParanoid = true;
+    SystemResult ref = runWith(ref_cfg);
+    SimConfig cfg = config(KernelMode::Calendar);
+    cfg.shardThreads = 2;
+    SystemResult r = runWith(cfg);
+    expectIdenticalResults(ref, r, "sharded vs paranoid calendar");
+}
+
+TEST_F(ShardFiniteTrace, ChargeCacheSchemeSharded)
+{
+    SimConfig ref_cfg = config(KernelMode::PerCycle);
+    ref_cfg.scheme = Scheme::ChargeCache;
+    ref_cfg.finalizeChargeCache();
+    SystemResult ref = runWith(ref_cfg);
+    SimConfig cfg = config(KernelMode::Calendar);
+    cfg.scheme = Scheme::ChargeCache;
+    cfg.finalizeChargeCache();
+    cfg.shardThreads = 4;
+    SystemResult r = runWith(cfg);
+    expectIdenticalResults(ref, r, "ChargeCache sharded finite trace");
+    EXPECT_GE(r.hcracHitRate, 0.0);
+    EXPECT_LE(r.hcracHitRate, 1.0);
+}
+
+} // namespace
+} // namespace ccsim::sim

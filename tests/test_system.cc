@@ -11,32 +11,16 @@
 #include "sim/config.hh"
 #include "sim/experiment.hh"
 #include "sim/system.hh"
+#include "system_compare.hh"
 #include "workloads/profiles.hh"
 #include "workloads/trace_file.hh"
 
 namespace ccsim::sim {
 namespace {
 
-/**
- * CCSIM_PARANOID=1 (the dedicated CI job) upgrades every optimised
- * kernel under test to its shadow-validation mode: all skip decisions
- * are executed-and-asserted instead of taken on faith, and the
- * calendar kernel's wheel and cached horizons are cross-checked
- * against the per-cycle schedule.
- */
-bool
-envParanoid()
-{
-    const char *v = std::getenv("CCSIM_PARANOID");
-    return v && *v && *v != '0';
-}
-
-void
-applyEnvParanoia(SimConfig &cfg)
-{
-    if (cfg.kernel != KernelMode::PerCycle && envParanoid())
-        cfg.kernelParanoid = true;
-}
+using test::applyEnvParanoia;
+using test::expectIdenticalCoreStats;
+using test::expectIdenticalResults;
 
 SimConfig
 tinySingle(Scheme scheme)
@@ -345,76 +329,6 @@ tinyTwoCore(Scheme scheme, KernelMode kernel)
     cfg.finalizeChargeCache();
     applyEnvParanoia(cfg);
     return cfg;
-}
-
-void
-expectIdenticalResults(const SystemResult &a, const SystemResult &b,
-                       const char *label)
-{
-    SCOPED_TRACE(label);
-    ASSERT_EQ(a.ipc.size(), b.ipc.size());
-    for (size_t i = 0; i < a.ipc.size(); ++i)
-        EXPECT_EQ(a.ipc[i], b.ipc[i]) << "core " << i;
-    EXPECT_EQ(a.cpuCycles, b.cpuCycles);
-    EXPECT_EQ(a.activations, b.activations);
-    EXPECT_EQ(a.providerHitRate, b.providerHitRate);
-    EXPECT_EQ(a.hcracHitRate, b.hcracHitRate);
-    EXPECT_EQ(a.unlimitedHitRate, b.unlimitedHitRate);
-    EXPECT_EQ(a.rmpkc, b.rmpkc);
-
-    EXPECT_EQ(a.ctrl.reads, b.ctrl.reads);
-    EXPECT_EQ(a.ctrl.writes, b.ctrl.writes);
-    EXPECT_EQ(a.ctrl.acts, b.ctrl.acts);
-    EXPECT_EQ(a.ctrl.pres, b.ctrl.pres);
-    EXPECT_EQ(a.ctrl.autoPres, b.ctrl.autoPres);
-    EXPECT_EQ(a.ctrl.refs, b.ctrl.refs);
-    EXPECT_EQ(a.ctrl.rowHits, b.ctrl.rowHits);
-    EXPECT_EQ(a.ctrl.rowMisses, b.ctrl.rowMisses);
-    EXPECT_EQ(a.ctrl.rowConflicts, b.ctrl.rowConflicts);
-    EXPECT_EQ(a.ctrl.readForwards, b.ctrl.readForwards);
-    EXPECT_EQ(a.ctrl.readLatencySum, b.ctrl.readLatencySum);
-    EXPECT_EQ(a.ctrl.ptwReads, b.ctrl.ptwReads);
-    EXPECT_EQ(a.ctrl.ptwActs, b.ctrl.ptwActs);
-    EXPECT_EQ(a.ctrl.ptwActHits, b.ctrl.ptwActHits);
-    EXPECT_EQ(a.vm.lookups, b.vm.lookups);
-    EXPECT_EQ(a.vm.walks, b.vm.walks);
-    EXPECT_EQ(a.vm.walkCycleSum, b.vm.walkCycleSum);
-    EXPECT_EQ(a.xlatStallCycles, b.xlatStallCycles);
-
-    EXPECT_EQ(a.llc.accesses, b.llc.accesses);
-    EXPECT_EQ(a.llc.hits, b.llc.hits);
-    EXPECT_EQ(a.llc.misses, b.llc.misses);
-    EXPECT_EQ(a.llc.mshrMerges, b.llc.mshrMerges);
-    EXPECT_EQ(a.llc.writebacks, b.llc.writebacks);
-    EXPECT_EQ(a.llc.blockedMshr, b.llc.blockedMshr);
-    EXPECT_EQ(a.llc.blockedMemQueue, b.llc.blockedMemQueue);
-
-    EXPECT_EQ(a.energy.totalNj(), b.energy.totalNj());
-    EXPECT_EQ(a.energy.actPreNj, b.energy.actPreNj);
-    EXPECT_EQ(a.energy.actStandbyNj, b.energy.actStandbyNj);
-    EXPECT_EQ(a.energy.preStandbyNj, b.energy.preStandbyNj);
-
-    ASSERT_EQ(a.rltl.size(), b.rltl.size());
-    for (size_t i = 0; i < a.rltl.size(); ++i)
-        EXPECT_EQ(a.rltl[i], b.rltl[i]) << "rltl window " << i;
-    EXPECT_EQ(a.afterRefresh8ms, b.afterRefresh8ms);
-}
-
-void
-expectIdenticalCoreStats(System &a, System &b, int cores,
-                         const char *label)
-{
-    SCOPED_TRACE(label);
-    for (int i = 0; i < cores; ++i) {
-        const cpu::CoreStats &sa = a.core(i).stats();
-        const cpu::CoreStats &sb = b.core(i).stats();
-        EXPECT_EQ(sa.retired, sb.retired) << "core " << i;
-        EXPECT_EQ(sa.memReads, sb.memReads) << "core " << i;
-        EXPECT_EQ(sa.memWrites, sb.memWrites) << "core " << i;
-        EXPECT_EQ(sa.stallCyclesFull, sb.stallCyclesFull) << "core " << i;
-        EXPECT_EQ(sa.blockedAccesses, sb.blockedAccesses) << "core " << i;
-        EXPECT_EQ(sa.xlatStallCycles, sb.xlatStallCycles) << "core " << i;
-    }
 }
 
 TEST(KernelEquivalence, EventSkipMatchesPerCycleAllSchemes)
