@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build2
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/ccsim_tests[1]_include.cmake")
+add_test(kernel_equivalence_suite "/root/repo/build2/ccsim_tests" "--gtest_filter=KernelEquivalence.*:FiniteTraceFile.*")
+set_tests_properties(kernel_equivalence_suite PROPERTIES  LABELS "kernel;equivalence" TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;56;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(shard_equivalence_suite "/root/repo/build2/ccsim_tests" "--gtest_filter=ShardEquivalence.*:ShardStress.*:ShardFiniteTrace.*")
+set_tests_properties(shard_equivalence_suite PROPERTIES  LABELS "shard;equivalence" TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;65;add_test;/root/repo/CMakeLists.txt;0;")
