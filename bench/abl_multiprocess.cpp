@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Ablation: ChargeCache under realistic OS pressure — multi-process
+ * address spaces, context-switch quanta, TLB shootdowns, a page-walk
+ * cache, and allocator aging.
+ *
+ * Three sweeps over 4-core ChargeCache mixes (TLB-hungry profiles,
+ * workloads::mpMixWorkloads) with the full VM subsystem enabled:
+ *
+ *  1. process count × switch quantum × PWC on/off: how address-space
+ *     switching dilutes TLB/HCRAC locality, how much of the page-walk
+ *     traffic a split PWC removes (per-level PTW DRAM reads), and what
+ *     remap-driven shootdown stalls cost;
+ *  2. the PWC headline: PTW DRAM reads with the cache off vs on at the
+ *     harshest switching point (`pwc_ptw_read_reduction`);
+ *  3. allocator aging: HCRAC hit rate as the fragmentation ramp
+ *     completes earlier and earlier in the run — the dynamic version
+ *     of abl_vm_fragmentation's static contiguous→fragmented drop
+ *     (`aging_monotone_decay`).
+ *
+ * Appends JSON lines to BENCH_vm.json (after abl_vm_fragmentation's
+ * records in CI; open mode "a") plus a trailing summary, and appends
+ * the summary to CCSIM_BENCH_TRAJECTORY when set — the same JSONL
+ * conventions as the other benches. With CCSIM_MP_GATE=1 the run
+ * exits non-zero when the PWC stops reducing PTW DRAM reads or the
+ * aging decay stops being monotone.
+ *
+ * Scale via CCSIM_MP_INSTS (default 40000 insts/core), CCSIM_MP_MIXES
+ * (default 2) and CCSIM_THREADS.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "workloads/profiles.hh"
+
+namespace {
+
+using namespace ccsim;
+using sim::envU64;
+
+struct MpPoint {
+    int processes;            ///< 1 = legacy single space per core.
+    std::uint64_t quantum;    ///< Switch quantum (insts).
+    bool pwc;
+    const char *label;
+};
+
+struct Folded {
+    double ipcSum = 0;
+    double hcracHitRate = 0;
+    double tlbMissRate = 0;
+    std::uint64_t ctxSwitches = 0;
+    std::uint64_t shootdowns = 0;
+    std::uint64_t shootdownStalls = 0;
+    std::uint64_t ptwReads = 0;
+    std::uint64_t ptwUpperReads = 0;
+    std::uint64_t pteFetches = 0;
+    std::uint64_t pwcHits = 0;
+    std::uint64_t pwcLookups = 0;
+};
+
+sim::SimConfig
+mpConfig(const MpPoint &p, std::uint64_t insts)
+{
+    sim::SimConfig cfg = sim::SimConfig::eightCore();
+    cfg.nCores = 4;
+    cfg.scheme = sim::Scheme::ChargeCache;
+    cfg.targetInsts = insts;
+    cfg.warmupInsts = insts / 8;
+    cfg.vm.enable = true;
+    // A mid-sized L2 TLB keeps translation pressure measurable at
+    // bench scale without drowning the data stream.
+    cfg.vm.l2Entries = 256;
+    cfg.vm.l2Ways = 8;
+    if (p.processes > 1) {
+        cfg.vm.mp.processes = p.processes;
+        cfg.vm.mp.switchQuantum = p.quantum;
+        cfg.vm.mp.remapPeriod = 64;
+        cfg.vm.mp.shootdownCycles = 80;
+    }
+    cfg.vm.pwc.enable = p.pwc;
+    // Real split PWCs spend most entries on the deepest upper level
+    // (the PDE cache); 64/level covers the 2 MB-granular level-2
+    // prefixes of these footprints instead of thrashing on them.
+    cfg.vm.pwc.entriesPerLevel = 64;
+    cfg.vm.pwc.ways = 8;
+    cfg.finalizeChargeCache();
+    return cfg;
+}
+
+Folded
+fold(const std::vector<sim::SystemResult> &results, std::size_t base,
+     int mixes)
+{
+    Folded f;
+    for (int m = 0; m < mixes; ++m) {
+        const sim::SystemResult &r = results[base + m];
+        f.ipcSum += r.ipcSum() / mixes;
+        f.hcracHitRate += r.hcracHitRate / mixes;
+        f.tlbMissRate += r.vm.missRate() / mixes;
+        f.ctxSwitches += r.vm.contextSwitches;
+        f.shootdowns += r.vm.shootdownsSent;
+        f.shootdownStalls += r.shootdownStallCycles;
+        f.ptwReads += r.ctrl.ptwReads;
+        f.ptwUpperReads += r.ctrl.ptwReadsByLevel[0] +
+                           r.ctrl.ptwReadsByLevel[1] +
+                           r.ctrl.ptwReadsByLevel[2];
+        f.pteFetches += r.vm.pteFetches;
+        f.pwcHits += r.vm.pwcHits();
+        f.pwcLookups += r.vm.pwcLookups;
+    }
+    return f;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "abl_multiprocess",
+        "OS-pressure ablation: address-space switches, TLB shootdowns, "
+        "page-walk cache, allocator aging (RLTL under a live OS)");
+
+    const std::uint64_t insts = envU64("CCSIM_MP_INSTS", 40000);
+    const int mixes = static_cast<int>(envU64("CCSIM_MP_MIXES", 2));
+
+    const std::vector<MpPoint> points = {
+        {1, 0, false, "1p"},
+        {1, 0, true, "1p-pwc"},
+        {2, 20000, false, "2p-q20k"},
+        {2, 20000, true, "2p-q20k-pwc"},
+        {2, 4000, false, "2p-q4k"},
+        {2, 4000, true, "2p-q4k-pwc"},
+        {4, 20000, false, "4p-q20k"},
+        {4, 20000, true, "4p-q20k-pwc"},
+        {4, 4000, false, "4p-q4k"},
+        {4, 4000, true, "4p-q4k-pwc"},
+    };
+
+    std::vector<sim::SystemResult> results =
+        sim::runSweep(points.size() * mixes, [&](std::size_t i) {
+            const MpPoint &p = points[i / mixes];
+            int mix = static_cast<int>(i % mixes) + 1;
+            sim::SimConfig cfg = mpConfig(p, insts);
+            sim::System system(
+                cfg, workloads::mpMixWorkloads(mix, cfg.nCores));
+            return system.run();
+        });
+
+    std::printf("\n%-14s %8s %10s %9s %8s %9s %10s %10s %10s\n",
+                "point", "ipc-sum", "hcrac-hit", "tlb-miss", "switch",
+                "shootdwn", "sd-stalls", "ptw-reads", "ptw-upper");
+    std::vector<Folded> folded(points.size());
+    for (std::size_t pi = 0; pi < points.size(); ++pi) {
+        folded[pi] = fold(results, pi * mixes, mixes);
+        const Folded &f = folded[pi];
+        std::printf(
+            "%-14s %8.3f %10.4f %9.4f %8llu %9llu %10llu %10llu %10llu\n",
+            points[pi].label, f.ipcSum, f.hcracHitRate, f.tlbMissRate,
+            (unsigned long long)f.ctxSwitches,
+            (unsigned long long)f.shootdowns,
+            (unsigned long long)f.shootdownStalls,
+            (unsigned long long)f.ptwReads,
+            (unsigned long long)f.ptwUpperReads);
+    }
+
+    // Headline 1: PWC cuts PTW DRAM reads at the harshest switching
+    // point (2 processes, 4k quantum), located by label so the gate
+    // cannot silently compare unrelated points if the table changes.
+    auto point_index = [&](const char *label) {
+        for (std::size_t pi = 0; pi < points.size(); ++pi)
+            if (std::string(points[pi].label) == label)
+                return pi;
+        std::fprintf(stderr, "missing sweep point '%s'\n", label);
+        std::exit(1);
+    };
+    const Folded &pwc_off = folded[point_index("2p-q4k")];
+    const Folded &pwc_on = folded[point_index("2p-q4k-pwc")];
+    const double pwc_reduction =
+        pwc_on.ptwReads
+            ? double(pwc_off.ptwReads) / double(pwc_on.ptwReads)
+            : 0.0;
+    const double pwc_upper_reduction =
+        pwc_on.ptwUpperReads
+            ? double(pwc_off.ptwUpperReads) / double(pwc_on.ptwUpperReads)
+            : 0.0;
+    const double pwc_hit_rate =
+        pwc_on.pwcLookups
+            ? double(pwc_on.pwcHits) / double(pwc_on.pwcLookups)
+            : 0.0;
+    std::printf("\npwc: ptw-dram-read reduction %.3fx (upper levels "
+                "%.2fx), hit rate %.3f, pte fetches %llu -> %llu\n",
+                pwc_reduction, pwc_upper_reduction, pwc_hit_rate,
+                (unsigned long long)pwc_off.pteFetches,
+                (unsigned long long)pwc_on.pteFetches);
+
+    // Headline 2: allocator aging — the earlier the fragmentation ramp
+    // completes, the lower the HCRAC hit rate (single-space configs so
+    // the decay is purely the allocator's).
+    struct AgingPoint {
+        CpuCycle ramp; ///< 0 = static contiguous (no aging).
+        const char *label;
+    };
+    const std::vector<AgingPoint> aging_points = {
+        {0, "static"},
+        {4000000, "ramp-4M"},
+        {800000, "ramp-800k"},
+        {100000, "ramp-100k"},
+    };
+    std::vector<sim::SystemResult> aging_results =
+        sim::runSweep(aging_points.size() * mixes, [&](std::size_t i) {
+            const AgingPoint &ap = aging_points[i / mixes];
+            int mix = static_cast<int>(i % mixes) + 1;
+            MpPoint p{1, 0, false, ap.label};
+            sim::SimConfig cfg = mpConfig(p, insts);
+            if (ap.ramp) {
+                cfg.vm.aging.maxDegree = 1.0;
+                cfg.vm.aging.rampCycles = ap.ramp;
+            }
+            sim::System system(
+                cfg, workloads::mpMixWorkloads(mix, cfg.nCores));
+            return system.run();
+        });
+    std::printf("\n%-12s %10s %8s\n", "aging", "hcrac-hit", "ipc-sum");
+    std::vector<double> aging_hcrac(aging_points.size(), 0.0);
+    std::vector<double> aging_ipc(aging_points.size(), 0.0);
+    for (std::size_t ai = 0; ai < aging_points.size(); ++ai) {
+        for (int m = 0; m < mixes; ++m) {
+            const sim::SystemResult &r = aging_results[ai * mixes + m];
+            aging_hcrac[ai] += r.hcracHitRate / mixes;
+            aging_ipc[ai] += r.ipcSum() / mixes;
+        }
+        std::printf("%-12s %10.4f %8.3f\n", aging_points[ai].label,
+                    aging_hcrac[ai], aging_ipc[ai]);
+    }
+    bool aging_monotone = true;
+    for (std::size_t ai = 1; ai < aging_points.size(); ++ai)
+        if (aging_hcrac[ai] > aging_hcrac[ai - 1] + 1e-12)
+            aging_monotone = false;
+    std::printf("monotone hcrac decay with earlier aging: %s\n",
+                aging_monotone ? "yes" : "NO");
+
+    auto write_points = [&](std::FILE *f) {
+        for (std::size_t pi = 0; pi < points.size(); ++pi) {
+            const Folded &r = folded[pi];
+            std::fprintf(
+                f,
+                "{\"bench\": \"multiprocess\", \"point\": \"%s\", "
+                "\"processes\": %d, \"quantum\": %llu, \"pwc\": %s, "
+                "\"mixes\": %d, \"insts_per_core\": %llu, "
+                "\"ipc_sum\": %.4f, \"hcrac_hit_rate\": %.6f, "
+                "\"tlb_miss_rate\": %.6f, \"context_switches\": %llu, "
+                "\"shootdowns\": %llu, \"shootdown_stall_cycles\": %llu, "
+                "\"ptw_reads\": %llu, \"ptw_upper_reads\": %llu, "
+                "\"pte_fetches\": %llu, \"pwc_hits\": %llu}\n",
+                points[pi].label, points[pi].processes,
+                (unsigned long long)points[pi].quantum,
+                points[pi].pwc ? "true" : "false", mixes,
+                (unsigned long long)insts, r.ipcSum, r.hcracHitRate,
+                r.tlbMissRate, (unsigned long long)r.ctxSwitches,
+                (unsigned long long)r.shootdowns,
+                (unsigned long long)r.shootdownStalls,
+                (unsigned long long)r.ptwReads,
+                (unsigned long long)r.ptwUpperReads,
+                (unsigned long long)r.pteFetches,
+                (unsigned long long)r.pwcHits);
+        }
+        for (std::size_t ai = 0; ai < aging_points.size(); ++ai)
+            std::fprintf(f,
+                         "{\"bench\": \"multiprocess_aging\", "
+                         "\"point\": \"%s\", \"ramp_cycles\": %llu, "
+                         "\"hcrac_hit_rate\": %.6f, \"ipc_sum\": %.4f}\n",
+                         aging_points[ai].label,
+                         (unsigned long long)aging_points[ai].ramp,
+                         aging_hcrac[ai], aging_ipc[ai]);
+    };
+    auto write_summary = [&](std::FILE *f) {
+        std::fprintf(
+            f,
+            "{\"bench\": \"multiprocess_summary\", "
+            "\"insts_per_core\": %llu, \"mixes\": %d, "
+            "\"pwc_ptw_read_reduction\": %.4f, "
+            "\"pwc_upper_read_reduction\": %.4f, "
+            "\"pwc_hit_rate\": %.4f, "
+            "\"aging_monotone_decay\": %s, "
+            "\"hcrac_static\": %.6f, \"hcrac_aged_fast\": %.6f, "
+            "\"shootdown_stall_cycles_2p_q4k\": %llu}\n",
+            (unsigned long long)insts, mixes, pwc_reduction,
+            pwc_upper_reduction, pwc_hit_rate,
+            aging_monotone ? "true" : "false", aging_hcrac.front(),
+            aging_hcrac.back(),
+            (unsigned long long)pwc_off.shootdownStalls);
+    };
+
+    // Append: abl_vm_fragmentation owns the file's head in CI.
+    std::FILE *json = std::fopen("BENCH_vm.json", "a");
+    if (!json) {
+        std::fprintf(stderr, "cannot append to BENCH_vm.json\n");
+        return 1;
+    }
+    write_points(json);
+    write_summary(json);
+    std::fclose(json);
+    std::printf("appended to BENCH_vm.json\n");
+
+    if (const char *traj = std::getenv("CCSIM_BENCH_TRAJECTORY");
+        traj && *traj) {
+        std::FILE *f = std::fopen(traj, "a");
+        if (!f) {
+            std::fprintf(stderr, "cannot append to %s\n", traj);
+            return 1;
+        }
+        write_summary(f);
+        std::fclose(f);
+        std::printf("appended summary to %s\n", traj);
+    }
+
+    if (envU64("CCSIM_MP_GATE", 0)) {
+        // The leaf level is out of the PWC's reach by design, so the
+        // gated quantity is the upper-level PTW DRAM reads — the share
+        // the cache is responsible for.
+        if (pwc_upper_reduction < 1.0) {
+            std::fprintf(stderr,
+                         "GATE FAILED: PWC no longer reduces "
+                         "upper-level PTW DRAM reads (%.3fx)\n",
+                         pwc_upper_reduction);
+            return 2;
+        }
+        if (!aging_monotone) {
+            std::fprintf(stderr,
+                         "GATE FAILED: HCRAC hit rate no longer decays "
+                         "monotonically with earlier aging\n");
+            return 2;
+        }
+        std::printf("mp gate passed: pwc reduction %.2fx, aging decay "
+                    "monotone\n",
+                    pwc_reduction);
+    }
+    return 0;
+}

@@ -369,18 +369,25 @@ main()
     // simulation must beat serial by CCSIM_SHARD_GATE_RATIO. Skipped
     // automatically when the host cannot run coordinator + 2 workers
     // in parallel (the protocol can only cost there).
+    // CCSIM_SHARD_GATE_ADVISORY=1 prints the verdict and keeps the
+    // exit code zero — the data-collection mode the CI perf-trajectory
+    // job runs until enough runner data points fix the threshold.
     if (envU64("CCSIM_SHARD_GATE", 0)) {
         double tol = envF64("CCSIM_SHARD_GATE_RATIO", 1.3);
+        const bool advisory = envU64("CCSIM_SHARD_GATE_ADVISORY", 0);
         if (std::thread::hardware_concurrency() < 3) {
             std::printf("shard gate skipped: only %u hardware "
                         "threads\n",
                         std::thread::hardware_concurrency());
         } else if (shard.speedup(shard.wallT2) < tol) {
             std::fprintf(stderr,
-                         "GATE FAILED: sharded 2-thread speedup %.3fx "
+                         "GATE %s: sharded 2-thread speedup %.3fx "
                          "< %.3fx on the 8-core 4-channel run\n",
+                         advisory ? "ADVISORY-FAIL (not enforced)"
+                                  : "FAILED",
                          shard.speedup(shard.wallT2), tol);
-            return 2;
+            if (!advisory)
+                return 2;
         } else {
             std::printf("shard gate passed: %.2fx at 2 threads "
                         "(threshold %.2f)\n",

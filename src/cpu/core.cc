@@ -10,6 +10,8 @@ Core::Core(int id, const CoreConfig &config, TraceSource &trace,
 {
     CCSIM_ASSERT(config_.issueWidth >= 1 && config_.windowSize >= 1,
                  "bad core configuration");
+    if (mmu_ && mmu_->multiProcess())
+        switchQuantum_ = mmu_->nextQuantum();
 }
 
 void
@@ -32,7 +34,7 @@ Core::issuePte(CpuCycle now)
 {
     mem::Llc::Result res =
         llc_.access(id_, mmu_->pteLine(), false, kXlatToken,
-                    /*is_ptw=*/true);
+                    /*is_ptw=*/true, mmu_->walkLevel());
     if (res == mem::Llc::Result::Blocked) {
         ++stats_.blockedAccesses;
         return IssueResult::Blocked;
@@ -81,6 +83,14 @@ Core::advanceTranslation(CpuCycle now)
         }
         xlatReady_ = false;
         if (mmu_->pteReturned(now)) {
+            // A finished walk may have remapped a page: broadcast the
+            // victim translation's shootdown to the other cores before
+            // the data access issues under the new mapping.
+            std::uint32_t sd_asid;
+            Addr sd_vpn;
+            if (mmu_->takePendingShootdown(sd_asid, sd_vpn) &&
+                shootdownHook_)
+                shootdownHook_(id_, sd_asid, sd_vpn, now);
             translatedLine_ = mmu_->translatedLine();
             xlatState_ = XlatState::None;
             return IssueResult::Issued;
@@ -110,6 +120,19 @@ Core::issueOne(CpuCycle now)
         memIssued_ = false;
         recordValid_ = true;
         translatedLine_ = kNoAddr;
+        // Context-switch schedule (multi-process VM): quanta are
+        // instruction-indexed and the switch lands on a record
+        // boundary — before this record translates — so switch points
+        // are trivially identical across all simulation kernels and
+        // never interrupt an in-flight walk.
+        if (switchQuantum_) {
+            instsSinceSwitch_ += record_.nonMemInsts + 1;
+            if (instsSinceSwitch_ >= switchQuantum_) {
+                instsSinceSwitch_ = 0;
+                mmu_->contextSwitch();
+                switchQuantum_ = mmu_->nextQuantum();
+            }
+        }
     }
     if (pendingCompute_ > 0) {
         window_.push_back({true, false});
@@ -164,6 +187,20 @@ Core::issueOne(CpuCycle now)
 bool
 Core::tick(CpuCycle now)
 {
+    // TLB-shootdown IPI: the pipeline is frozen while the TLB
+    // invalidates — no delivery, no retire, no issue. Exactly one
+    // stall statistic per cycle, so the event kernels park through the
+    // window (nextEventAt returns the deadline) and the bulk
+    // accounting settles identically to these early-out ticks.
+    if (shootdownUntil_ != 0) {
+        if (now < shootdownUntil_) {
+            ++stats_.shootdownStallCycles;
+            stallKind_ = StallKind::Shootdown;
+            wakePending_ = false;
+            return false;
+        }
+        shootdownUntil_ = 0;
+    }
     bool progressed = false;
     // Deliver scheduled LLC-hit data returns due by now. Delivery alone
     // is not progress (see tick() docs): while the core was parked past
@@ -236,6 +273,8 @@ Core::accountStallCycles(CpuCycle cycles)
         stats_.blockedAccesses += cycles;
     else if (stallKind_ == StallKind::XlatWait)
         stats_.xlatStallCycles += cycles;
+    else if (stallKind_ == StallKind::Shootdown)
+        stats_.shootdownStallCycles += cycles;
 }
 
 void

@@ -25,6 +25,7 @@
 #define CCSIM_CPU_CORE_HH
 
 #include <deque>
+#include <functional>
 #include <limits>
 
 #include "common/types.hh"
@@ -47,6 +48,7 @@ struct CoreStats {
     std::uint64_t stallCyclesFull = 0; ///< Window full at issue.
     std::uint64_t blockedAccesses = 0; ///< LLC said Blocked.
     std::uint64_t xlatStallCycles = 0; ///< Awaiting TLB/page-walk data.
+    std::uint64_t shootdownStallCycles = 0; ///< TLB-shootdown IPI stalls.
 };
 
 class Core
@@ -65,10 +67,43 @@ class Core
         WindowFull, ///< Instruction window full, head incomplete.
         BlockedLlc, ///< Memory op rejected by the LLC (MSHRs full).
         XlatWait,   ///< Translation waiting on TLB/PTE data (VM mode).
+        Shootdown,  ///< Stalled on a TLB-shootdown IPI (multi-process).
     };
+
+    /**
+     * Raised by a core whose page walk just remapped a page: the
+     * System broadcasts the (asid, vpn) invalidation to every other
+     * core and stalls them (beginShootdown). Fires inside the
+     * initiator's tick, which only ever touches *other* cores — the
+     * wake machinery (externalWake / calNoteWake) keeps the result
+     * identical across all kernels and the sharded coordinator.
+     */
+    using ShootdownHook = std::function<void(int initiator,
+                                             std::uint32_t asid,
+                                             Addr vpn, CpuCycle now)>;
 
     Core(int id, const CoreConfig &config, TraceSource &trace,
          mem::Llc &llc, vm::Mmu *mmu = nullptr);
+
+    /** Install the shootdown broadcast hook (multi-process VM mode). */
+    void setShootdownHook(ShootdownHook hook)
+    {
+        shootdownHook_ = std::move(hook);
+    }
+
+    /**
+     * Shootdown receive side: stall this core until `until` (it makes
+     * no progress and accrues one shootdownStallCycles per cycle).
+     * Also raises the external-wake flag so a parked core re-ticks —
+     * the same per-cycle/parked accounting split every stall obeys.
+     */
+    void
+    beginShootdown(CpuCycle until)
+    {
+        if (until > shootdownUntil_)
+            shootdownUntil_ = until;
+        wakePending_ = true;
+    }
 
     /**
      * Advance one CPU cycle. Returns true if the tick made progress
@@ -112,6 +147,12 @@ class Core
     CpuCycle
     nextEventAt() const
     {
+        // A shootdown-stalled core can do nothing before the IPI
+        // window ends: deliveries and timers inside it are deferred to
+        // the first post-shootdown tick — exactly what the per-cycle
+        // reference's early-out does (see tick()).
+        if (shootdownUntil_ != 0)
+            return shootdownUntil_;
         CpuCycle ev = kNoCycle;
         if (!hitQueue_.empty() &&
             hitQueue_.front().second == windowBaseSeq_)
@@ -225,6 +266,18 @@ class Core
     bool targetRecorded_ = false;
     StallKind stallKind_ = StallKind::None;
     bool wakePending_ = false;
+
+    /** Shootdown IPI stall deadline (0 = none; cleared by the first
+        tick at or past it). */
+    CpuCycle shootdownUntil_ = 0;
+    ShootdownHook shootdownHook_;
+
+    /** Context-switch schedule (multi-process VM mode): instructions
+        fetched since the last switch and the current slice length
+        (0 = scheduling disabled). */
+    std::uint64_t instsSinceSwitch_ = 0;
+    std::uint64_t switchQuantum_ = 0;
+
     CoreStats stats_;
 };
 

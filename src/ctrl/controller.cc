@@ -169,8 +169,11 @@ MemoryController::enqueue(Request req)
         req.token = tokenSeq_++;
     if (req.type == ReqType::Read) {
         horizonDirty_ = true;
-        if (req.isPtw)
+        if (req.isPtw) {
             ++stats_.ptwReads;
+            if (req.ptwLevel >= 0 && req.ptwLevel < 4)
+                ++stats_.ptwReadsByLevel[req.ptwLevel];
+        }
         // Read-after-write forwarding from the write queue. Completion
         // is delivered through the pending heap on the next tick —
         // callbacks must never fire inside enqueue (reentrancy).

@@ -91,6 +91,12 @@ struct CtrlStats {
     std::uint64_t ptwReads = 0;   ///< Reads injected by page-table walks.
     std::uint64_t ptwActs = 0;    ///< ACTs triggered by PTW reads.
     std::uint64_t ptwActHits = 0; ///< PTW ACTs issued with reduced timing.
+    /**
+     * PTW reads by walk level (0 = radix root). The page-walk cache
+     * suppresses upper-level fetches, so its effect shows up here as
+     * levels 0..2 emptying out while the leaf level stays.
+     */
+    std::uint64_t ptwReadsByLevel[4] = {0, 0, 0, 0};
 };
 
 class MemoryController : public MemPort

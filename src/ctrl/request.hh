@@ -27,6 +27,7 @@ struct Request {
     dram::DramAddr addr;     ///< Decoded DRAM coordinates.
     int coreId = -1;         ///< Requesting core (-1: e.g. writeback).
     bool isPtw = false;      ///< Page-table-walker read (VM mode).
+    std::int8_t ptwLevel = -1; ///< Walk level of a PTW read (-1: n/a).
     Cycle arrive = 0;        ///< Controller-clock arrival cycle.
     std::uint64_t token = 0; ///< Opaque caller cookie.
 

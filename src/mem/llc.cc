@@ -94,6 +94,7 @@ Llc::sendFetch(Addr line_addr)
     req.addr = mapper_.decode(line_addr);
     req.coreId = it->second.waiters.front().core;
     req.isPtw = it->second.isPtw;
+    req.ptwLevel = it->second.ptwLevel;
     req.callback = [](void *ctx, const ctrl::Request &r, Cycle) {
         static_cast<Llc *>(ctx)->onFill(r.lineAddr);
     };
@@ -110,7 +111,7 @@ Llc::sendFetch(Addr line_addr)
 
 Llc::Result
 Llc::access(int core, Addr line_addr, bool is_write, std::uint64_t token,
-            bool is_ptw)
+            bool is_ptw, int ptw_level)
 {
     ++stats_.accesses;
     // Drop a stale park-watch once the core retries (it either
@@ -159,6 +160,7 @@ Llc::access(int core, Addr line_addr, bool is_write, std::uint64_t token,
     }
     MshrEntry entry;
     entry.isPtw = is_ptw;
+    entry.ptwLevel = static_cast<std::int8_t>(ptw_level);
     entry.waiters.push_back({core, token, is_write});
     auto [ins, ok] = mshrs_.emplace(line_addr, std::move(entry));
     CCSIM_ASSERT(ok, "duplicate MSHR");

@@ -73,10 +73,13 @@ class Llc
      * `is_ptw` tags page-table-walker reads so their DRAM requests can
      * be attributed separately by the controller; walker and data
      * lines are disjoint by construction, so a fetch's tag is simply
-     * that of its first requester.
+     * that of its first requester. `ptw_level` carries the walk level
+     * of a PTW read for the controller's per-level attribution (the
+     * page-walk-cache ablation reads it).
      */
     Result access(int core, Addr line_addr, bool is_write,
-                  std::uint64_t token, bool is_ptw = false);
+                  std::uint64_t token, bool is_ptw = false,
+                  int ptw_level = -1);
 
     /** Drain pending writebacks into the controller write queues. */
     void tick();
@@ -156,6 +159,7 @@ class Llc
         std::vector<Waiter> waiters;
         bool issued = false; ///< Fetch accepted by the controller.
         bool isPtw = false;  ///< Fetch is a page-table-walker read.
+        std::int8_t ptwLevel = -1; ///< Walk level of a PTW fetch.
     };
 
     Line *findLine(Addr line_addr);

@@ -751,6 +751,10 @@ shardShadowReplay(System &sys, const SystemResult &sharded)
     CCSIM_SHARD_EQ(ctrl.ptwReads);
     CCSIM_SHARD_EQ(ctrl.ptwActs);
     CCSIM_SHARD_EQ(ctrl.ptwActHits);
+    for (int l = 0; l < 4; ++l)
+        CCSIM_ASSERT(a.ctrl.ptwReadsByLevel[l] ==
+                         b.ctrl.ptwReadsByLevel[l],
+                     "shard shadow mismatch in ptwReadsByLevel ", l);
     CCSIM_SHARD_EQ(vm.lookups);
     CCSIM_SHARD_EQ(vm.l1Hits);
     CCSIM_SHARD_EQ(vm.l2Hits);
@@ -758,7 +762,18 @@ shardShadowReplay(System &sys, const SystemResult &sharded)
     CCSIM_SHARD_EQ(vm.pteFetches);
     CCSIM_SHARD_EQ(vm.walkCycleSum);
     CCSIM_SHARD_EQ(vm.pagesMapped);
+    CCSIM_SHARD_EQ(vm.ptTables);
+    CCSIM_SHARD_EQ(vm.contextSwitches);
+    CCSIM_SHARD_EQ(vm.remaps);
+    CCSIM_SHARD_EQ(vm.shootdownsSent);
+    CCSIM_SHARD_EQ(vm.shootdownsReceived);
+    CCSIM_SHARD_EQ(vm.pwcLookups);
+    CCSIM_SHARD_EQ(vm.pwcSkippedFetches);
+    for (std::size_t l = 0; l < a.vm.pwcHitsByLevel.size(); ++l)
+        CCSIM_ASSERT(a.vm.pwcHitsByLevel[l] == b.vm.pwcHitsByLevel[l],
+                     "shard shadow mismatch in pwcHitsByLevel ", l);
     CCSIM_SHARD_EQ(xlatStallCycles);
+    CCSIM_SHARD_EQ(shootdownStallCycles);
     CCSIM_SHARD_EQ(llc.accesses);
     CCSIM_SHARD_EQ(llc.hits);
     CCSIM_SHARD_EQ(llc.misses);

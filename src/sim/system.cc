@@ -149,17 +149,39 @@ System::build(const std::vector<cpu::TraceSource *> &traces)
             cores_[core]->externalWake();
         });
 
-    // Per-core MMUs: each core's allocator and page tables live inside
-    // its own physical region (the same disjoint-region split the
+    // MMUs. Legacy mode: each core owns one immortal address space
+    // over its own physical region (the same disjoint-region split the
     // workload generators use), so first-touch allocation order is a
-    // purely per-core property and kernel-invariant.
+    // purely per-core property and kernel-invariant. Multi-process
+    // mode: the System owns vm.mp.processes global address spaces —
+    // one region each — and every core's Mmu references all of them;
+    // the seed-derived schedule decides which one a core runs.
+    // First-touch order then interleaves cores, but cores advance in
+    // id order on one thread in every kernel (incl. the sharded
+    // coordinator), so it stays kernel-invariant.
     if (config_.vm.enable) {
         Addr capacity = mapper_->numLines();
-        Addr region = capacity / static_cast<Addr>(config_.nCores);
-        for (int i = 0; i < config_.nCores; ++i)
-            mmus_.push_back(std::make_unique<vm::Mmu>(
-                config_.vm, i, region * i, region,
-                config_.llc.lineBytes));
+        if (config_.vm.mp.enabled()) {
+            const int n = config_.vm.mp.processes;
+            Addr region = capacity / static_cast<Addr>(n);
+            std::vector<vm::AddressSpace *> ptrs;
+            for (int s = 0; s < n; ++s) {
+                spaces_.push_back(std::make_unique<vm::AddressSpace>(
+                    config_.vm, s, region * s, region,
+                    config_.llc.lineBytes));
+                ptrs.push_back(spaces_.back().get());
+            }
+            for (int i = 0; i < config_.nCores; ++i)
+                mmus_.push_back(std::make_unique<vm::Mmu>(
+                    config_.vm, i, ptrs, config_.llc.lineBytes,
+                    config_.seed));
+        } else {
+            Addr region = capacity / static_cast<Addr>(config_.nCores);
+            for (int i = 0; i < config_.nCores; ++i)
+                mmus_.push_back(std::make_unique<vm::Mmu>(
+                    config_.vm, i, region * i, region,
+                    config_.llc.lineBytes));
+        }
     }
 
     cpu::CoreConfig core_cfg = config_.core;
@@ -168,6 +190,31 @@ System::build(const std::vector<cpu::TraceSource *> &traces)
         cores_.push_back(std::make_unique<cpu::Core>(
             i, core_cfg, *traces[i], *llc_,
             mmus_.empty() ? nullptr : mmus_[i].get()));
+    if (config_.vm.mp.enabled())
+        for (auto &core : cores_)
+            core->setShootdownHook(
+                [this](int initiator, std::uint32_t asid, Addr vpn,
+                       CpuCycle now) {
+                    shootdownBroadcast(initiator, asid, vpn, now);
+                });
+}
+
+void
+System::shootdownBroadcast(int initiator, std::uint32_t asid, Addr vpn,
+                           CpuCycle now)
+{
+    const CpuCycle until = now + config_.vm.mp.shootdownCycles;
+    for (std::size_t j = 0; j < cores_.size(); ++j) {
+        if (static_cast<int>(j) == initiator)
+            continue;
+        mmus_[j]->invalidateTranslation(asid, vpn);
+        cores_[j]->beginShootdown(until);
+        // Same wake surface an LLC completion uses: the event kernels
+        // re-tick the stalled core this cycle (ids past the initiator)
+        // or next (ids before it) — exactly the per-cycle schedule.
+        wakeSignal_ = true;
+        calNoteWake(static_cast<int>(j));
+    }
 }
 
 ctrl::MemoryController &
@@ -491,10 +538,21 @@ System::run()
 
 
         CpuCycle next = now + 1;
-        if (event && !paranoid && !any_progress) {
+        if (event && !paranoid && !any_progress && !wakeSignal_) {
             // Every core is parked and nothing external fired this
             // cycle: jump straight to the earliest future event. The
             // horizon is always finite -- refresh is periodic.
+            //
+            // The !wakeSignal_ guard covers wakes raised mid-core-phase
+            // by a tick that itself made no progress — a TLB-shootdown
+            // broadcast from an initiator whose follow-on data access
+            // was Blocked is the one such source. Cores with ids below
+            // the initiator were already visited this cycle, so only
+            // the next cycle's phase can unpark them; jumping past it
+            // would mis-settle their stall kinds. (All other wake
+            // sources imply progress somewhere, which suppresses the
+            // jump already; the calendar kernel's pendingWake-empty
+            // check is the same guard.)
             CpuCycle horizon = min_self_wake;
             Cycle ctrl_now = controllers_[0]->now();
             for (const auto &mc : controllers_) {
@@ -579,11 +637,19 @@ System::collectResults(CpuCycle now, CpuCycle warm_end)
         res.ctrl.ptwReads += s.ptwReads;
         res.ctrl.ptwActs += s.ptwActs;
         res.ctrl.ptwActHits += s.ptwActHits;
+        for (int l = 0; l < 4; ++l)
+            res.ctrl.ptwReadsByLevel[l] += s.ptwReadsByLevel[l];
     }
     for (auto &mmu : mmus_)
         res.vm += mmu->stats();
-    for (const auto &core : cores_)
+    // Shared spaces are referenced by every Mmu; count their table
+    // frames once (legacy Mmus report their owned space themselves).
+    for (const auto &space : spaces_)
+        res.vm.ptTables += space->pageTable().tablesAllocated();
+    for (const auto &core : cores_) {
         res.xlatStallCycles += core->stats().xlatStallCycles;
+        res.shootdownStallCycles += core->stats().shootdownStallCycles;
+    }
     res.llc = llc_->stats();
     res.rmpkc = res.cpuCycles
                     ? double(res.ctrl.acts) / (res.cpuCycles / 1000.0)

@@ -62,6 +62,7 @@ struct SystemResult {
     energy::EnergyBreakdown energy;
     vm::VmStats vm; ///< Summed over cores (zero when VM is disabled).
     std::uint64_t xlatStallCycles = 0; ///< Summed core translation stalls.
+    std::uint64_t shootdownStallCycles = 0; ///< Summed shootdown stalls.
 
     std::vector<double> rltl; ///< Per configured window.
     std::vector<double> rltlWindowsMs;
@@ -102,6 +103,14 @@ class System
     {
         return mmus_.empty() ? nullptr : mmus_[idx].get();
     }
+    /** Shared address space (multi-process VM mode only). */
+    vm::AddressSpace *addressSpace(int idx)
+    {
+        return idx >= 0 && idx < static_cast<int>(spaces_.size())
+                   ? spaces_[idx].get()
+                   : nullptr;
+    }
+    int numAddressSpaces() const { return static_cast<int>(spaces_.size()); }
     chargecache::LatencyProvider &provider(int channel);
     OracleListener *oracleListener(int channel);
     const SimConfig &config() const { return config_; }
@@ -116,6 +125,20 @@ class System
     void build(const std::vector<cpu::TraceSource *> &traces);
     void makeProviders();
     void resetAllStats(CpuCycle now);
+
+    /**
+     * TLB-shootdown broadcast (multi-process VM): invalidate
+     * (asid, vpn) in every other core's TLBs and stall those cores for
+     * vm.mp.shootdownCycles. Fires from inside the initiating core's
+     * tick; the wake flags route through the same machinery LLC
+     * completions use, so all kernels — and the sharded coordinator,
+     * where cores always live — see identical schedules. Shootdowns
+     * are thereby pinned to the coordinator phase of a sharded run:
+     * no worker-side state is touched and the shard command set is
+     * unchanged (see docs/performance.md).
+     */
+    void shootdownBroadcast(int initiator, std::uint32_t asid, Addr vpn,
+                            CpuCycle now);
 
     /** Calendar-queue event kernel (KernelMode::Calendar, non-paranoid). */
     SystemResult runCalendar();
@@ -151,6 +174,9 @@ class System
      */
     std::vector<ctrl::MemPort *> llcRoute_;
     std::unique_ptr<mem::Llc> llc_;
+    /** Shared address spaces (multi-process VM mode; else empty — each
+        legacy Mmu owns its single space internally). */
+    std::vector<std::unique_ptr<vm::AddressSpace>> spaces_;
     std::vector<std::unique_ptr<vm::Mmu>> mmus_; ///< Empty when VM off.
     std::vector<std::unique_ptr<cpu::Core>> cores_;
 

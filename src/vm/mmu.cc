@@ -1,73 +1,64 @@
 #include "vm/mmu.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace ccsim::vm {
 
-Mmu::RegionSplit
-Mmu::splitRegion(const VmConfig &config, Addr region_base_line,
-                 Addr region_lines, int line_bytes)
+void
+Mmu::initCommon(int line_bytes)
 {
-    std::uint64_t region_bytes =
-        region_lines * static_cast<std::uint64_t>(line_bytes);
-    auto pages = static_cast<std::uint64_t>(
-        double(region_bytes / PageTable::kTableBytes) *
-        config.ptPoolFraction);
-    RegionSplit s;
-    s.ptPages = pages ? pages : 1;
-    std::uint64_t pt_lines =
-        s.ptPages * (PageTable::kTableBytes / line_bytes);
-    s.ptBaseLine = region_base_line + region_lines - pt_lines;
-    s.dataLines = region_lines - pt_lines;
-    return s;
-}
-
-Mmu::Mmu(const VmConfig &config, int core_id, Addr region_base_line,
-         Addr region_lines, int line_bytes)
-    : Mmu(config, core_id, region_base_line, line_bytes,
-          splitRegion(config, region_base_line, region_lines,
-                      line_bytes))
-{}
-
-Mmu::Mmu(const VmConfig &config, int core_id, Addr region_base_line,
-         int line_bytes, const RegionSplit &split)
-    : config_(config),
-      coreId_(core_id),
-      lineShift_(log2Exact(static_cast<std::uint64_t>(line_bytes))),
-      pageShift_(log2Exact(
-          static_cast<std::uint64_t>(config.effectivePageBytes()))),
-      pageLines_(static_cast<Addr>(config.effectivePageBytes()) /
-                 line_bytes),
-      dataBaseLine_(region_base_line),
-      dataFrames_(split.dataLines / pageLines_),
-      l1_(config.l1Entries, config.l1Ways),
-      l2_(config.l2Entries, config.l2Ways),
-      alloc_(config.alloc, dataFrames_, config.fragSeed,
-             config.fragDegree, core_id),
-      pageTable_(config.walkLevels(), split.ptBaseLine, split.ptPages,
-                 line_bytes)
-{
+    lineShift_ = log2Exact(static_cast<std::uint64_t>(line_bytes));
+    pageShift_ = log2Exact(
+        static_cast<std::uint64_t>(config_.effectivePageBytes()));
+    pageLines_ = static_cast<Addr>(config_.effectivePageBytes()) /
+                 line_bytes;
     CCSIM_ASSERT(lineShift_ >= 0 && pageShift_ > lineShift_,
                  "page size must be a power-of-two multiple of a line");
-    CCSIM_ASSERT(dataFrames_ > 0, "region too small for a data frame");
+    if (config_.pwc.enable)
+        pwc_ = std::make_unique<Pwc>(config_.pwc, config_.walkLevels());
 }
 
-Addr
-Mmu::mapPage(Addr vpn)
+Mmu::Mmu(const VmConfig &config, int core_id, Addr region_base_line,
+         Addr region_lines, int line_bytes, std::uint64_t schedule_seed)
+    : config_(config),
+      coreId_(core_id),
+      l1_(config.l1Entries, config.l1Ways),
+      l2_(config.l2Entries, config.l2Ways),
+      owned_(std::make_unique<AddressSpace>(config, core_id,
+                                            region_base_line,
+                                            region_lines, line_bytes)),
+      schedRng_(mix64(schedule_seed ^
+                      (0x5C1Dull + std::uint64_t(core_id) *
+                                       0x9E3779B97F4A7C15ull)))
 {
-    auto it = pageMap_.find(vpn);
-    if (it != pageMap_.end())
-        return it->second;
-    std::uint64_t frame = alloc_.frameFor(touchCount_++);
-    pageMap_.emplace(vpn, frame);
-    ++stats_.pagesMapped;
-    return frame;
+    spaces_.push_back(owned_.get());
+    space_ = owned_.get();
+    initCommon(line_bytes);
+}
+
+Mmu::Mmu(const VmConfig &config, int core_id,
+         const std::vector<AddressSpace *> &spaces, int line_bytes,
+         std::uint64_t schedule_seed)
+    : config_(config),
+      coreId_(core_id),
+      l1_(config.l1Entries, config.l1Ways),
+      l2_(config.l2Entries, config.l2Ways),
+      spaces_(spaces),
+      schedRng_(mix64(schedule_seed ^
+                      (0x5C1Dull + std::uint64_t(core_id) *
+                                       0x9E3779B97F4A7C15ull)))
+{
+    CCSIM_ASSERT(!spaces_.empty(), "Mmu needs at least one address space");
+    space_ = spaces_[static_cast<std::size_t>(core_id) % spaces_.size()];
+    initCommon(line_bytes);
 }
 
 void
-Mmu::finishTranslation(Addr ppn)
+Mmu::finishTranslation(std::uint64_t ppn)
 {
-    translatedLine_ = dataBaseLine_ + ppn * pageLines_ +
+    translatedLine_ = space_->dataBaseLine() + ppn * pageLines_ +
                       ((xlatVaddr_ >> lineShift_) & (pageLines_ - 1));
 }
 
@@ -77,25 +68,32 @@ Mmu::beginTranslate(Addr vaddr, CpuCycle now)
     xlatVaddr_ = vaddr;
     translatedLine_ = kNoAddr;
     Addr vpn = vaddr >> pageShift_;
+    const std::uint32_t asid = space_->asid();
     ++stats_.lookups;
     Addr ppn;
-    if (l1_.lookup(vpn, ppn)) {
+    if (l1_.lookup(vpn, ppn, asid)) {
         ++stats_.l1Hits;
         finishTranslation(ppn);
         return Result::L1Hit;
     }
-    if (l2_.lookup(vpn, ppn)) {
+    if (l2_.lookup(vpn, ppn, asid)) {
         ++stats_.l2Hits;
-        l1_.insert(vpn, ppn);
+        l1_.insert(vpn, ppn, asid);
         finishTranslation(ppn);
         // The caller holds the result for l2HitLatency before using it
         // (completeL2 is a semantic no-op kept as the state handshake).
         return Result::L2Hit;
     }
     ++stats_.walks;
-    walkLevel_ = 0;
     walkStart_ = now;
-    pteLine_ = pageTable_.pteLineFor(vpn, 0);
+    walkLevel_ = 0;
+    if (pwc_) {
+        // A PWC hit at upper level k skips the fetches of levels 0..k;
+        // the walk resumes at the first uncached level.
+        int deepest = pwc_->deepestCachedLevel(vpn, asid);
+        walkLevel_ = deepest + 1;
+    }
+    pteLine_ = space_->pageTable().pteLineFor(vpn, walkLevel_);
     ++stats_.pteFetches;
     return Result::Miss;
 }
@@ -111,27 +109,124 @@ bool
 Mmu::pteReturned(CpuCycle now)
 {
     Addr vpn = xlatVaddr_ >> pageShift_;
+    const std::uint32_t asid = space_->asid();
+    if (pwc_ && walkLevel_ < space_->pageTable().levels() - 1)
+        pwc_->fill(vpn, walkLevel_, asid);
     ++walkLevel_;
-    if (walkLevel_ < pageTable_.levels()) {
-        pteLine_ = pageTable_.pteLineFor(vpn, walkLevel_);
+    if (walkLevel_ < space_->pageTable().levels()) {
+        pteLine_ = space_->pageTable().pteLineFor(vpn, walkLevel_);
         ++stats_.pteFetches;
         return false;
     }
-    // Leaf PTE returned: resolve (first touch allocates), fill TLBs.
-    Addr ppn = mapPage(vpn);
-    l2_.insert(vpn, ppn);
-    l1_.insert(vpn, ppn);
-    finishTranslation(ppn);
+    // Leaf PTE returned: resolve (first touch allocates, possibly
+    // reclaiming a victim page), fill TLBs.
+    AddressSpace::MapOutcome out = space_->mapPage(vpn, now);
+    if (out.firstTouch)
+        ++stats_.pagesMapped;
+    if (out.remapped) {
+        ++stats_.remaps;
+        ++stats_.shootdownsSent;
+        // Local invalidation is free (the initiator is mid-walk);
+        // remote cores pay the shootdown stall via the System hook.
+        l1_.invalidate(out.victimVpn, asid);
+        l2_.invalidate(out.victimVpn, asid);
+        shootdownPending_ = true;
+        shootdownAsid_ = asid;
+        shootdownVpn_ = out.victimVpn;
+    }
+    l2_.insert(vpn, out.ppn, asid);
+    l1_.insert(vpn, out.ppn, asid);
+    finishTranslation(out.ppn);
     stats_.walkCycleSum += now - walkStart_;
     pteLine_ = kNoAddr;
     return true;
 }
 
+void
+Mmu::contextSwitch()
+{
+    if (spaces_.size() <= 1)
+        return;
+    std::size_t cur = 0;
+    for (std::size_t i = 0; i < spaces_.size(); ++i)
+        if (spaces_[i] == space_)
+            cur = i;
+    // Seed-derived pick of a *different* space: a switch always
+    // changes the address space (a slice given back to the same
+    // process is not a switch).
+    std::size_t next =
+        (cur + 1 + schedRng_.below(spaces_.size() - 1)) % spaces_.size();
+    space_ = spaces_[next];
+    ++stats_.contextSwitches;
+    if (config_.mp.flushOnSwitch) {
+        l1_.flush();
+        l2_.flush();
+        if (pwc_)
+            pwc_->flush();
+    }
+}
+
+std::uint64_t
+Mmu::nextQuantum()
+{
+    CCSIM_ASSERT(config_.mp.quantumJitter >= 0.0 &&
+                     config_.mp.quantumJitter <= 1.0,
+                 "quantum jitter is a fraction in [0,1]");
+    std::uint64_t q = config_.mp.switchQuantum;
+    if (config_.mp.quantumJitter > 0.0) {
+        auto span =
+            static_cast<std::uint64_t>(double(q) * config_.mp.quantumJitter);
+        if (span)
+            q = q - span + schedRng_.below(2 * span + 1);
+    }
+    return std::max<std::uint64_t>(q, 1);
+}
+
+bool
+Mmu::takePendingShootdown(std::uint32_t &asid, Addr &vpn)
+{
+    if (!shootdownPending_)
+        return false;
+    shootdownPending_ = false;
+    asid = shootdownAsid_;
+    vpn = shootdownVpn_;
+    return true;
+}
+
+void
+Mmu::invalidateTranslation(std::uint32_t asid, Addr vpn)
+{
+    l1_.invalidate(vpn, asid);
+    l2_.invalidate(vpn, asid);
+    ++stats_.shootdownsReceived;
+}
+
 const VmStats &
 Mmu::stats() const
 {
-    stats_.ptTables = pageTable_.tablesAllocated();
+    // Gauge of table frames: meaningful per-Mmu only when the space is
+    // owned (legacy mode); shared spaces are summed once by the System.
+    stats_.ptTables = owned_ ? owned_->pageTable().tablesAllocated() : 0;
+    if (pwc_) {
+        const Pwc::Stats &p = pwc_->stats();
+        stats_.pwcLookups = p.lookups;
+        for (std::size_t i = 0; i < stats_.pwcHitsByLevel.size(); ++i)
+            stats_.pwcHitsByLevel[i] =
+                i < p.hitsByLevel.size() ? p.hitsByLevel[i] : 0;
+        stats_.pwcSkippedFetches = p.skippedFetches;
+    }
     return stats_;
+}
+
+void
+Mmu::resetStats()
+{
+    stats_ = VmStats();
+    // The PWC keeps its own counters (mirrored into VmStats by
+    // stats()); clear them too so warmup-excluded runs report correct
+    // hit rates — same contract as the provider/HCRAC reset path.
+    if (pwc_)
+        pwc_->resetStats();
 }
 
 } // namespace ccsim::vm

@@ -1,10 +1,11 @@
 /**
  * @file
- * Per-core memory-management unit: a two-level TLB (L1 D-TLB over a
- * larger unified L2) in front of a radix page-table walker, plus the
- * physical-page allocator that decides the virtual→physical mapping —
- * and therefore how much of a workload's row-level temporal locality
- * survives translation (the quantity ChargeCache's benefit depends on).
+ * Per-core memory-management unit: ASID-tagged two-level TLBs (a small
+ * L1 D-TLB over a larger unified L2) and an optional page-walk cache
+ * in front of a radix page-table walker, running over one or more
+ * vm::AddressSpace objects — the vpn→frame maps that decide how much
+ * of a workload's row-level temporal locality survives translation
+ * (the quantity ChargeCache's benefit depends on).
  *
  * The Mmu is a passive state machine driven by cpu::Core, which owns
  * all timing: the core asks to translate, and on a full TLB miss pulls
@@ -14,59 +15,41 @@
  * data rows). One translation is in flight per core at a time, which
  * matches the core's in-order issue of its memory record stream.
  *
+ * Multi-process mode (MultiProcessConfig::processes > 1): the Mmu
+ * references every address space in the system and a seed-derived
+ * schedule (contextSwitch / nextQuantum, driven by the core at
+ * instruction-quantum boundaries) decides which one it is running.
+ * TLB and PWC entries are ASID-tagged, so a switch needs no flush
+ * unless flushOnSwitch asks for one. Remap events surfaced by an
+ * address space (a page unmapped under memory pressure) are reported
+ * through takePendingShootdown for the System to broadcast as an
+ * inter-core TLB shootdown.
+ *
  * With VmConfig::enable false (the default) no Mmu is built and cores
  * issue trace addresses as physical, byte-for-byte identical to the
- * pre-VM simulator.
+ * pre-VM simulator; with multi-process/PWC/aging at their defaults the
+ * Mmu is bit-identical to the single-space PR-3 subsystem.
  */
 
 #ifndef CCSIM_VM_MMU_HH
 #define CCSIM_VM_MMU_HH
 
+#include <array>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
+#include "common/random.hh"
 #include "common/types.hh"
+#include "vm/address_space.hh"
 #include "vm/page_alloc.hh"
 #include "vm/page_table.hh"
+#include "vm/pwc.hh"
 #include "vm/tlb.hh"
+#include "vm/vm_config.hh"
 
 namespace ccsim::vm {
 
-struct VmConfig {
-    bool enable = false; ///< Off: legacy physical-address mode.
-
-    int pageBytes = 4096;             ///< Base page size.
-    int hugePageBytes = 2 * 1024 * 1024; ///< HugePage policy page size.
-
-    int l1Entries = 64; ///< L1 D-TLB entries.
-    int l1Ways = 4;
-    int l2Entries = 1024; ///< Unified L2 TLB entries.
-    int l2Ways = 8;
-    CpuCycle l2HitLatency = 8; ///< Extra cycles on an L1-miss/L2-hit.
-
-    PageAlloc alloc = PageAlloc::Contiguous;
-    std::uint64_t fragSeed = 1;  ///< Fragmented: shuffle seed.
-    double fragDegree = 0.5;     ///< Fragmented: shuffle probability.
-
-    /** Fraction of each core's region reserved for page-table frames. */
-    double ptPoolFraction = 1.0 / 16;
-
-    /** Page size the active allocator maps at. */
-    int
-    effectivePageBytes() const
-    {
-        return alloc == PageAlloc::HugePage ? hugePageBytes : pageBytes;
-    }
-
-    /** Radix depth: 2 MB pages stop one level early at the PD. */
-    int
-    walkLevels() const
-    {
-        return alloc == PageAlloc::HugePage ? 3 : 4;
-    }
-};
-
-/** Counters the figures and the fragmentation ablation consume. */
+/** Counters the figures and the OS-pressure ablations consume. */
 struct VmStats {
     std::uint64_t lookups = 0;  ///< Translations requested.
     std::uint64_t l1Hits = 0;
@@ -76,6 +59,17 @@ struct VmStats {
     std::uint64_t walkCycleSum = 0;  ///< CPU cycles, begin→last PTE.
     std::uint64_t pagesMapped = 0;   ///< Data pages first-touched.
     std::uint64_t ptTables = 0;      ///< Table frames allocated (gauge).
+
+    // Multi-process layer.
+    std::uint64_t contextSwitches = 0; ///< Address-space switches taken.
+    std::uint64_t remaps = 0;          ///< Unmap/remap events initiated.
+    std::uint64_t shootdownsSent = 0;  ///< Shootdowns this core raised.
+    std::uint64_t shootdownsReceived = 0; ///< Invalidation IPIs taken.
+
+    // Page-walk cache.
+    std::uint64_t pwcLookups = 0; ///< Walks that consulted the PWC.
+    std::array<std::uint64_t, 4> pwcHitsByLevel{}; ///< By upper level.
+    std::uint64_t pwcSkippedFetches = 0; ///< PTE reads avoided.
 
     double
     l1HitRate() const
@@ -95,6 +89,15 @@ struct VmStats {
         return walks ? double(walkCycleSum) / walks : 0.0;
     }
 
+    std::uint64_t
+    pwcHits() const
+    {
+        std::uint64_t s = 0;
+        for (std::uint64_t h : pwcHitsByLevel)
+            s += h;
+        return s;
+    }
+
     VmStats &
     operator+=(const VmStats &o)
     {
@@ -106,6 +109,14 @@ struct VmStats {
         walkCycleSum += o.walkCycleSum;
         pagesMapped += o.pagesMapped;
         ptTables += o.ptTables;
+        contextSwitches += o.contextSwitches;
+        remaps += o.remaps;
+        shootdownsSent += o.shootdownsSent;
+        shootdownsReceived += o.shootdownsReceived;
+        pwcLookups += o.pwcLookups;
+        for (std::size_t i = 0; i < pwcHitsByLevel.size(); ++i)
+            pwcHitsByLevel[i] += o.pwcHitsByLevel[i];
+        pwcSkippedFetches += o.pwcSkippedFetches;
         return *this;
     }
 };
@@ -120,13 +131,28 @@ class Mmu
     };
 
     /**
+     * Legacy single-space construction: the Mmu owns one AddressSpace
+     * over this core's region.
+     *
      * @param region_base_line first physical line of this core's
      *        region; data frames grow from here, page-table frames
      *        occupy the top ptPoolFraction of the region.
      * @param region_lines region size in cache lines.
+     * @param schedule_seed seed for the (unused in this mode)
+     *        context-switch schedule stream.
      */
     Mmu(const VmConfig &config, int core_id, Addr region_base_line,
-        Addr region_lines, int line_bytes = 64);
+        Addr region_lines, int line_bytes = 64,
+        std::uint64_t schedule_seed = 0);
+
+    /**
+     * Multi-process construction: the Mmu references every address
+     * space in the system (not owned) and starts on
+     * spaces[core_id % spaces.size()].
+     */
+    Mmu(const VmConfig &config, int core_id,
+        const std::vector<AddressSpace *> &spaces, int line_bytes = 64,
+        std::uint64_t schedule_seed = 0);
 
     /** Start translating the byte address `vaddr` at cycle `now`. */
     Result beginTranslate(Addr vaddr, CpuCycle now);
@@ -140,6 +166,9 @@ class Mmu
     /** Walk path: physical line of the current level's PTE. */
     Addr pteLine() const { return pteLine_; }
 
+    /** Walk path: level of the PTE currently being fetched. */
+    int walkLevel() const { return walkLevel_; }
+
     /**
      * Walk path: the current PTE arrived at `now`. Advances the walk;
      * returns true when it finished (TLBs filled, translatedLine()
@@ -147,53 +176,65 @@ class Mmu
      */
     bool pteReturned(CpuCycle now);
 
+    // ---- multi-process layer ----------------------------------------
+
+    bool multiProcess() const { return spaces_.size() > 1; }
+
+    /** Address space currently running on this core. */
+    AddressSpace &currentSpace() { return *space_; }
+    std::uint32_t currentAsid() const { return space_->asid(); }
+
+    /**
+     * Take the next scheduling decision: move to a different address
+     * space (seed-derived pick), flushing TLBs/PWC when the config
+     * models non-ASID hardware.
+     */
+    void contextSwitch();
+
+    /** Next scheduling-slice length in instructions (seed-derived
+        jitter around MultiProcessConfig::switchQuantum). */
+    std::uint64_t nextQuantum();
+
+    /**
+     * A walk just remapped a page: (asid, victim vpn) of the
+     * translation that must be shot down on every other core. Returns
+     * false when nothing is pending. Clears the pending event.
+     */
+    bool takePendingShootdown(std::uint32_t &asid, Addr &vpn);
+
+    /** Shootdown receive side: drop the translation from both TLBs. */
+    void invalidateTranslation(std::uint32_t asid, Addr vpn);
+
     const VmConfig &config() const { return config_; }
     const VmStats &stats() const;
-    void resetStats() { stats_ = VmStats(); }
+    void resetStats();
 
     // Structure access for tests.
     TlbArray &l1Tlb() { return l1_; }
     TlbArray &l2Tlb() { return l2_; }
-    const PageAllocator &allocator() const { return alloc_; }
-    const PageTable &pageTable() const { return pageTable_; }
-    Addr dataBaseLine() const { return dataBaseLine_; }
+    Pwc *pwc() { return pwc_.get(); }
+    const PageAllocator &allocator() const { return space_->allocator(); }
+    const PageTable &pageTable() const { return space_->pageTable(); }
+    Addr dataBaseLine() const { return space_->dataBaseLine(); }
 
   private:
-    /** The region's split into data frames and the page-table pool
-        (computed once; both pools derive from the same instance so
-        they can never overlap). */
-    struct RegionSplit {
-        std::uint64_t ptPages;   ///< 4 KB table frames, top of region.
-        Addr ptBaseLine;         ///< First line of the PT pool.
-        std::uint64_t dataLines; ///< Lines below it, for data frames.
-    };
-
-    static RegionSplit splitRegion(const VmConfig &config,
-                                   Addr region_base_line,
-                                   Addr region_lines, int line_bytes);
-
-    Mmu(const VmConfig &config, int core_id, Addr region_base_line,
-        int line_bytes, const RegionSplit &split);
-
-    Addr mapPage(Addr vpn);
-    void finishTranslation(Addr ppn);
+    void finishTranslation(std::uint64_t ppn);
+    void initCommon(int line_bytes);
 
     VmConfig config_;
     int coreId_;
     int lineShift_;   ///< log2(line_bytes).
     int pageShift_;   ///< log2(effectivePageBytes).
     Addr pageLines_;  ///< Lines per page.
-    Addr dataBaseLine_;
-    std::uint64_t dataFrames_;
 
     TlbArray l1_;
     TlbArray l2_;
-    PageAllocator alloc_;
-    PageTable pageTable_;
+    std::unique_ptr<Pwc> pwc_; ///< Null unless config.pwc.enable.
 
-    /** Authoritative page table contents: vpn -> pool-relative frame. */
-    std::unordered_map<Addr, std::uint64_t> pageMap_;
-    std::uint64_t touchCount_ = 0;
+    std::unique_ptr<AddressSpace> owned_; ///< Legacy mode only.
+    std::vector<AddressSpace *> spaces_;  ///< All spaces (size 1 legacy).
+    AddressSpace *space_;                 ///< Currently scheduled.
+    Rng schedRng_; ///< Context-switch schedule stream (seed-derived).
 
     // In-flight translation (one at a time, owned by the core's issue).
     Addr xlatVaddr_ = 0;
@@ -201,6 +242,11 @@ class Mmu
     int walkLevel_ = 0;
     Addr pteLine_ = kNoAddr;
     CpuCycle walkStart_ = 0;
+
+    // Pending shootdown from the last completed walk's remap.
+    bool shootdownPending_ = false;
+    std::uint32_t shootdownAsid_ = 0;
+    Addr shootdownVpn_ = 0;
 
     mutable VmStats stats_;
 };

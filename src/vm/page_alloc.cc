@@ -1,7 +1,8 @@
 #include "vm/page_alloc.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
-#include "common/random.hh"
 
 namespace ccsim::vm {
 
@@ -21,12 +22,29 @@ pageAllocName(PageAlloc policy)
 
 PageAllocator::PageAllocator(PageAlloc policy, std::uint64_t pool_frames,
                              std::uint64_t frag_seed, double frag_degree,
-                             int core_id)
-    : policy_(policy), poolFrames_(pool_frames)
+                             int core_id, AgingSpec aging)
+    : policy_(policy),
+      poolFrames_(pool_frames),
+      baseDegree_(frag_degree),
+      aging_(aging),
+      rng_(mix64(frag_seed ^ (0xF4A6ull + std::uint64_t(core_id) *
+                                              0x9E3779B97F4A7C15ull)))
 {
     CCSIM_ASSERT(pool_frames > 0, "empty physical frame pool");
     CCSIM_ASSERT(pool_frames <= (1ull << 32),
                  "frame pool exceeds 32-bit order indices");
+    if (aging_.enabled()) {
+        CCSIM_ASSERT(frag_degree >= 0.0 && frag_degree <= 1.0 &&
+                         aging_.maxDegree <= 1.0,
+                     "fragmentation degrees are in [0,1]");
+        // Lazy mode: identity order now; each position's swap decision
+        // is made at first hand-out (frameForAt) under the degree then
+        // in force.
+        order_.resize(pool_frames);
+        for (std::uint64_t i = 0; i < pool_frames; ++i)
+            order_[i] = static_cast<std::uint32_t>(i);
+        return;
+    }
     if (policy != PageAlloc::Fragmented || frag_degree <= 0.0)
         return;
     CCSIM_ASSERT(frag_degree <= 1.0, "fragmentation degree is in [0,1]");
@@ -43,6 +61,32 @@ PageAllocator::PageAllocator(PageAlloc policy, std::uint64_t pool_frames,
         std::uint64_t j = i + rng.below(pool_frames - i);
         std::swap(order_[i], order_[j]);
     }
+}
+
+double
+PageAllocator::degreeAt(CpuCycle now) const
+{
+    if (!aging_.enabled())
+        return baseDegree_;
+    double frac = std::min(1.0, double(now) / double(aging_.rampCycles));
+    return baseDegree_ + (aging_.maxDegree - baseDegree_) * frac;
+}
+
+std::uint64_t
+PageAllocator::frameForAt(std::uint64_t touch_idx, CpuCycle now)
+{
+    if (!aging_.enabled())
+        return frameFor(touch_idx);
+    std::uint64_t slot = touch_idx % poolFrames_;
+    // Touch order is sequential, so on the first pass slot == touch_idx
+    // and each position's shuffle decision is made exactly once, under
+    // the fragmentation degree in force at its allocation time.
+    if (touch_idx < poolFrames_ && slot + 1 < poolFrames_ &&
+        rng_.chance(degreeAt(now))) {
+        std::uint64_t j = slot + rng_.below(poolFrames_ - slot);
+        std::swap(order_[slot], order_[j]);
+    }
+    return order_[slot];
 }
 
 } // namespace ccsim::vm

@@ -19,12 +19,23 @@
  *                       adjacency is preserved across a whole huge
  *                       page and walks are one level shorter.
  *
+ * **Allocator aging** (AgingSpec): instead of fixing the shuffle at
+ * construction, the per-position swap decision is deferred to the
+ * moment the position is first handed out, using the fragmentation
+ * degree in force at that simulated time — a linear ramp from the base
+ * `frag_degree` to `maxDegree` over `rampCycles` CPU cycles. A long
+ * run therefore starts allocating near-contiguously and degrades to a
+ * scrambled free list, reproducing dynamically the contiguous →
+ * fragmented HCRAC-hit decay the static ablation measures. With aging
+ * disabled (the default) the constructor-time shuffle is bit-identical
+ * to the pre-aging allocator.
+ *
  * Allocation is lazy (first touch) and wraps modulo the pool when the
  * virtual footprint exceeds it — pages then share frames, which only
  * matters as address reuse, never as data (the simulator carries no
- * data). Everything is deterministic given (policy, seed, touch order),
- * and touch order is identical across simulation kernels by the
- * bit-identical-schedule invariant.
+ * data). Everything is deterministic given (policy, seed, touch order,
+ * touch times), and touch order/time is identical across simulation
+ * kernels by the bit-identical-schedule invariant.
  */
 
 #ifndef CCSIM_VM_PAGE_ALLOC_HH
@@ -33,6 +44,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/random.hh"
 #include "common/types.hh"
 
 namespace ccsim::vm {
@@ -46,6 +58,18 @@ enum class PageAlloc {
 
 const char *pageAllocName(PageAlloc policy);
 
+/** Time-varying fragmentation (see file header). */
+struct AgingSpec {
+    double maxDegree = -1.0;   ///< < 0: aging disabled.
+    CpuCycle rampCycles = 0;   ///< Base → max over this many CPU cycles.
+
+    bool
+    enabled() const
+    {
+        return maxDegree >= 0.0 && rampCycles > 0;
+    }
+};
+
 class PageAllocator
 {
   public:
@@ -53,13 +77,17 @@ class PageAllocator
      * @param policy frame-ordering policy.
      * @param pool_frames frames available (data region / frame size).
      * @param frag_seed Fragmented: shuffle seed (mixed with `core_id`).
-     * @param frag_degree Fragmented: per-position shuffle probability.
+     * @param frag_degree Fragmented: per-position shuffle probability
+     *        (the aging base degree when `aging` is enabled).
+     * @param core_id owning core (legacy) or address-space id.
+     * @param aging optional time-varying fragmentation ramp.
      */
     PageAllocator(PageAlloc policy, std::uint64_t pool_frames,
                   std::uint64_t frag_seed, double frag_degree,
-                  int core_id);
+                  int core_id, AgingSpec aging = {});
 
-    /** Frame index (pool-relative) of the `touch_idx`-th touched page. */
+    /** Frame index (pool-relative) of the `touch_idx`-th touched page
+        (static policies; aging callers use frameForAt). */
     std::uint64_t
     frameFor(std::uint64_t touch_idx) const
     {
@@ -67,13 +95,28 @@ class PageAllocator
         return order_.empty() ? slot : order_[slot];
     }
 
+    /**
+     * Aging-aware allocation: the `touch_idx`-th touched page at CPU
+     * cycle `now`. The first pass over the pool settles each
+     * position's shuffle decision at degreeAt(now); later wraps reuse
+     * the settled order. Identical to frameFor when aging is off.
+     */
+    std::uint64_t frameForAt(std::uint64_t touch_idx, CpuCycle now);
+
+    /** Fragmentation degree in force at `now` (aging ramp). */
+    double degreeAt(CpuCycle now) const;
+
     std::uint64_t poolFrames() const { return poolFrames_; }
     PageAlloc policy() const { return policy_; }
+    const AgingSpec &aging() const { return aging_; }
 
   private:
     PageAlloc policy_;
     std::uint64_t poolFrames_;
-    /** Shuffled frame order (Fragmented only; empty = identity). */
+    double baseDegree_;
+    AgingSpec aging_;
+    Rng rng_; ///< Aging-mode lazy-shuffle stream (unused otherwise).
+    /** Shuffled frame order (Fragmented/aging only; empty = identity). */
     std::vector<std::uint32_t> order_;
 };
 

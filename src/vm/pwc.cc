@@ -1,0 +1,50 @@
+#include "vm/pwc.hh"
+
+#include "common/log.hh"
+
+namespace ccsim::vm {
+
+Pwc::Pwc(const PwcConfig &config, int levels) : levels_(levels)
+{
+    CCSIM_ASSERT(levels >= 2 && levels <= kMaxLevels,
+                 "PWC needs a multi-level walker");
+    CCSIM_ASSERT(config.entriesPerLevel > 0 && config.ways > 0,
+                 "bad PWC geometry");
+    arrays_.reserve(static_cast<std::size_t>(levels_ - 1));
+    for (int l = 0; l < levels_ - 1; ++l)
+        arrays_.emplace_back(config.entriesPerLevel, config.ways);
+}
+
+int
+Pwc::deepestCachedLevel(Addr vpn, std::uint32_t asid)
+{
+    ++stats_.lookups;
+    for (int l = levels_ - 2; l >= 0; --l) {
+        Addr dummy;
+        if (arrays_[static_cast<std::size_t>(l)].lookup(prefixOf(vpn, l),
+                                                        dummy, asid)) {
+            ++stats_.hitsByLevel[static_cast<std::size_t>(l)];
+            stats_.skippedFetches += static_cast<std::uint64_t>(l) + 1;
+            return l;
+        }
+    }
+    return -1;
+}
+
+void
+Pwc::fill(Addr vpn, int level, std::uint32_t asid)
+{
+    CCSIM_ASSERT(level >= 0 && level < levels_ - 1,
+                 "PWC caches upper levels only");
+    arrays_[static_cast<std::size_t>(level)].insert(prefixOf(vpn, level),
+                                                    0, asid);
+}
+
+void
+Pwc::flush()
+{
+    for (auto &a : arrays_)
+        a.flush();
+}
+
+} // namespace ccsim::vm

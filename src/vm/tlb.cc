@@ -21,12 +21,19 @@ TlbArray::setBase(Addr vpn)
     return &entries_[set * static_cast<std::size_t>(ways_)];
 }
 
+const TlbArray::Entry *
+TlbArray::setBase(Addr vpn) const
+{
+    std::uint64_t set = vpn & (static_cast<std::uint64_t>(sets_) - 1);
+    return &entries_[set * static_cast<std::size_t>(ways_)];
+}
+
 bool
-TlbArray::lookup(Addr vpn, Addr &ppn)
+TlbArray::lookup(Addr vpn, Addr &ppn, std::uint32_t asid)
 {
     Entry *base = setBase(vpn);
     for (int w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].vpn == vpn) {
+        if (base[w].valid && base[w].vpn == vpn && base[w].asid == asid) {
             base[w].lru = ++clock_;
             ppn = base[w].ppn;
             return true;
@@ -36,12 +43,12 @@ TlbArray::lookup(Addr vpn, Addr &ppn)
 }
 
 void
-TlbArray::insert(Addr vpn, Addr ppn)
+TlbArray::insert(Addr vpn, Addr ppn, std::uint32_t asid)
 {
     Entry *base = setBase(vpn);
     Entry *victim = &base[0];
     for (int w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].vpn == vpn) {
+        if (base[w].valid && base[w].vpn == vpn && base[w].asid == asid) {
             victim = &base[w]; // Refresh in place.
             break;
         }
@@ -55,7 +62,35 @@ TlbArray::insert(Addr vpn, Addr ppn)
     victim->valid = true;
     victim->vpn = vpn;
     victim->ppn = ppn;
+    victim->asid = asid;
     victim->lru = ++clock_;
+}
+
+bool
+TlbArray::probe(Addr vpn, std::uint32_t asid) const
+{
+    const Entry *base = setBase(vpn);
+    for (int w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].vpn == vpn && base[w].asid == asid)
+            return true;
+    return false;
+}
+
+void
+TlbArray::invalidate(Addr vpn, std::uint32_t asid)
+{
+    Entry *base = setBase(vpn);
+    for (int w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].vpn == vpn && base[w].asid == asid)
+            base[w].valid = false;
+}
+
+void
+TlbArray::flushAsid(std::uint32_t asid)
+{
+    for (auto &e : entries_)
+        if (e.asid == asid)
+            e.valid = false;
 }
 
 void
@@ -63,6 +98,16 @@ TlbArray::flush()
 {
     for (auto &e : entries_)
         e.valid = false;
+}
+
+int
+TlbArray::validCount(std::int64_t asid) const
+{
+    int n = 0;
+    for (const auto &e : entries_)
+        if (e.valid && (asid < 0 || e.asid == static_cast<std::uint32_t>(asid)))
+            ++n;
+    return n;
 }
 
 } // namespace ccsim::vm

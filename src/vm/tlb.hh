@@ -1,17 +1,21 @@
 /**
  * @file
- * Set-associative LRU translation lookaside buffer.
+ * Set-associative LRU translation lookaside buffer with ASID tags.
  *
  * One TlbArray models one TLB level; vm::Mmu stacks a small L1 D-TLB
  * over a larger unified L2 (the instruction side is not modeled — the
  * cores are trace-driven and fetch no instructions from memory). Shapes
  * follow the Virtuoso/Sniper translation stack: entries tagged by
- * virtual page number, full-LRU within a set, no prefetching.
+ * virtual page number plus address-space id, full-LRU within a set, no
+ * prefetching. Single-address-space callers may omit the asid (it
+ * defaults to 0), which reproduces the untagged pre-multiprocess TLB
+ * bit for bit.
  */
 
 #ifndef CCSIM_VM_TLB_HH
 #define CCSIM_VM_TLB_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "common/types.hh"
@@ -24,14 +28,27 @@ class TlbArray
     /** `entries` total, `ways`-associative; sets must be a power of 2. */
     TlbArray(int entries, int ways);
 
-    /** Look up `vpn`; on a hit, touch LRU and write the frame number. */
-    bool lookup(Addr vpn, Addr &ppn);
+    /** Look up `vpn` in `asid`; on a hit, touch LRU and write the frame
+        number. Never matches an entry installed under another asid. */
+    bool lookup(Addr vpn, Addr &ppn, std::uint32_t asid = 0);
 
     /** Install (or refresh) a translation, evicting the set's LRU. */
-    void insert(Addr vpn, Addr ppn);
+    void insert(Addr vpn, Addr ppn, std::uint32_t asid = 0);
 
-    /** Drop every entry (not used on the hot path; tests/ablation). */
+    /** Presence probe without an LRU touch (tests, shootdown audits). */
+    bool probe(Addr vpn, std::uint32_t asid = 0) const;
+
+    /** Drop one translation if present (TLB shootdown receive side). */
+    void invalidate(Addr vpn, std::uint32_t asid);
+
+    /** Drop every entry of one address space (non-global retag). */
+    void flushAsid(std::uint32_t asid);
+
+    /** Drop every entry (context switch without ASID tags). */
     void flush();
+
+    /** Valid entries currently held (for `asid` only when >= 0). */
+    int validCount(std::int64_t asid = -1) const;
 
     int numSets() const { return sets_; }
     int numWays() const { return ways_; }
@@ -41,10 +58,12 @@ class TlbArray
         Addr vpn = 0;
         Addr ppn = 0;
         std::uint64_t lru = 0;
+        std::uint32_t asid = 0;
         bool valid = false;
     };
 
     Entry *setBase(Addr vpn);
+    const Entry *setBase(Addr vpn) const;
 
     int sets_;
     int ways_;

@@ -158,4 +158,22 @@ mixProfiles(int mix_id, int cores)
     return profiles;
 }
 
+std::vector<std::string>
+mpMixWorkloads(int mix_id, int cores)
+{
+    CCSIM_ASSERT(mix_id >= 1, "mix ids start at 1");
+    // TLB-hungry subset: wide pools and scattered streams keep the
+    // page working set far past L1-TLB reach, so switches, shootdowns
+    // and allocator aging have standing translations to destroy.
+    static const std::vector<std::string> hungry = {
+        "mcf", "omnetpp", "milc", "libquantum", "apache20",
+        "tpcc64", "tpch17", "soplex",
+    };
+    Rng rng(0xD0C5 + static_cast<std::uint64_t>(mix_id) * 104729);
+    std::vector<std::string> mix;
+    for (int c = 0; c < cores; ++c)
+        mix.push_back(hungry[rng.below(hungry.size())]);
+    return mix;
+}
+
 } // namespace ccsim::workloads

@@ -48,6 +48,18 @@ std::vector<std::string> mixWorkloads(int mix_id, int cores = 8);
  */
 std::vector<SyntheticProfile> mixProfiles(int mix_id, int cores = 8);
 
+/**
+ * Multi-process OS-pressure mixes: the same deterministic per-mix draw
+ * as mixWorkloads, but biased toward the TLB-hungry profiles (large
+ * pool / high row-reuse-distance applications) so context switches and
+ * address-space pressure have translations to evict. Used by the
+ * multi-process ablation (bench/abl_multiprocess) and the OS-pressure
+ * test matrix.
+ *
+ * @param mix_id 1..20 (same id space as mixWorkloads).
+ */
+std::vector<std::string> mpMixWorkloads(int mix_id, int cores = 8);
+
 } // namespace ccsim::workloads
 
 #endif // CCSIM_WORKLOADS_PROFILES_HH

@@ -80,6 +80,9 @@ expectIdenticalResults(const sim::SystemResult &a,
     EXPECT_EQ(a.ctrl.ptwReads, b.ctrl.ptwReads);
     EXPECT_EQ(a.ctrl.ptwActs, b.ctrl.ptwActs);
     EXPECT_EQ(a.ctrl.ptwActHits, b.ctrl.ptwActHits);
+    for (int l = 0; l < 4; ++l)
+        EXPECT_EQ(a.ctrl.ptwReadsByLevel[l], b.ctrl.ptwReadsByLevel[l])
+            << "ptw level " << l;
     EXPECT_EQ(a.vm.lookups, b.vm.lookups);
     EXPECT_EQ(a.vm.l1Hits, b.vm.l1Hits);
     EXPECT_EQ(a.vm.l2Hits, b.vm.l2Hits);
@@ -87,7 +90,18 @@ expectIdenticalResults(const sim::SystemResult &a,
     EXPECT_EQ(a.vm.pteFetches, b.vm.pteFetches);
     EXPECT_EQ(a.vm.walkCycleSum, b.vm.walkCycleSum);
     EXPECT_EQ(a.vm.pagesMapped, b.vm.pagesMapped);
+    EXPECT_EQ(a.vm.ptTables, b.vm.ptTables);
+    EXPECT_EQ(a.vm.contextSwitches, b.vm.contextSwitches);
+    EXPECT_EQ(a.vm.remaps, b.vm.remaps);
+    EXPECT_EQ(a.vm.shootdownsSent, b.vm.shootdownsSent);
+    EXPECT_EQ(a.vm.shootdownsReceived, b.vm.shootdownsReceived);
+    EXPECT_EQ(a.vm.pwcLookups, b.vm.pwcLookups);
+    EXPECT_EQ(a.vm.pwcSkippedFetches, b.vm.pwcSkippedFetches);
+    for (std::size_t l = 0; l < a.vm.pwcHitsByLevel.size(); ++l)
+        EXPECT_EQ(a.vm.pwcHitsByLevel[l], b.vm.pwcHitsByLevel[l])
+            << "pwc level " << l;
     EXPECT_EQ(a.xlatStallCycles, b.xlatStallCycles);
+    EXPECT_EQ(a.shootdownStallCycles, b.shootdownStallCycles);
 
     EXPECT_EQ(a.llc.accesses, b.llc.accesses);
     EXPECT_EQ(a.llc.hits, b.llc.hits);
@@ -123,6 +137,8 @@ expectIdenticalCoreStats(sim::System &a, sim::System &b, int cores,
         EXPECT_EQ(sa.stallCyclesFull, sb.stallCyclesFull) << "core " << i;
         EXPECT_EQ(sa.blockedAccesses, sb.blockedAccesses) << "core " << i;
         EXPECT_EQ(sa.xlatStallCycles, sb.xlatStallCycles) << "core " << i;
+        EXPECT_EQ(sa.shootdownStallCycles, sb.shootdownStallCycles)
+            << "core " << i;
     }
 }
 

@@ -147,6 +147,70 @@ TEST(ShardEquivalence, MatrixAllSchemesVmOn)
     }
 }
 
+TEST(ShardEquivalence, MultiProcessOsPressureMatrix)
+{
+    // The OS-pressure matrix across the shard protocol: address-space
+    // switches, remap-driven TLB shootdowns (which are pinned to the
+    // coordinator — cores and MMUs never leave it), the page-walk
+    // cache and allocator aging, against all three serial kernels and
+    // {1,2,4} worker threads. Everything must stay bit-identical.
+    struct Point {
+        int processes;
+        std::uint64_t quantum;
+        std::uint64_t remap;
+        bool pwc;
+        bool aging;
+    };
+    const std::vector<Point> points = {
+        {2, 700, 12, false, false},
+        {3, 400, 20, true, false},
+        {2, 900, 16, true, true},
+    };
+    for (const Point &p : points) {
+        SimConfig base = matrixConfig(Scheme::ChargeCache, true);
+        base.vm.l1Entries = 16;
+        base.vm.l1Ways = 4;
+        base.vm.l2Entries = 64;
+        base.vm.l2Ways = 4;
+        base.vm.mp.processes = p.processes;
+        base.vm.mp.switchQuantum = p.quantum;
+        base.vm.mp.remapPeriod = p.remap;
+        base.vm.mp.shootdownCycles = 64;
+        base.vm.pwc.enable = p.pwc;
+        if (p.aging) {
+            base.vm.aging.maxDegree = 1.0;
+            base.vm.aging.rampCycles = 30000;
+        }
+        const auto w = workloads::mpMixWorkloads(3, base.nCores);
+
+        std::vector<std::pair<KernelMode, SystemResult>> refs;
+        for (KernelMode k : {KernelMode::PerCycle, KernelMode::EventSkip,
+                             KernelMode::Calendar}) {
+            SimConfig cfg = base;
+            cfg.kernel = k;
+            applyEnvParanoia(cfg);
+            System sys(cfg, w);
+            refs.emplace_back(k, sys.run());
+        }
+        ASSERT_GT(refs[0].second.vm.contextSwitches, 0u);
+        ASSERT_GT(refs[0].second.vm.shootdownsSent, 0u);
+        ASSERT_GT(refs[0].second.shootdownStallCycles, 0u);
+
+        for (int threads : {1, 2, 4}) {
+            SystemResult sharded = runSharded(base, w, threads);
+            for (const auto &[k, ref] : refs) {
+                std::string label =
+                    "mp P=" + std::to_string(p.processes) + " Q=" +
+                    std::to_string(p.quantum) + " remap=" +
+                    std::to_string(p.remap) + "/sharded-T" +
+                    std::to_string(threads) + "-vs-" +
+                    kernelModeName(k);
+                expectIdenticalResults(ref, sharded, label.c_str());
+            }
+        }
+    }
+}
+
 TEST(ShardEquivalence, PerCoreStatsIdentical)
 {
     // The bulk park/wake stall accounting must settle identically on
@@ -382,6 +446,45 @@ TEST_F(ShardFiniteTrace, ChargeCacheSchemeSharded)
     expectIdenticalResults(ref, r, "ChargeCache sharded finite trace");
     EXPECT_GE(r.hcracHitRate, 0.0);
     EXPECT_LE(r.hcracHitRate, 1.0);
+}
+
+TEST_F(ShardFiniteTrace, TwoProcessShootdownsStayDeterministic)
+{
+    // Two address spaces on a finite trace: context switches retag
+    // TLBs while remap-driven shootdowns stall cores across trace
+    // wraps — all on the coordinator side of the shard protocol, so
+    // results must stay bit-identical at every thread count.
+    auto mp_cfg = [&](KernelMode kernel) {
+        SimConfig cfg = config(kernel);
+        cfg.vm.enable = true;
+        cfg.vm.l1Entries = 16;
+        cfg.vm.l1Ways = 4;
+        cfg.vm.l2Entries = 64;
+        cfg.vm.l2Ways = 4;
+        cfg.vm.mp.processes = 2;
+        cfg.vm.mp.switchQuantum = 500;
+        // On a fixed looping page set only the harshest remap cadence
+        // keeps shootdowns firing past warm-up (longer periods
+        // self-damp: one remap seeds only one future first-touch).
+        cfg.vm.mp.remapPeriod = 1;
+        cfg.vm.mp.shootdownCycles = 64;
+        // Tiny LLC: translation compacts the trace's one-set thrash
+        // pattern, so force misses by capacity instead.
+        cfg.llc.sizeBytes = 4096;
+        return cfg;
+    };
+    SystemResult ref = runWith(mp_cfg(KernelMode::PerCycle));
+    EXPECT_GT(ref.vm.contextSwitches, 0u);
+    EXPECT_GT(ref.vm.shootdownsSent, 0u);
+    EXPECT_GT(ref.shootdownStallCycles, 0u);
+    for (int threads : {1, 2, 4}) {
+        SimConfig cfg = mp_cfg(KernelMode::Calendar);
+        cfg.shardThreads = threads;
+        SystemResult r = runWith(cfg);
+        std::string label = "two-process sharded T=" +
+                            std::to_string(threads);
+        expectIdenticalResults(ref, r, label.c_str());
+    }
 }
 
 } // namespace

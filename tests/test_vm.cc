@@ -11,16 +11,27 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <set>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/random.hh"
 #include "sim/config.hh"
 #include "sim/system.hh"
+#include "system_compare.hh"
+#include "vm/address_space.hh"
 #include "vm/mmu.hh"
 #include "vm/page_alloc.hh"
 #include "vm/page_table.hh"
+#include "vm/pwc.hh"
 #include "vm/tlb.hh"
 #include "workloads/profiles.hh"
+#include "workloads/trace_file.hh"
 
 namespace ccsim {
 namespace {
@@ -73,6 +84,373 @@ TEST(Tlb, FlushDropsEverything)
     tlb.flush();
     Addr ppn = 0;
     EXPECT_FALSE(tlb.lookup(1, ppn));
+}
+
+// ---------------------------------------------------------------------
+// ASID tags: the multi-process isolation contract.
+
+TEST(Tlb, AsidTagsIsolateAddressSpaces)
+{
+    vm::TlbArray tlb(16, 4);
+    tlb.insert(42, 7, /*asid=*/0);
+    tlb.insert(42, 9, /*asid=*/1);
+    Addr ppn = 0;
+    ASSERT_TRUE(tlb.lookup(42, ppn, 0));
+    EXPECT_EQ(ppn, 7u);
+    ASSERT_TRUE(tlb.lookup(42, ppn, 1));
+    EXPECT_EQ(ppn, 9u);
+    EXPECT_FALSE(tlb.lookup(42, ppn, 2));
+    // Targeted invalidation drops only the named space's entry.
+    tlb.invalidate(42, 0);
+    EXPECT_FALSE(tlb.probe(42, 0));
+    EXPECT_TRUE(tlb.probe(42, 1));
+}
+
+TEST(Tlb, FlushAsidDropsOnlyThatSpace)
+{
+    vm::TlbArray tlb(32, 4);
+    for (Addr v = 0; v < 8; ++v) {
+        tlb.insert(v, 100 + v, 0);
+        tlb.insert(v, 200 + v, 1);
+    }
+    tlb.flushAsid(1);
+    EXPECT_EQ(tlb.validCount(1), 0);
+    EXPECT_GT(tlb.validCount(0), 0);
+}
+
+TEST(Tlb, PropertyLookupNeverReturnsAnotherSpacesTranslation)
+{
+    // Seeded randomized sequences of inserts and lookups across four
+    // address spaces sharing the same vpn range: a hit must always
+    // return the frame that was installed under the *same* asid.
+    auto expect_ppn = [](Addr vpn, std::uint32_t asid) {
+        return vpn * 17 + asid * 131 + 1;
+    };
+    vm::TlbArray tlb(64, 4);
+    Rng rng(20260726);
+    for (int step = 0; step < 20000; ++step) {
+        Addr vpn = rng.below(96);
+        auto asid = static_cast<std::uint32_t>(rng.below(4));
+        if (rng.chance(0.5)) {
+            tlb.insert(vpn, expect_ppn(vpn, asid), asid);
+        } else {
+            Addr ppn = 0;
+            if (tlb.lookup(vpn, ppn, asid))
+                ASSERT_EQ(ppn, expect_ppn(vpn, asid))
+                    << "vpn " << vpn << " asid " << asid << " step "
+                    << step;
+        }
+        if (step % 1024 == 1023)
+            tlb.flushAsid(static_cast<std::uint32_t>(rng.below(4)));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Page-walk cache.
+
+TEST(Pwc, HitReportsDeepestCachedLevelAndIsolatesAsids)
+{
+    vm::PwcConfig pc;
+    pc.enable = true;
+    pc.entriesPerLevel = 16;
+    pc.ways = 4;
+    vm::Pwc pwc(pc, 4);
+    Addr vpn = (Addr(1) << 27) | (Addr(2) << 18) | (Addr(3) << 9) | 4;
+    EXPECT_EQ(pwc.deepestCachedLevel(vpn, 0), -1);
+    pwc.fill(vpn, 0, 0);
+    pwc.fill(vpn, 1, 0);
+    EXPECT_EQ(pwc.deepestCachedLevel(vpn, 0), 1);
+    // A page sharing the upper tables hits at the same depth; another
+    // address space sees nothing.
+    EXPECT_EQ(pwc.deepestCachedLevel(vpn + 1, 0), 1);
+    EXPECT_EQ(pwc.deepestCachedLevel(vpn, 1), -1);
+    pwc.fill(vpn, 2, 0);
+    EXPECT_EQ(pwc.deepestCachedLevel(vpn, 0), 2);
+    const vm::Pwc::Stats &s = pwc.stats();
+    EXPECT_EQ(s.lookups, 5u);
+    EXPECT_EQ(s.hitsByLevel[1], 2u);
+    EXPECT_EQ(s.hitsByLevel[2], 1u);
+    // Hits at level k skip the fetches of levels 0..k.
+    EXPECT_EQ(s.skippedFetches, 2u + 2u + 3u);
+}
+
+TEST(Pwc, MmuWalkFillsPwcAndShortensTheNextWalk)
+{
+    vm::VmConfig cfg;
+    cfg.enable = true;
+    cfg.pwc.enable = true;
+    vm::Mmu mmu(cfg, 0, 0, 1ull << 20);
+    // Page 0: full 4-level walk (PWC cold).
+    ASSERT_EQ(mmu.beginTranslate(0, 0), vm::Mmu::Result::Miss);
+    EXPECT_EQ(mmu.walkLevel(), 0);
+    while (!mmu.pteReturned(1)) {
+    }
+    EXPECT_EQ(mmu.stats().pteFetches, 4u);
+    // Page 1 shares levels 0..2: the walk starts at the leaf.
+    ASSERT_EQ(mmu.beginTranslate(4096, 2), vm::Mmu::Result::Miss);
+    EXPECT_EQ(mmu.walkLevel(), 3);
+    EXPECT_TRUE(mmu.pteReturned(3));
+    EXPECT_EQ(mmu.stats().pteFetches, 5u);
+    EXPECT_EQ(mmu.stats().pwcLookups, 2u);
+    EXPECT_EQ(mmu.stats().pwcHitsByLevel[2], 1u);
+    EXPECT_EQ(mmu.stats().pwcSkippedFetches, 3u);
+}
+
+TEST(Pwc, MmuResetStatsClearsPwcCounters)
+{
+    // The warmup-boundary contract: resetStats must zero the mirrored
+    // PWC counters too (same audit as the provider/HCRAC reset path).
+    vm::VmConfig cfg;
+    cfg.enable = true;
+    cfg.pwc.enable = true;
+    vm::Mmu mmu(cfg, 0, 0, 1ull << 20);
+    ASSERT_EQ(mmu.beginTranslate(0, 0), vm::Mmu::Result::Miss);
+    while (!mmu.pteReturned(1)) {
+    }
+    ASSERT_EQ(mmu.beginTranslate(4096, 2), vm::Mmu::Result::Miss);
+    while (!mmu.pteReturned(3)) {
+    }
+    EXPECT_GT(mmu.stats().pwcLookups, 0u);
+    EXPECT_GT(mmu.stats().pwcSkippedFetches, 0u);
+    mmu.resetStats();
+    EXPECT_EQ(mmu.stats().pwcLookups, 0u);
+    EXPECT_EQ(mmu.stats().pwcSkippedFetches, 0u);
+    EXPECT_EQ(mmu.stats().pwcHits(), 0u);
+    EXPECT_EQ(mmu.stats().walks, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Address spaces: shared mappings, unmap/remap reclaim.
+
+TEST(AddressSpace, RemapReclaimsOldestMappingAndReportsVictim)
+{
+    vm::VmConfig cfg;
+    cfg.enable = true;
+    cfg.mp.processes = 2;
+    cfg.mp.remapPeriod = 4;
+    vm::AddressSpace as(cfg, 0, 0, 1ull << 20);
+    std::uint64_t frame0 = 0;
+    for (Addr v = 0; v < 4; ++v) {
+        auto out = as.mapPage(v, 0);
+        EXPECT_TRUE(out.firstTouch);
+        EXPECT_FALSE(out.remapped);
+        if (v == 0)
+            frame0 = out.ppn;
+    }
+    // 4th first-touch after the pool started filling: reclaim vpn 0.
+    auto out = as.mapPage(100, 0);
+    EXPECT_TRUE(out.firstTouch);
+    ASSERT_TRUE(out.remapped);
+    EXPECT_EQ(out.victimVpn, 0u);
+    EXPECT_EQ(out.ppn, frame0);
+    std::uint64_t ppn = 0;
+    EXPECT_FALSE(as.lookup(0, ppn));
+    ASSERT_TRUE(as.lookup(100, ppn));
+    EXPECT_EQ(ppn, frame0);
+    EXPECT_EQ(as.remaps(), 1u);
+}
+
+TEST(AddressSpace, SharedMappingIsStableAcrossTouches)
+{
+    vm::VmConfig cfg;
+    cfg.enable = true;
+    vm::AddressSpace as(cfg, 3, 0, 1ull << 20);
+    auto first = as.mapPage(7, 10);
+    auto again = as.mapPage(7, 99);
+    EXPECT_TRUE(first.firstTouch);
+    EXPECT_FALSE(again.firstTouch);
+    EXPECT_EQ(first.ppn, again.ppn);
+}
+
+// ---------------------------------------------------------------------
+// Allocator aging.
+
+TEST(PageAllocator, AgingRampGrowsDisplacementOverSimulatedTime)
+{
+    vm::AgingSpec aging;
+    aging.maxDegree = 1.0;
+    aging.rampCycles = 1000000;
+    vm::PageAllocator a(vm::PageAlloc::Contiguous, 4096, 7, 0.0, 0,
+                        aging);
+    // Early allocations (degree 0): identity.
+    for (std::uint64_t i = 0; i < 1024; ++i)
+        ASSERT_EQ(a.frameForAt(i, 0), i);
+    // Late allocations (degree 1): heavily displaced.
+    double displaced = 0;
+    for (std::uint64_t i = 1024; i < 4096; ++i) {
+        double d = double(a.frameForAt(i, 2000000)) - double(i);
+        displaced += d < 0 ? -d : d;
+    }
+    EXPECT_GT(displaced / 3072, 64.0);
+    EXPECT_DOUBLE_EQ(a.degreeAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(a.degreeAt(500000), 0.5);
+    EXPECT_DOUBLE_EQ(a.degreeAt(5000000), 1.0);
+}
+
+TEST(PageAllocator, AgingIsDeterministicGivenTouchTimes)
+{
+    vm::AgingSpec aging;
+    aging.maxDegree = 0.8;
+    aging.rampCycles = 10000;
+    vm::PageAllocator a(vm::PageAlloc::Fragmented, 512, 11, 0.1, 2,
+                        aging);
+    vm::PageAllocator b(vm::PageAlloc::Fragmented, 512, 11, 0.1, 2,
+                        aging);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 512; ++i) {
+        CpuCycle now = i * 40;
+        std::uint64_t fa = a.frameForAt(i, now);
+        ASSERT_EQ(fa, b.frameForAt(i, now)) << i;
+        seen.insert(fa);
+    }
+    EXPECT_EQ(seen.size(), 512u); // Still a bijection.
+}
+
+TEST(PageAllocator, AgingDisabledMatchesStaticShuffle)
+{
+    vm::PageAllocator s(vm::PageAlloc::Fragmented, 256, 99, 0.7, 1);
+    vm::PageAllocator d(vm::PageAlloc::Fragmented, 256, 99, 0.7, 1);
+    for (std::uint64_t i = 0; i < 512; ++i)
+        EXPECT_EQ(d.frameForAt(i, i * 1000), s.frameFor(i)) << i;
+}
+
+// ---------------------------------------------------------------------
+// Multi-process Mmu: ASID isolation, context switches, shootdowns.
+
+vm::VmConfig
+mpVmConfig(int processes, std::uint64_t remap_period)
+{
+    vm::VmConfig cfg;
+    cfg.enable = true;
+    cfg.l1Entries = 16;
+    cfg.l1Ways = 4;
+    cfg.l2Entries = 64;
+    cfg.l2Ways = 4;
+    cfg.mp.processes = processes;
+    cfg.mp.remapPeriod = remap_period;
+    return cfg;
+}
+
+struct MpRig {
+    std::vector<std::unique_ptr<vm::AddressSpace>> owned;
+    std::vector<vm::AddressSpace *> spaces;
+    std::vector<std::unique_ptr<vm::Mmu>> mmus;
+
+    MpRig(const vm::VmConfig &cfg, int n_cores)
+    {
+        Addr region = 1ull << 20;
+        for (int s = 0; s < cfg.mp.processes; ++s) {
+            owned.push_back(std::make_unique<vm::AddressSpace>(
+                cfg, s, region * s, region));
+            spaces.push_back(owned.back().get());
+        }
+        for (int c = 0; c < n_cores; ++c)
+            mmus.push_back(
+                std::make_unique<vm::Mmu>(cfg, c, spaces, 64, 42));
+    }
+
+    /** Drive one full translation; returns the physical line. */
+    Addr
+    translate(int core, Addr vaddr, CpuCycle now)
+    {
+        vm::Mmu &m = *mmus[core];
+        vm::Mmu::Result r = m.beginTranslate(vaddr, now);
+        if (r == vm::Mmu::Result::L2Hit)
+            m.completeL2();
+        if (r == vm::Mmu::Result::Miss)
+            while (!m.pteReturned(now)) {
+            }
+        return m.translatedLine();
+    }
+
+    /** System-free shootdown broadcast: what System::shootdownBroadcast
+        does to the TLBs, minus the core stalls. */
+    bool
+    broadcastIfPending(int initiator, std::uint32_t &asid, Addr &vpn)
+    {
+        if (!mmus[initiator]->takePendingShootdown(asid, vpn))
+            return false;
+        for (int c = 0; c < static_cast<int>(mmus.size()); ++c)
+            if (c != initiator)
+                mmus[c]->invalidateTranslation(asid, vpn);
+        return true;
+    }
+};
+
+TEST(Mmu, AsidTagsPreventCrossSpaceTranslationReuse)
+{
+    vm::VmConfig cfg = mpVmConfig(2, 0);
+    MpRig rig(cfg, 1);
+    vm::Mmu &m = *rig.mmus[0];
+    const std::uint32_t asid_a = m.currentAsid();
+    Addr line_a = rig.translate(0, 0x5000, 0);
+    // Same vaddr is an L1 hit within the same space...
+    ASSERT_EQ(m.beginTranslate(0x5000, 1), vm::Mmu::Result::L1Hit);
+    // ...but after a context switch the tags must force a fresh walk
+    // into the other space's region.
+    m.contextSwitch();
+    ASSERT_NE(m.currentAsid(), asid_a);
+    ASSERT_EQ(m.beginTranslate(0x5000, 2), vm::Mmu::Result::Miss);
+    while (!m.pteReturned(2)) {
+    }
+    Addr line_b = m.translatedLine();
+    EXPECT_NE(line_a, line_b);
+    EXPECT_LT(line_a, 1ull << 20);  // Space 0's region.
+    EXPECT_GE(line_b, 1ull << 20);  // Space 1's region.
+    EXPECT_EQ(m.stats().contextSwitches, 1u);
+}
+
+TEST(Mmu, PropertyShootdownLeavesZeroStaleEntriesAcrossAllCores)
+{
+    // Seeded randomized multi-core stress: after every broadcast, no
+    // TLB anywhere may still hold the victim translation — and it must
+    // stay gone until the page is touched again.
+    vm::VmConfig cfg = mpVmConfig(3, 8);
+    const int cores = 4;
+    MpRig rig(cfg, cores);
+    Rng rng(0xBADA55);
+    int shootdowns = 0;
+    for (int step = 0; step < 4000; ++step) {
+        int c = static_cast<int>(rng.below(cores));
+        if (rng.chance(0.02))
+            rig.mmus[c]->contextSwitch();
+        Addr vaddr = rng.below(64) * 4096 + rng.below(4096);
+        rig.translate(c, vaddr, static_cast<CpuCycle>(step) * 10);
+        std::uint32_t asid;
+        Addr victim;
+        if (rig.broadcastIfPending(c, asid, victim)) {
+            ++shootdowns;
+            for (int k = 0; k < cores; ++k) {
+                EXPECT_FALSE(rig.mmus[k]->l1Tlb().probe(victim, asid))
+                    << "stale L1 entry on core " << k << " step "
+                    << step;
+                EXPECT_FALSE(rig.mmus[k]->l2Tlb().probe(victim, asid))
+                    << "stale L2 entry on core " << k << " step "
+                    << step;
+            }
+        }
+    }
+    EXPECT_GT(shootdowns, 10);
+}
+
+TEST(Mmu, ContextSwitchScheduleIsDeterministicPerSeed)
+{
+    vm::VmConfig cfg = mpVmConfig(4, 0);
+    MpRig a(cfg, 2), b(cfg, 2);
+    for (int i = 0; i < 50; ++i) {
+        a.mmus[0]->contextSwitch();
+        b.mmus[0]->contextSwitch();
+        ASSERT_EQ(a.mmus[0]->currentAsid(), b.mmus[0]->currentAsid());
+        ASSERT_EQ(a.mmus[0]->nextQuantum(), b.mmus[0]->nextQuantum());
+    }
+    // Different cores draw different schedules from the same seed.
+    bool diverged = false;
+    for (int i = 0; i < 20 && !diverged; ++i) {
+        a.mmus[0]->contextSwitch();
+        a.mmus[1]->contextSwitch();
+        diverged = a.mmus[0]->currentAsid() != a.mmus[1]->currentAsid();
+    }
+    EXPECT_TRUE(diverged);
 }
 
 // ---------------------------------------------------------------------
@@ -514,6 +892,332 @@ TEST(KernelEquivalence, VmParanoidShadowValidates)
         sim::System paranoid(cfg, workloads);
         sim::SystemResult rp = paranoid.run();
         expectVmResultsIdentical(rr, rp, sim::kernelModeName(k));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-process OS pressure at system level: address-space switches,
+// TLB shootdowns, the page-walk cache and allocator aging, live in a
+// full System run — and, most load-bearing, the OS-pressure
+// equivalence matrix holding all three kernels bit-identical through
+// Shootdown stalls, switch-induced TLB churn and remap storms.
+
+struct OsPressurePoint {
+    int processes;
+    std::uint64_t quantum;
+    std::uint64_t remapPeriod;
+    bool pwc;
+    bool flushOnSwitch;
+    bool aging;
+};
+
+sim::SimConfig
+mpSystemConfig(const OsPressurePoint &p, sim::KernelMode kernel,
+               int cores = 2, int channels = 1)
+{
+    sim::SimConfig cfg;
+    cfg.nCores = cores;
+    cfg.channels = channels;
+    cfg.ctrl.rowPolicy = ctrl::RowPolicy::Closed;
+    cfg.scheme = sim::Scheme::ChargeCache;
+    cfg.targetInsts = 8000;
+    cfg.warmupInsts = 1500;
+    cfg.kernel = kernel;
+    cfg.vm.enable = true;
+    // Small TLBs keep translation pressure high at test scale.
+    cfg.vm.l1Entries = 16;
+    cfg.vm.l1Ways = 4;
+    cfg.vm.l2Entries = 64;
+    cfg.vm.l2Ways = 4;
+    cfg.vm.mp.processes = p.processes;
+    cfg.vm.mp.switchQuantum = p.quantum;
+    cfg.vm.mp.remapPeriod = p.remapPeriod;
+    cfg.vm.mp.shootdownCycles = 64;
+    cfg.vm.mp.flushOnSwitch = p.flushOnSwitch;
+    cfg.vm.pwc.enable = p.pwc;
+    if (p.aging) {
+        cfg.vm.aging.maxDegree = 1.0;
+        cfg.vm.aging.rampCycles = 30000;
+    }
+    cfg.finalizeChargeCache();
+    if (kernel != sim::KernelMode::PerCycle)
+        test::applyEnvParanoia(cfg);
+    return cfg;
+}
+
+TEST(MpSystem, SwitchesShootdownsAndStallsAllHappen)
+{
+    OsPressurePoint p{2, 700, 12, false, false, false};
+    const std::vector<std::string> w = {"mcf", "omnetpp"};
+    sim::System sys(mpSystemConfig(p, sim::KernelMode::Calendar), w);
+    sim::SystemResult r = sys.run();
+    EXPECT_GT(r.vm.contextSwitches, 0u);
+    EXPECT_GT(r.vm.remaps, 0u);
+    EXPECT_GT(r.vm.shootdownsSent, 0u);
+    EXPECT_GT(r.vm.shootdownsReceived, 0u);
+    EXPECT_GT(r.shootdownStallCycles, 0u);
+    EXPECT_GT(r.vm.walks, 0u);
+    EXPECT_GT(r.xlatStallCycles, 0u);
+    // Every remap raises exactly one broadcast; every broadcast is
+    // received by nCores - 1 MMUs.
+    EXPECT_EQ(r.vm.shootdownsSent, r.vm.remaps);
+    EXPECT_EQ(r.vm.shootdownsReceived, r.vm.shootdownsSent * 1u);
+}
+
+TEST(MpSystem, PwcShortensWalksAndCutsUpperLevelPtwReads)
+{
+    OsPressurePoint off{2, 900, 0, false, false, false};
+    OsPressurePoint on{2, 900, 0, true, false, false};
+    const std::vector<std::string> w = {"mcf", "tpcc64"};
+    sim::SimConfig cfg_off = mpSystemConfig(off, sim::KernelMode::Calendar);
+    sim::SimConfig cfg_on = mpSystemConfig(on, sim::KernelMode::Calendar);
+    // A small LLC lets upper-level PTE lines miss to DRAM at test
+    // scale, so the per-level read counters have something to cut.
+    cfg_off.llc.sizeBytes = 64 * 1024;
+    cfg_on.llc.sizeBytes = 64 * 1024;
+    sim::System a(cfg_off, w);
+    sim::System b(cfg_on, w);
+    sim::SystemResult roff = a.run();
+    sim::SystemResult ron = b.run();
+    ASSERT_GT(roff.vm.walks, 0u);
+    EXPECT_GT(ron.vm.pwcLookups, 0u);
+    EXPECT_GT(ron.vm.pwcHits(), 0u);
+    EXPECT_GT(ron.vm.pwcSkippedFetches, 0u);
+    // Fewer PTE fetches reach the LLC at all...
+    EXPECT_LT(ron.vm.pteFetches, roff.vm.pteFetches);
+    // ...and the DRAM-visible upper-level PTW reads shrink (the leaf
+    // level is untouched by the PWC, and leaf reads dominate the
+    // total, so the aggregate ptwReads is left to the larger-scale
+    // abl_multiprocess sweep where timing perturbation averages out).
+    std::uint64_t upper_on = ron.ctrl.ptwReadsByLevel[0] +
+                             ron.ctrl.ptwReadsByLevel[1] +
+                             ron.ctrl.ptwReadsByLevel[2];
+    std::uint64_t upper_off = roff.ctrl.ptwReadsByLevel[0] +
+                              roff.ctrl.ptwReadsByLevel[1] +
+                              roff.ctrl.ptwReadsByLevel[2];
+    ASSERT_GT(upper_off, 0u);
+    EXPECT_LT(upper_on, upper_off);
+}
+
+TEST(MpSystem, AllocatorAgingDegradesHcracHitRate)
+{
+    // A fast ramp to a fully scrambled free list during the run must
+    // cost HCRAC hit rate against the static contiguous baseline — the
+    // dynamic version of the abl_vm_fragmentation monotone drop.
+    OsPressurePoint fresh{2, 2000, 0, false, false, false};
+    OsPressurePoint aged{2, 2000, 0, false, false, true};
+    sim::SimConfig cfg_fresh =
+        mpSystemConfig(fresh, sim::KernelMode::Calendar);
+    sim::SimConfig cfg_aged =
+        mpSystemConfig(aged, sim::KernelMode::Calendar);
+    cfg_aged.vm.aging.rampCycles = 5000; // Scrambled almost at once.
+    const std::vector<std::string> w = {"apache20", "mcf"};
+    sim::System a(cfg_fresh, w);
+    sim::System b(cfg_aged, w);
+    sim::SystemResult rf = a.run();
+    sim::SystemResult ra = b.run();
+    EXPECT_GT(rf.hcracHitRate, ra.hcracHitRate);
+}
+
+TEST(KernelEquivalence, MultiProcessOsPressureMatrixAllKernelsAgree)
+{
+    // The OS-pressure matrix: processes × switch quantum × shootdown
+    // cadence × {PWC, flush-on-switch, aging} against all three
+    // kernels. CCSIM_PARANOID upgrades the event kernels to their
+    // shadow-validated modes.
+    const std::vector<OsPressurePoint> points = {
+        {2, 1200, 0, false, false, false},  // switches only
+        {2, 400, 16, false, false, false},  // + frequent shootdowns
+        {3, 900, 24, true, false, false},   // 3 spaces + PWC
+        {2, 600, 10, true, true, false},    // non-ASID hardware (flush)
+        {2, 500, 12, false, false, true},   // + allocator aging
+    };
+    const std::vector<std::string> workloads = {"mcf", "omnetpp"};
+    for (const OsPressurePoint &p : points) {
+        std::ostringstream label;
+        label << "P=" << p.processes << " Q=" << p.quantum
+              << " remap=" << p.remapPeriod << " pwc=" << p.pwc
+              << " flush=" << p.flushOnSwitch << " aging=" << p.aging;
+        SCOPED_TRACE(label.str());
+        sim::System ref(mpSystemConfig(p, sim::KernelMode::PerCycle),
+                        workloads);
+        sim::SystemResult rr = ref.run();
+        ASSERT_GT(rr.vm.contextSwitches, 0u);
+        if (p.remapPeriod)
+            ASSERT_GT(rr.vm.shootdownsSent, 0u);
+        for (sim::KernelMode k :
+             {sim::KernelMode::EventSkip, sim::KernelMode::Calendar}) {
+            sim::System fast(mpSystemConfig(p, k), workloads);
+            sim::SystemResult rf = fast.run();
+            test::expectIdenticalResults(rr, rf,
+                                         sim::kernelModeName(k));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded randomized multi-process stress: random OS-pressure
+// configurations, Calendar and EventSkip against the PerCycle
+// reference. CCSIM_PARANOID upgrades the fast kernels to
+// shadow-validated configs (the CI paranoid job path).
+
+TEST(VmStress, RandomizedMultiProcessEquivalence)
+{
+    std::uint64_t seed = 0x05C1ED;
+    if (const char *v = std::getenv("CCSIM_VM_SEED"); v && *v)
+        seed = std::strtoull(v, nullptr, 0);
+    std::uint64_t count = 6;
+    if (const char *v = std::getenv("CCSIM_VM_STRESS_N"); v && *v)
+        count = std::strtoull(v, nullptr, 0);
+    Rng rng(seed);
+    for (std::uint64_t it = 0; it < count; ++it) {
+        OsPressurePoint p;
+        p.processes = 2 + static_cast<int>(rng.below(3));
+        p.quantum = 300 + rng.below(1500);
+        p.remapPeriod = rng.chance(0.7) ? 8 + rng.below(32) : 0;
+        p.pwc = rng.chance(0.5);
+        p.flushOnSwitch = rng.chance(0.3);
+        p.aging = rng.chance(0.4);
+        int cores = 1 + static_cast<int>(rng.below(3));
+        int channels = rng.chance(0.5) ? 2 : 1;
+        int mix = 1 + static_cast<int>(rng.below(20));
+        auto workloads =
+            workloads::mpMixWorkloads(mix, cores);
+        std::ostringstream label;
+        label << "CCSIM_VM_SEED=" << seed << " iter=" << it
+              << " cores=" << cores << " ch=" << channels << " P="
+              << p.processes << " Q=" << p.quantum
+              << " remap=" << p.remapPeriod << " pwc=" << p.pwc
+              << " flush=" << p.flushOnSwitch << " aging=" << p.aging
+              << " mix=w" << mix;
+        SCOPED_TRACE(label.str());
+        sim::SimConfig ref_cfg =
+            mpSystemConfig(p, sim::KernelMode::PerCycle, cores,
+                           channels);
+        ref_cfg.targetInsts = 5000;
+        ref_cfg.warmupInsts = 800;
+        sim::System ref(ref_cfg, workloads);
+        sim::SystemResult rr = ref.run();
+        for (sim::KernelMode k :
+             {sim::KernelMode::EventSkip, sim::KernelMode::Calendar}) {
+            sim::SimConfig cfg = mpSystemConfig(p, k, cores, channels);
+            cfg.targetInsts = 5000;
+            cfg.warmupInsts = 800;
+            sim::System fast(cfg, workloads);
+            sim::SystemResult rf = fast.run();
+            test::expectIdenticalResults(rr, rf,
+                                         sim::kernelModeName(k));
+        }
+        if (::testing::Test::HasFailure()) {
+            std::fprintf(stderr,
+                         "VmStress failed; reproduce with %s\n",
+                         label.str().c_str());
+            FAIL();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Finite-trace park/wake under a two-process workload: traces wrap
+// mid-run while context switches retag the TLBs and remap-driven
+// shootdowns stall parked and awake cores alike — StallKind::Shootdown
+// and XlatWait must interact with the park/wake machinery identically
+// in every kernel.
+
+class MpFiniteTrace : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "ccsim_mp_trace_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name() +
+                "_" + std::to_string(::getpid()) + ".txt";
+        std::ofstream out(path_);
+        ASSERT_TRUE(out.good());
+        // One-set LLC thrashing with compute gaps (the FiniteTraceFile
+        // shape): every wrap keeps missing to DRAM with dirty
+        // writebacks — maximal park/wake churn, now with every address
+        // translated and periodically shot down.
+        out << "# finite trace for two-process park/wake tests\n";
+        for (int i = 0; i < 48; ++i) {
+            Addr rd = 0x10000 + static_cast<Addr>(i) * 262144;
+            out << (i % 7) << " " << rd;
+            if (i % 5 == 0)
+                out << " " << (0x20000 + static_cast<Addr>(i) * 262144);
+            out << "\n";
+        }
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    sim::SimConfig
+    config(sim::KernelMode kernel) const
+    {
+        // remapPeriod = 1: on a fixed looping page set the remap
+        // cascade is self-damping for any longer period (each remap
+        // seeds exactly one future first-touch), so only the harshest
+        // cadence keeps shootdowns firing past the warm-up reset —
+        // every re-touched page immediately evicts the oldest mapping.
+        OsPressurePoint p{2, 500, 1, false, false, false};
+        sim::SimConfig cfg = mpSystemConfig(p, kernel);
+        cfg.nCores = 2;
+        cfg.channels = 2;
+        cfg.targetInsts = 9000;
+        cfg.warmupInsts = 1500;
+        // The trace's one-set thrashing pattern relies on
+        // virtual == physical; under translation the first-touch
+        // allocator compacts the page stride, so a tiny LLC (64 lines,
+        // 4 sets) restores the constant DRAM misses the park/wake
+        // churn needs — and puts PTE lines under contention too.
+        cfg.llc.sizeBytes = 4096;
+        return cfg;
+    }
+
+    sim::SystemResult
+    runWith(sim::SimConfig cfg)
+    {
+        workloads::RamulatorTraceReader t0(path_);
+        workloads::RamulatorTraceReader t1(path_);
+        sim::System sys(cfg,
+                        std::vector<cpu::TraceSource *>{&t0, &t1});
+        return sys.run();
+    }
+
+    std::string path_;
+};
+
+TEST_F(MpFiniteTrace, AllKernelsAgreeThroughShootdownsAcrossWraps)
+{
+    sim::SystemResult percycle = runWith(config(sim::KernelMode::PerCycle));
+    EXPECT_GT(percycle.activations, 0u);
+    EXPECT_GT(percycle.vm.contextSwitches, 0u);
+    EXPECT_GT(percycle.vm.shootdownsSent, 0u);
+    EXPECT_GT(percycle.shootdownStallCycles, 0u);
+    EXPECT_GT(percycle.xlatStallCycles, 0u);
+    for (sim::KernelMode k :
+         {sim::KernelMode::EventSkip, sim::KernelMode::Calendar}) {
+        sim::SystemResult r = runWith(config(k));
+        test::expectIdenticalResults(percycle, r,
+                                     sim::kernelModeName(k));
+    }
+}
+
+TEST_F(MpFiniteTrace, ParanoidShadowValidatesShootdownParkWake)
+{
+    // Execute-and-assert every skip decision across shootdown windows:
+    // the per-cycle schedule re-runs each would-be-parked tick and the
+    // calendar shadow checks its wheel delivered each Shootdown-window
+    // wake at exactly the right cycle.
+    sim::SystemResult ref = runWith(config(sim::KernelMode::PerCycle));
+    for (sim::KernelMode k :
+         {sim::KernelMode::EventSkip, sim::KernelMode::Calendar}) {
+        sim::SimConfig cfg = config(k);
+        cfg.kernelParanoid = true;
+        sim::SystemResult r = runWith(cfg);
+        test::expectIdenticalResults(ref, r, sim::kernelModeName(k));
     }
 }
 
