@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "resilience/io.hh"
 #include "workloads/profiles.hh"
 
 namespace {
@@ -212,25 +213,24 @@ main()
             huge_ipc_uplift);
     };
 
-    std::FILE *json = std::fopen("BENCH_vm.json", "w");
-    if (!json) {
+    const std::string record = bench::captureRecord([&](std::FILE *f) {
+        write_points(f);
+        write_summary(f);
+    });
+    if (!resilience::tryAtomicWriteFile("BENCH_vm.json", record)) {
         std::fprintf(stderr, "cannot write BENCH_vm.json\n");
         return 1;
     }
-    write_points(json);
-    write_summary(json);
-    std::fclose(json);
     std::printf("wrote BENCH_vm.json\n");
 
     if (const char *traj = std::getenv("CCSIM_BENCH_TRAJECTORY");
         traj && *traj) {
-        std::FILE *f = std::fopen(traj, "a");
-        if (!f) {
+        const std::string summary =
+            bench::captureRecord([&](std::FILE *f) { write_summary(f); });
+        if (!resilience::tryAtomicAppendFile(traj, summary)) {
             std::fprintf(stderr, "cannot append to %s\n", traj);
             return 1;
         }
-        write_summary(f);
-        std::fclose(f);
         std::printf("appended summary to %s\n", traj);
     }
 

@@ -85,4 +85,19 @@ mean(const std::vector<double> &values)
     return sum / values.size();
 }
 
+std::string
+captureRecord(const std::function<void(std::FILE *)> &emit)
+{
+    char *buf = nullptr;
+    std::size_t size = 0;
+    std::FILE *mem = open_memstream(&buf, &size);
+    if (!mem)
+        return std::string();
+    emit(mem);
+    std::fclose(mem);
+    std::string out(buf, size);
+    std::free(buf);
+    return out;
+}
+
 } // namespace ccsim::bench

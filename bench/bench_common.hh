@@ -14,6 +14,8 @@
 #ifndef CCSIM_BENCH_BENCH_COMMON_HH
 #define CCSIM_BENCH_BENCH_COMMON_HH
 
+#include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,17 @@ double geomean(const std::vector<double> &values);
 
 /** Arithmetic mean. */
 double mean(const std::vector<double> &values);
+
+/**
+ * Run a FILE*-based record writer against an in-memory stream and
+ * return what it wrote. Lets the benches keep their fprintf record
+ * emitters while routing the bytes through
+ * resilience::tryAtomicWriteFile / tryAtomicAppendFile, so a
+ * BENCH_*.json or JSONL trajectory is replaced atomically — a
+ * concurrent CI reader sees the old record or the new one, never a
+ * torn file.
+ */
+std::string captureRecord(const std::function<void(std::FILE *)> &emit);
 
 } // namespace ccsim::bench
 

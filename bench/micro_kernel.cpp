@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "resilience/io.hh"
 #include "workloads/profiles.hh"
 
 namespace {
@@ -326,26 +327,22 @@ main()
         return 1;
     }
 
-    std::FILE *json = std::fopen("BENCH_kernel.json", "w");
-    if (!json) {
+    const std::string record = bench::captureRecord([&](std::FILE *f) {
+        writeRecord(f, points.size(), insts, serial_percycle, serial_event,
+                    serial_cal, parallel_cal, shard);
+    });
+    if (!resilience::tryAtomicWriteFile("BENCH_kernel.json", record)) {
         std::fprintf(stderr, "cannot write BENCH_kernel.json\n");
         return 1;
     }
-    writeRecord(json, points.size(), insts, serial_percycle, serial_event,
-                serial_cal, parallel_cal, shard);
-    std::fclose(json);
     std::printf("wrote BENCH_kernel.json\n");
 
     if (const char *traj = std::getenv("CCSIM_BENCH_TRAJECTORY");
         traj && *traj) {
-        std::FILE *f = std::fopen(traj, "a");
-        if (!f) {
+        if (!resilience::tryAtomicAppendFile(traj, record)) {
             std::fprintf(stderr, "cannot append to %s\n", traj);
             return 1;
         }
-        writeRecord(f, points.size(), insts, serial_percycle,
-                    serial_event, serial_cal, parallel_cal, shard);
-        std::fclose(f);
         std::printf("appended perf record to %s\n", traj);
     }
 

@@ -1,5 +1,7 @@
 #include "chargecache/hcrac.hh"
 
+#include "resilience/serial.hh"
+
 #include <algorithm>
 
 #include "common/log.hh"
@@ -197,6 +199,59 @@ UnlimitedHcrac::lookup(std::uint64_t key, Cycle now)
         return true;
     }
     return false;
+}
+
+
+void
+Hcrac::saveState(resilience::SnapshotWriter &w) const
+{
+    w.putVec(entries_);
+    w.put(clock_);
+    w.put(valid_);
+    w.put(rng_.state());
+    w.put(stats_);
+}
+
+void
+Hcrac::loadState(resilience::SnapshotReader &r)
+{
+    r.getVec(entries_);
+    r.get(clock_);
+    r.get(valid_);
+    rng_.setState(r.get<std::array<std::uint64_t, 4>>());
+    r.get(stats_);
+}
+
+void
+SweepInvalidator::saveState(resilience::SnapshotWriter &w) const
+{
+    w.put(nextDue_);
+    w.put<std::uint64_t>(ec_);
+}
+
+void
+SweepInvalidator::loadState(resilience::SnapshotReader &r)
+{
+    r.get(nextDue_);
+    ec_ = static_cast<std::size_t>(r.get<std::uint64_t>());
+}
+
+void
+UnlimitedHcrac::saveState(resilience::SnapshotWriter &w) const
+{
+    w.putVec(slots_);
+    w.put<std::uint64_t>(mask_);
+    w.put<std::uint64_t>(count_);
+    w.put(stats_);
+}
+
+void
+UnlimitedHcrac::loadState(resilience::SnapshotReader &r)
+{
+    r.getVec(slots_);
+    mask_ = static_cast<std::size_t>(r.get<std::uint64_t>());
+    count_ = static_cast<std::size_t>(r.get<std::uint64_t>());
+    r.get(stats_);
 }
 
 } // namespace ccsim::chargecache

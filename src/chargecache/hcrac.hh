@@ -23,6 +23,11 @@
 #include "common/random.hh"
 #include "common/types.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::chargecache {
 
 /**
@@ -87,6 +92,10 @@ class Hcrac
     const Stats &stats() const { return stats_; }
     void resetStats() { stats_ = Stats(); }
 
+    /** Checkpoint: entries, recency clock, RNG, statistics. */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
+
   private:
     struct Entry {
         std::uint64_t key = 0;
@@ -131,6 +140,10 @@ class SweepInvalidator
     /** Cycle of the next sweep invalidation (event-kernel horizon). */
     Cycle nextEventAt() const { return nextDue_; }
 
+    /** Checkpoint: sweep phase (nextDue_, EC). */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
+
   private:
     Cycle period_;
     Cycle nextDue_;
@@ -162,6 +175,10 @@ class UnlimitedHcrac
     };
     const Stats &stats() const { return stats_; }
     void resetStats() { stats_ = Stats(); }
+
+    /** Checkpoint: hash table contents + statistics. */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
   private:
     struct Slot {

@@ -1,5 +1,7 @@
 #include "chargecache/providers.hh"
 
+#include "resilience/serial.hh"
+
 #include <algorithm>
 
 #include "common/log.hh"
@@ -197,6 +199,67 @@ MultiDurationProvider::onPrecharge(int, const dram::DramAddr &addr, int row,
         invalidators_[i].advanceTo(now, *tables_[i]);
         tables_[i]->insert(key);
     }
+}
+
+
+void
+LatencyProvider::saveState(resilience::SnapshotWriter &w) const
+{
+    w.put(activations);
+    w.put(reducedActivations);
+}
+
+void
+LatencyProvider::loadState(resilience::SnapshotReader &r)
+{
+    r.get(activations);
+    r.get(reducedActivations);
+}
+
+void
+ChargeCacheProvider::saveState(resilience::SnapshotWriter &w) const
+{
+    LatencyProvider::saveState(w);
+    for (const auto &t : tables_)
+        t->saveState(w);
+    for (const SweepInvalidator &inv : invalidators_)
+        inv.saveState(w);
+    w.put(static_cast<bool>(unlimited_));
+    if (unlimited_)
+        unlimited_->saveState(w);
+}
+
+void
+ChargeCacheProvider::loadState(resilience::SnapshotReader &r)
+{
+    LatencyProvider::loadState(r);
+    for (auto &t : tables_)
+        t->loadState(r);
+    for (SweepInvalidator &inv : invalidators_)
+        inv.loadState(r);
+    bool has_unlimited = r.get<bool>();
+    if (has_unlimited != static_cast<bool>(unlimited_))
+        throw resilience::SimError(
+            resilience::ErrorKind::CorruptSnapshot,
+            "unlimited-HCRAC presence mismatch in snapshot");
+    if (unlimited_)
+        unlimited_->loadState(r);
+}
+
+void
+CombinedProvider::saveState(resilience::SnapshotWriter &w) const
+{
+    LatencyProvider::saveState(w);
+    cc_->saveState(w);
+    nuat_->saveState(w);
+}
+
+void
+CombinedProvider::loadState(resilience::SnapshotReader &r)
+{
+    LatencyProvider::loadState(r);
+    cc_->loadState(r);
+    nuat_->loadState(r);
 }
 
 } // namespace ccsim::chargecache

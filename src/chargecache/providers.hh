@@ -27,6 +27,11 @@
 #include "dram/command.hh"
 #include "dram/spec.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::chargecache {
 
 /**
@@ -97,6 +102,14 @@ class LatencyProvider
     {
         return activations ? double(reducedActivations) / activations : 0.0;
     }
+
+    /**
+     * Checkpoint. The base implementation covers the two counters —
+     * sufficient for the stateless providers (Baseline, NUAT,
+     * LL-DRAM); table-bearing providers extend it.
+     */
+    virtual void saveState(resilience::SnapshotWriter &w) const;
+    virtual void loadState(resilience::SnapshotReader &r);
 
   protected:
     dram::EffActTiming
@@ -196,6 +209,9 @@ class ChargeCacheProvider final : public LatencyProvider
     int numTables() const { return static_cast<int>(tables_.size()); }
     const Hcrac &table(int idx) const { return *tables_[idx]; }
 
+    void saveState(resilience::SnapshotWriter &w) const override;
+    void loadState(resilience::SnapshotReader &r) override;
+
   private:
     int tableIndex(int core_id) const;
 
@@ -264,6 +280,9 @@ class CombinedProvider final : public LatencyProvider
     }
 
     ChargeCacheProvider &chargeCache() { return *cc_; }
+
+    void saveState(resilience::SnapshotWriter &w) const override;
+    void loadState(resilience::SnapshotReader &r) override;
 
   private:
     std::unique_ptr<ChargeCacheProvider> cc_;

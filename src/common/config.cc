@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/log.hh"
+#include "resilience/error.hh"
 
 namespace ccsim {
 
@@ -52,7 +53,9 @@ Config::parseFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
-        CCSIM_FATAL("cannot open config file '", path, "'");
+        throw resilience::SimError(resilience::ErrorKind::IoError,
+                                   "cannot open config file '" + path +
+                                       "'");
     std::string line;
     while (std::getline(in, line)) {
         auto hash = line.find('#');
@@ -62,7 +65,9 @@ Config::parseFile(const std::string &path)
         if (line.empty())
             continue;
         if (!parseToken(line))
-            CCSIM_FATAL("malformed config line '", line, "' in ", path);
+            throw resilience::SimError(
+                resilience::ErrorKind::InvalidConfig,
+                "malformed config line '" + line + "' in " + path);
     }
 }
 
@@ -97,8 +102,9 @@ Config::getInt(const std::string &key, long def) const
     char *end = nullptr;
     long v = std::strtol(it->second.c_str(), &end, 0);
     if (end == it->second.c_str() || *end != '\0')
-        CCSIM_FATAL("config key '", key, "'='", it->second,
-                    "' is not an integer");
+        throw resilience::SimError(resilience::ErrorKind::InvalidConfig,
+                                   "config key '" + key + "'='" +
+                                       it->second + "' is not an integer");
     return v;
 }
 
@@ -112,8 +118,9 @@ Config::getDouble(const std::string &key, double def) const
     char *end = nullptr;
     double v = std::strtod(it->second.c_str(), &end);
     if (end == it->second.c_str() || *end != '\0')
-        CCSIM_FATAL("config key '", key, "'='", it->second,
-                    "' is not a number");
+        throw resilience::SimError(resilience::ErrorKind::InvalidConfig,
+                                   "config key '" + key + "'='" +
+                                       it->second + "' is not a number");
     return v;
 }
 
@@ -130,8 +137,9 @@ Config::getBool(const std::string &key, bool def) const
         return true;
     if (v == "0" || v == "false" || v == "no" || v == "off")
         return false;
-    CCSIM_FATAL("config key '", key, "'='", it->second,
-                "' is not a boolean");
+    throw resilience::SimError(resilience::ErrorKind::InvalidConfig,
+                               "config key '" + key + "'='" + it->second +
+                                   "' is not a boolean");
 }
 
 std::vector<std::string>

@@ -3,6 +3,22 @@
  * Error and status reporting, following the gem5 panic()/fatal() split:
  * panic() for internal invariant violations (simulator bugs), fatal() for
  * unrecoverable user/configuration errors, warn()/inform() for status.
+ *
+ * Error-contract audit (see also src/resilience/error.hh):
+ *
+ *  - CCSIM_PANIC / CCSIM_ASSERT are for *invariants* — conditions that
+ *    can only be false if the simulator itself is buggy (protocol
+ *    violations in the shard runner, impossible component state,
+ *    internal bookkeeping mismatches). They throw PanicError with
+ *    source location; no caller is expected to recover.
+ *  - Anything triggered by *input* — user configuration, environment
+ *    variables, trace files, snapshot files, the filesystem — throws
+ *    resilience::SimError with a structured ErrorKind instead, so the
+ *    sweep runner can retry transient kinds and bench mains can report
+ *    the failure without tearing the process down.
+ *  - CCSIM_FATAL remains for unrecoverable setup errors in contexts
+ *    where no caller could sensibly continue (e.g. the maxCpuCycles
+ *    runaway guard); new input-validation code should prefer SimError.
  */
 
 #ifndef CCSIM_COMMON_LOG_HH

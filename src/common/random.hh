@@ -10,6 +10,7 @@
 #ifndef CCSIM_COMMON_RANDOM_HH
 #define CCSIM_COMMON_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 namespace ccsim {
@@ -95,6 +96,21 @@ class Rng
     chance(double p)
     {
         return uniform() < p;
+    }
+
+    /** Raw generator state (checkpoint/restore). */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {s[0], s[1], s[2], s[3]};
+    }
+
+    /** Restore generator state captured by state(). */
+    void
+    setState(const std::array<std::uint64_t, 4> &state)
+    {
+        for (int i = 0; i < 4; ++i)
+            s[i] = state[i];
     }
 
   private:

@@ -1,6 +1,7 @@
 #include "cpu/core.hh"
 
 #include "common/log.hh"
+#include "resilience/serial.hh"
 
 namespace ccsim::cpu {
 
@@ -284,6 +285,58 @@ Core::resetStats(CpuCycle now)
     baseCycle_ = now;
     targetRecorded_ = false;
     targetCycle_ = 0;
+}
+
+void
+Core::saveState(resilience::SnapshotWriter &w) const
+{
+    w.putDeque(window_);
+    w.put(windowBaseSeq_);
+    w.put(seq_);
+    w.putDeque(hitQueue_);
+    w.put(xlatEventAt_);
+    w.put(xlatState_);
+    w.put(xlatReady_);
+    w.put(translatedLine_);
+    w.put(pendingCompute_);
+    w.put(record_);
+    w.put(recordValid_);
+    w.put(memIssued_);
+    w.put(baseCycle_);
+    w.put(targetCycle_);
+    w.put(targetRecorded_);
+    w.put(stallKind_);
+    w.put(wakePending_);
+    w.put(shootdownUntil_);
+    w.put(instsSinceSwitch_);
+    w.put(switchQuantum_);
+    w.put(stats_);
+}
+
+void
+Core::loadState(resilience::SnapshotReader &r)
+{
+    r.getDeque(window_);
+    r.get(windowBaseSeq_);
+    r.get(seq_);
+    r.getDeque(hitQueue_);
+    r.get(xlatEventAt_);
+    r.get(xlatState_);
+    r.get(xlatReady_);
+    r.get(translatedLine_);
+    r.get(pendingCompute_);
+    r.get(record_);
+    r.get(recordValid_);
+    r.get(memIssued_);
+    r.get(baseCycle_);
+    r.get(targetCycle_);
+    r.get(targetRecorded_);
+    r.get(stallKind_);
+    r.get(wakePending_);
+    r.get(shootdownUntil_);
+    r.get(instsSinceSwitch_);
+    r.get(switchQuantum_);
+    r.get(stats_);
 }
 
 } // namespace ccsim::cpu

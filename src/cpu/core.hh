@@ -198,6 +198,17 @@ class Core
         return double(stats_.retired) / double(cycles);
     }
 
+    /**
+     * Checkpoint the core's complete in-flight state (window, hit
+     * queue, translation machine, trace record, stall/target
+     * bookkeeping, statistics). References (trace/LLC/MMU/hooks) are
+     * re-wired by construction; snapshots carry no park state — a
+     * resumed kernel wakes every core, which the spurious-wake
+     * contract makes bit-identical (docs/resilience.md).
+     */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
+
   private:
     /**
      * Token marking a translation-machine completion (L2 TLB timer or

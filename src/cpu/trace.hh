@@ -12,6 +12,12 @@
 #define CCSIM_CPU_TRACE_HH
 
 #include "common/types.hh"
+#include "resilience/error.hh"
+
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
 
 namespace ccsim::cpu {
 
@@ -32,6 +38,28 @@ class TraceSource
 
     /** Restart from the beginning (deterministic sources re-seed). */
     virtual void reset() {}
+
+    /**
+     * Checkpoint support. Sources that can serialize their position
+     * override both; the default refuses, which makes snapshots of
+     * systems driven by such sources fail with a structured error
+     * instead of silently resuming from a wrong stream position.
+     */
+    virtual void
+    saveState(resilience::SnapshotWriter &) const
+    {
+        throw resilience::SimError(
+            resilience::ErrorKind::Unsupported,
+            "this trace source cannot be checkpointed");
+    }
+
+    virtual void
+    loadState(resilience::SnapshotReader &)
+    {
+        throw resilience::SimError(
+            resilience::ErrorKind::Unsupported,
+            "this trace source cannot be checkpointed");
+    }
 };
 
 } // namespace ccsim::cpu

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/log.hh"
+#include "resilience/serial.hh"
 
 namespace ccsim::ctrl {
 
@@ -849,6 +850,219 @@ MemoryController::resetStats()
     provider_.resetStats();
     if (rltl_)
         rltl_->resetStats();
+}
+
+
+namespace {
+
+// Requests hold raw callback pointers and padding, so they are dumped
+// field-wise: byte-deterministic, with the pointer reduced to a
+// presence flag that loadState rebinds.
+void
+putRequest(resilience::SnapshotWriter &w, const Request &req)
+{
+    w.put(req.type);
+    w.put(req.lineAddr);
+    w.put(req.addr);
+    w.put(req.coreId);
+    w.put(req.isPtw);
+    w.put(req.ptwLevel);
+    w.put(req.arrive);
+    w.put(req.token);
+    w.put(static_cast<bool>(req.callback != nullptr));
+}
+
+void
+getRequest(resilience::SnapshotReader &r, Request &req,
+           Request::Callback cb, void *cb_ctx)
+{
+    r.get(req.type);
+    r.get(req.lineAddr);
+    r.get(req.addr);
+    r.get(req.coreId);
+    r.get(req.isPtw);
+    r.get(req.ptwLevel);
+    r.get(req.arrive);
+    r.get(req.token);
+    bool has_callback = r.get<bool>();
+    req.callback = has_callback ? cb : nullptr;
+    req.callbackCtx = has_callback ? cb_ctx : nullptr;
+}
+
+} // namespace
+
+void
+MemoryController::saveState(resilience::SnapshotWriter &w) const
+{
+    channel_.saveState(w);
+    w.put(static_cast<bool>(rltl_));
+    if (rltl_)
+        rltl_->saveState(w);
+
+    // Queues in canonical (kernel-independent) arrival order. The slot
+    // pool stores them unordered, so collect and sort by arrival seq.
+    auto put_queue = [&](bool is_write) {
+        std::vector<const QueuedReq *> reqs;
+        if (config_.useBankLists) {
+            std::vector<bool> free_slot(slots_.size(), false);
+            for (int s : freeSlots_)
+                free_slot[static_cast<std::size_t>(s)] = true;
+            std::vector<const Slot *> live;
+            for (std::size_t s = 0; s < slots_.size(); ++s) {
+                const Slot &sl = slots_[s];
+                if (free_slot[s])
+                    continue;
+                if ((sl.qr.req.type == ReqType::Write) == is_write)
+                    live.push_back(&sl);
+            }
+            std::sort(live.begin(), live.end(),
+                      [](const Slot *a, const Slot *b) {
+                          return a->seq < b->seq;
+                      });
+            for (const Slot *sl : live)
+                reqs.push_back(&sl->qr);
+        } else {
+            const std::deque<QueuedReq> &q = is_write ? writeQ_ : readQ_;
+            for (const QueuedReq &qr : q)
+                reqs.push_back(&qr);
+        }
+        w.put(static_cast<std::uint64_t>(reqs.size()));
+        for (const QueuedReq *qr : reqs) {
+            putRequest(w, qr->req);
+            w.put(qr->serviced);
+        }
+    };
+    put_queue(false);
+    put_queue(true);
+
+    // The pending heap's exact array: completion ties (e.g. two
+    // forwarded reads in one cycle) pop in heap order, so restoring a
+    // re-sorted copy could reorder same-cycle callbacks. The array
+    // itself is kernel-independent (it is a pure function of the
+    // bit-identical push/pop history).
+    struct Opener : PendingQueue {
+        static const std::vector<PendingRead> &
+        container(const PendingQueue &q)
+        {
+            return q.*&Opener::c;
+        }
+    };
+    const std::vector<PendingRead> &heap = Opener::container(pending_);
+    w.put(static_cast<std::uint64_t>(heap.size()));
+    for (const PendingRead &pr : heap) {
+        putRequest(w, pr.req);
+        w.put(pr.done);
+    }
+
+    for (const auto &per_rank : bankCtl_)
+        for (const BankCtl &bc : per_rank)
+            w.put(bc.ownerCore);
+
+    w.put(drainMode_);
+    w.put(now_);
+    w.put(tokenSeq_);
+    w.put(stats_);
+}
+
+void
+MemoryController::loadState(resilience::SnapshotReader &r,
+                            Request::Callback cb, void *cb_ctx)
+{
+    channel_.loadState(r);
+    bool has_rltl = r.get<bool>();
+    if (has_rltl != static_cast<bool>(rltl_))
+        throw resilience::SimError(
+            resilience::ErrorKind::CorruptSnapshot,
+            "RLTL-tracker presence mismatch in snapshot");
+    if (rltl_)
+        rltl_->loadState(r);
+
+    // Rebuild queue storage and every mirror for THIS controller's
+    // config from the canonical arrival-order dump.
+    readQ_.clear();
+    writeQ_.clear();
+    writeLines_.clear();
+    readKeys_.clear();
+    writeKeys_.clear();
+    readRows_.clear();
+    writeRows_.clear();
+    std::fill(readBankCount_.begin(), readBankCount_.end(), 0);
+    std::fill(writeBankCount_.begin(), writeBankCount_.end(), 0);
+    slots_.clear();
+    freeSlots_.clear();
+    if (config_.useBankLists) {
+        std::fill(readBankHead_.begin(), readBankHead_.end(), -1);
+        std::fill(readBankTail_.begin(), readBankTail_.end(), -1);
+        std::fill(writeBankHead_.begin(), writeBankHead_.end(), -1);
+        std::fill(writeBankTail_.begin(), writeBankTail_.end(), -1);
+    }
+    readSize_ = writeSize_ = 0;
+    arrivalSeq_ = 0;
+
+    auto get_queue = [&](bool is_write) {
+        std::uint64_t n = r.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Request req;
+            getRequest(r, req, cb, cb_ctx);
+            bool serviced = r.get<bool>();
+            if (is_write)
+                writeLines_.insert(req.lineAddr);
+            if (config_.useBankLists) {
+                const std::size_t bi = bankIndexOf(req.addr);
+                enqueueListed(std::move(req), is_write);
+                int s = (is_write ? writeBankTail_ : readBankTail_)[bi];
+                slots_[static_cast<std::size_t>(s)].qr.serviced = serviced;
+            } else {
+                if (config_.useServeHorizon) {
+                    ++(is_write ? writeRows_ : readRows_)[rowKeyOf(req.addr)]
+                          .count;
+                    ++(is_write ? writeBankCount_
+                                : readBankCount_)[bankIndexOf(req.addr)];
+                    (is_write ? writeKeys_ : readKeys_)
+                        .push_back(rowKeyOf(req.addr));
+                }
+                (is_write ? writeQ_ : readQ_)
+                    .push_back({std::move(req), serviced});
+            }
+        }
+    };
+    get_queue(false);
+    get_queue(true);
+
+    struct Opener : PendingQueue {
+        static std::vector<PendingRead> &
+        container(PendingQueue &q)
+        {
+            return q.*&Opener::c;
+        }
+    };
+    std::vector<PendingRead> &heap = Opener::container(pending_);
+    heap.clear();
+    std::uint64_t n_pending = r.get<std::uint64_t>();
+    heap.resize(n_pending);
+    for (PendingRead &pr : heap) {
+        getRequest(r, pr.req, cb, cb_ctx);
+        r.get(pr.done);
+    }
+    if (!std::is_heap(heap.begin(), heap.end(), std::greater<>()))
+        throw resilience::SimError(
+            resilience::ErrorKind::CorruptSnapshot,
+            "pending-read heap invariant violated in snapshot");
+
+    for (auto &per_rank : bankCtl_)
+        for (BankCtl &bc : per_rank)
+            r.get(bc.ownerCore);
+
+    r.get(drainMode_);
+    r.get(now_);
+    r.get(tokenSeq_);
+    r.get(stats_);
+
+    // Scheduler-horizon cache: re-arm rather than restore. A horizon of
+    // 0 means "rescan", which is always sound, and the rescan issues
+    // nothing observable if the saved horizon was still in force.
+    nextServeTry_ = 0;
+    horizonDirty_ = true;
 }
 
 } // namespace ccsim::ctrl

@@ -29,6 +29,11 @@
 #include "ctrl/rltl.hh"
 #include "dram/channel.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::ctrl {
 
 /** Row-buffer management policy (Section 3 / Table 1). */
@@ -266,6 +271,27 @@ class MemoryController : public MemPort
     RltlTracker *rltl() { return rltl_.get(); }
     chargecache::LatencyProvider &provider() { return provider_; }
 
+    /**
+     * Checkpoint. Queues are dumped in canonical arrival order (and the
+     * pending heap as its exact array), so a snapshot from any kernel
+     * restores into any other: loadState() rebuilds whatever mirror
+     * bookkeeping (key vectors, bank/row lists, slot pool) the
+     * restoring controller's config calls for. The scheduler-horizon
+     * cache is deliberately NOT carried over — restore re-arms it at 0
+     * (full rescan), which the horizon-equivalence machinery proves
+     * observationally identical.
+     *
+     * Requests carry a raw completion-callback pointer that cannot
+     * survive a process boundary; saveState records only its presence
+     * and loadState rebinds present callbacks to (`cb`, `ctx`) — in
+     * this simulator the LLC fill path (Llc::fillCallback) is the sole
+     * producer of read callbacks, so a single rebinding target
+     * suffices.
+     */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r, Request::Callback cb,
+                   void *cb_ctx);
+
   private:
     struct QueuedReq {
         Request req;
@@ -424,9 +450,10 @@ class MemoryController : public MemPort
     std::vector<int> writeBankHead_, writeBankTail_; ///< By bankIndexOf.
     std::size_t readSize_ = 0, writeSize_ = 0;
     std::uint64_t arrivalSeq_ = 0;
-    std::priority_queue<PendingRead, std::vector<PendingRead>,
-                        std::greater<>>
-        pending_;
+    using PendingQueue =
+        std::priority_queue<PendingRead, std::vector<PendingRead>,
+                            std::greater<>>;
+    PendingQueue pending_;
     std::vector<std::vector<BankCtl>> bankCtl_; ///< [rank][bank].
     /** Flat [rank * banksPerRank + bank] pointers into channel_. */
     std::vector<const dram::Bank *> bankPtr_;

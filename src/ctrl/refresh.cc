@@ -1,5 +1,7 @@
 #include "ctrl/refresh.hh"
 
+#include "resilience/serial.hh"
+
 #include "common/log.hh"
 #include "common/random.hh"
 
@@ -64,6 +66,32 @@ RefreshScheduler::lastRefreshCycle(int rank, int /* bank */, int row,
 {
     int group = row / rowsPerRef_;
     return lastRef_[rank][group];
+}
+
+
+void
+RefreshScheduler::saveState(resilience::SnapshotWriter &w) const
+{
+    w.putVec(startGroup_);
+    w.putVec(nextDue_);
+    w.put(cachedNext_);
+    w.putVec(refCount_);
+    w.put<std::uint64_t>(lastRef_.size());
+    for (const auto &per_rank : lastRef_)
+        w.putVec(per_rank);
+}
+
+void
+RefreshScheduler::loadState(resilience::SnapshotReader &r)
+{
+    r.getVec(startGroup_);
+    r.getVec(nextDue_);
+    r.get(cachedNext_);
+    r.getVec(refCount_);
+    std::uint64_t ranks = r.get<std::uint64_t>();
+    lastRef_.resize(ranks);
+    for (auto &per_rank : lastRef_)
+        r.getVec(per_rank);
 }
 
 } // namespace ccsim::ctrl

@@ -21,6 +21,11 @@
 #include "common/types.hh"
 #include "dram/spec.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::ctrl {
 
 class RefreshScheduler : public chargecache::RefreshInfo
@@ -56,6 +61,11 @@ class RefreshScheduler : public chargecache::RefreshInfo
     // chargecache::RefreshInfo
     std::int64_t lastRefreshCycle(int rank, int bank, int row,
                                   Cycle now) const override;
+
+    /** Checkpoint: due times, counts, and per-group refresh recency
+        (startGroup_ is seed-deterministic but saved for safety). */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
   private:
     dram::DramSpec spec_;

@@ -1,5 +1,9 @@
 #include "ctrl/rltl.hh"
 
+#include <algorithm>
+
+#include "resilience/serial.hh"
+
 #include "common/log.hh"
 
 namespace ccsim::ctrl {
@@ -65,6 +69,31 @@ double
 RltlTracker::afterRefreshFraction() const
 {
     return activations_ ? double(withinRefresh_) / activations_ : 0.0;
+}
+
+
+void
+RltlTracker::saveState(resilience::SnapshotWriter &w) const
+{
+    std::vector<std::pair<std::uint64_t, Cycle>> pre(lastPre_.begin(),
+                                                     lastPre_.end());
+    std::sort(pre.begin(), pre.end());
+    w.putVec(pre);
+    w.put(activations_);
+    w.putVec(withinThreshold_);
+    w.put(withinRefresh_);
+}
+
+void
+RltlTracker::loadState(resilience::SnapshotReader &r)
+{
+    std::vector<std::pair<std::uint64_t, Cycle>> pre;
+    r.getVec(pre);
+    lastPre_.clear();
+    lastPre_.insert(pre.begin(), pre.end());
+    r.get(activations_);
+    r.getVec(withinThreshold_);
+    r.get(withinRefresh_);
 }
 
 } // namespace ccsim::ctrl

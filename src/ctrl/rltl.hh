@@ -19,6 +19,11 @@
 #include "common/types.hh"
 #include "dram/command.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::ctrl {
 
 class RltlTracker
@@ -54,6 +59,11 @@ class RltlTracker
     double afterRefreshFraction() const;
 
     const std::vector<Cycle> &thresholds() const { return thresholds_; }
+
+    /** Checkpoint: counters + last-precharge map (lookup-only; dumped
+        key-sorted so snapshots are byte-deterministic). */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
   private:
     std::vector<Cycle> thresholds_;

@@ -1,6 +1,7 @@
 #include "dram/addr.hh"
 
 #include "common/log.hh"
+#include "resilience/error.hh"
 
 namespace ccsim::dram {
 
@@ -13,7 +14,9 @@ parseMapScheme(const std::string &name)
         return MapScheme::RoRaBaCoCh;
     if (name == "RoCoBaRaCh")
         return MapScheme::RoCoBaRaCh;
-    CCSIM_FATAL("unknown address mapping scheme '", name, "'");
+    throw resilience::SimError(resilience::ErrorKind::InvalidConfig,
+                               "unknown address mapping scheme '" + name +
+                                   "'");
 }
 
 const char *

@@ -1,5 +1,7 @@
 #include "dram/bank.hh"
 
+#include "resilience/serial.hh"
+
 #include <algorithm>
 
 #include "common/log.hh"
@@ -65,6 +67,33 @@ Bank::issue(CmdType type, int row, Cycle now, const EffActTiming *eff)
       case CmdType::REF:
         CCSIM_PANIC("rank-level command routed to Bank::issue");
     }
+}
+
+
+void
+Bank::saveState(resilience::SnapshotWriter &w) const
+{
+    w.put(state_);
+    w.put(openRow_);
+    w.put(nextAct_);
+    w.put(nextPre_);
+    w.put(nextRd_);
+    w.put(nextWr_);
+    w.put(lastAct_);
+    w.put(lastActTras_);
+}
+
+void
+Bank::loadState(resilience::SnapshotReader &r)
+{
+    r.get(state_);
+    r.get(openRow_);
+    r.get(nextAct_);
+    r.get(nextPre_);
+    r.get(nextRd_);
+    r.get(nextWr_);
+    r.get(lastAct_);
+    r.get(lastActTras_);
 }
 
 } // namespace ccsim::dram

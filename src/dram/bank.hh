@@ -15,6 +15,11 @@
 #include "dram/command.hh"
 #include "dram/spec.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::dram {
 
 class Bank
@@ -86,6 +91,10 @@ class Bank
      * effective tRCD/tRAS; it is ignored for other commands.
      */
     void issue(CmdType type, int row, Cycle now, const EffActTiming *eff);
+
+    /** Checkpoint: the full bank state machine (timing_ is wiring). */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
   private:
     const DramTiming &timing_;

@@ -1,5 +1,7 @@
 #include "dram/channel.hh"
 
+#include "resilience/serial.hh"
+
 #include <algorithm>
 
 #include "common/log.hh"
@@ -59,6 +61,25 @@ Channel::issue(const Command &cmd, Cycle now, const EffActTiming *eff)
         busFreeAt_ = data_start + t.tBL;
         lastBusRank_ = cmd.addr.rank;
     }
+}
+
+
+void
+Channel::saveState(resilience::SnapshotWriter &w) const
+{
+    w.put(busFreeAt_);
+    w.put(lastBusRank_);
+    for (const Rank &rk : ranks_)
+        rk.saveState(w);
+}
+
+void
+Channel::loadState(resilience::SnapshotReader &r)
+{
+    r.get(busFreeAt_);
+    r.get(lastBusRank_);
+    for (Rank &rk : ranks_)
+        rk.loadState(r);
 }
 
 } // namespace ccsim::dram

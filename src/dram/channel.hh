@@ -13,6 +13,11 @@
 #include "common/types.hh"
 #include "dram/rank.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::dram {
 
 class Channel
@@ -73,6 +78,10 @@ class Channel
         const DramTiming &t = spec_.timing;
         return issue_cycle + t.tCL + t.tBL;
     }
+
+    /** Checkpoint: data-bus gate + every rank and bank. */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
   private:
     DramSpec spec_;

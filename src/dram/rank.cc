@@ -1,5 +1,7 @@
 #include "dram/rank.hh"
 
+#include "resilience/serial.hh"
+
 #include <algorithm>
 
 #include "common/log.hh"
@@ -146,6 +148,31 @@ Rank::issue(const Command &cmd, Cycle now, const EffActTiming *eff)
         busyUntil_ = now + t.tRFC;
         break;
     }
+}
+
+
+void
+Rank::saveState(resilience::SnapshotWriter &w) const
+{
+    w.put(nextActRank_);
+    w.putDeque(actWindow_);
+    w.put(nextRd_);
+    w.put(nextWr_);
+    w.put(busyUntil_);
+    for (const Bank &b : banks_)
+        b.saveState(w);
+}
+
+void
+Rank::loadState(resilience::SnapshotReader &r)
+{
+    r.get(nextActRank_);
+    r.getDeque(actWindow_);
+    r.get(nextRd_);
+    r.get(nextWr_);
+    r.get(busyUntil_);
+    for (Bank &b : banks_)
+        b.loadState(r);
 }
 
 } // namespace ccsim::dram

@@ -14,6 +14,11 @@
 #include "common/types.hh"
 #include "dram/bank.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::dram {
 
 class Rank
@@ -93,6 +98,10 @@ class Rank
 
     /** Apply `cmd` at `now`; `eff` required for ACT. */
     void issue(const Command &cmd, Cycle now, const EffActTiming *eff);
+
+    /** Checkpoint: rank gates + tFAW window + every bank. */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
   private:
     const DramTiming &timing_;

@@ -1,6 +1,7 @@
 #include "dram/spec.hh"
 
 #include "common/log.hh"
+#include "resilience/error.hh"
 
 namespace ccsim::dram {
 
@@ -57,25 +58,35 @@ void
 DramSpec::validate() const
 {
     if (org.channels < 1 || org.ranksPerChannel < 1 || org.banksPerRank < 1)
-        CCSIM_FATAL("DramSpec '", name, "': organization must be positive");
+        throw resilience::SimError(
+            resilience::ErrorKind::InvalidConfig,
+            "DramSpec '" + name + "': organization must be positive");
     if (!isPow2(static_cast<std::uint64_t>(org.rowsPerBank)) ||
         !isPow2(static_cast<std::uint64_t>(org.banksPerRank)) ||
         !isPow2(static_cast<std::uint64_t>(org.channels)) ||
         !isPow2(static_cast<std::uint64_t>(org.ranksPerChannel)))
-        CCSIM_FATAL("DramSpec '", name, "': org fields must be powers of 2");
+        throw resilience::SimError(
+            resilience::ErrorKind::InvalidConfig,
+            "DramSpec '" + name + "': org fields must be powers of 2");
     if (org.rowBufferBytes % org.lineBytes != 0 ||
         !isPow2(static_cast<std::uint64_t>(org.columnsPerRow())))
-        CCSIM_FATAL("DramSpec '", name, "': bad row buffer geometry");
+        throw resilience::SimError(
+            resilience::ErrorKind::InvalidConfig,
+            "DramSpec '" + name + "': bad row buffer geometry");
     if (timing.tRAS <= timing.tRCD)
-        CCSIM_FATAL("DramSpec '", name, "': tRAS must exceed tRCD");
+        throw resilience::SimError(
+            resilience::ErrorKind::InvalidConfig,
+            "DramSpec '" + name + "': tRAS must exceed tRCD");
     if (timing.tREFI == 0 || timing.tREFW == 0 ||
         timing.tREFW % timing.tREFI != 0)
-        CCSIM_FATAL("DramSpec '", name,
-                    "': tREFW must be a multiple of tREFI");
+        throw resilience::SimError(
+            resilience::ErrorKind::InvalidConfig,
+            "DramSpec '" + name + "': tREFW must be a multiple of tREFI");
     Cycle refs_per_window = timing.tREFW / timing.tREFI;
     if (static_cast<Cycle>(org.rowsPerBank) % refs_per_window != 0)
-        CCSIM_FATAL("DramSpec '", name,
-                    "': rowsPerBank must divide evenly into refresh bins");
+        throw resilience::SimError(
+            resilience::ErrorKind::InvalidConfig,
+            "DramSpec '" + name + "': rowsPerBank must divide evenly into refresh bins");
 }
 
 } // namespace ccsim::dram

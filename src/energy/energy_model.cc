@@ -1,5 +1,7 @@
 #include "energy/energy_model.hh"
 
+#include "resilience/serial.hh"
+
 #include "common/log.hh"
 
 namespace ccsim::energy {
@@ -138,6 +140,33 @@ EnergyModel::resetAt(Cycle cycle)
     start_ = cycle;
     for (auto &r : ranks_)
         r.lastEdge = cycle;
+}
+
+
+void
+EnergyModel::saveState(resilience::SnapshotWriter &w) const
+{
+    for (const RankState &rs : ranks_) {
+        w.put(rs.openBanks);
+        w.putVec(rs.openRow);
+        w.put(rs.lastEdge);
+    }
+    w.put(breakdown_);
+    w.put(start_);
+    w.put(lastCycle_);
+}
+
+void
+EnergyModel::loadState(resilience::SnapshotReader &r)
+{
+    for (RankState &rs : ranks_) {
+        r.get(rs.openBanks);
+        r.getVec(rs.openRow);
+        r.get(rs.lastEdge);
+    }
+    r.get(breakdown_);
+    r.get(start_);
+    r.get(lastCycle_);
 }
 
 } // namespace ccsim::energy

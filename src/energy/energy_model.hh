@@ -22,6 +22,11 @@
 #include "dram/spec.hh"
 #include "energy/idd.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::energy {
 
 /** Energy decomposition in nanojoules. */
@@ -66,6 +71,10 @@ class EnergyModel : public ctrl::CommandListener
     void resetAt(Cycle cycle);
 
     const EnergyBreakdown &breakdown() const { return breakdown_; }
+
+    /** Checkpoint: accumulators + per-rank background-interval state. */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
   private:
     /** Accumulate rank background energy up to `cycle`. */

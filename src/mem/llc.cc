@@ -1,8 +1,10 @@
 #include "mem/llc.hh"
 
 #include <algorithm>
+#include <map>
 
 #include "common/log.hh"
+#include "resilience/serial.hh"
 
 namespace ccsim::mem {
 
@@ -14,12 +16,26 @@ Llc::Llc(const LlcConfig &config, const dram::AddressMapper &mapper,
       route_(std::move(route)),
       onMissComplete_(std::move(on_miss_complete))
 {
+    // Geometry comes from user configuration, so malformed values are
+    // reported as structured errors rather than aborting the process.
+    if (config_.lineBytes <= 0 || config_.ways <= 0 ||
+        config_.sizeBytes %
+                static_cast<std::uint64_t>(config_.lineBytes) !=
+            0)
+        throw resilience::SimError(
+            resilience::ErrorKind::InvalidConfig,
+            "LLC size must be a positive multiple of the line size");
     std::uint64_t lines =
         config_.sizeBytes / static_cast<std::uint64_t>(config_.lineBytes);
-    CCSIM_ASSERT(lines % config_.ways == 0, "LLC geometry mismatch");
+    if (lines % config_.ways != 0)
+        throw resilience::SimError(
+            resilience::ErrorKind::InvalidConfig,
+            "LLC line count must divide evenly into ways");
     sets_ = static_cast<int>(lines / config_.ways);
-    CCSIM_ASSERT(isPow2(static_cast<std::uint64_t>(sets_)),
-                 "LLC set count must be a power of two");
+    if (!isPow2(static_cast<std::uint64_t>(sets_)))
+        throw resilience::SimError(
+            resilience::ErrorKind::InvalidConfig,
+            "LLC set count must be a power of two");
     lines_.resize(lines);
     mshrInUse_.assign(64, 0); // up to 64 cores
     blockedLine_.assign(64, kNoAddr);
@@ -95,9 +111,7 @@ Llc::sendFetch(Addr line_addr)
     req.coreId = it->second.waiters.front().core;
     req.isPtw = it->second.isPtw;
     req.ptwLevel = it->second.ptwLevel;
-    req.callback = [](void *ctx, const ctrl::Request &r, Cycle) {
-        static_cast<Llc *>(ctx)->onFill(r.lineAddr);
-    };
+    req.callback = &Llc::fillCallback;
     req.callbackCtx = this;
     ctrl::MemPort *mc = route_(req.addr.channel);
     if (!mc->canAccept(ctrl::ReqType::Read))
@@ -224,6 +238,94 @@ Llc::tick()
         writebackQ_.pop_front();
     }
     drainBlocked_ = !fetchRetryQ_.empty() || !writebackQ_.empty();
+}
+
+
+void
+Llc::fillCallback(void *ctx, const ctrl::Request &req, Cycle)
+{
+    static_cast<Llc *>(ctx)->onFill(req.lineAddr);
+}
+
+void
+Llc::saveState(resilience::SnapshotWriter &w) const
+{
+    // Field-wise (not raw struct) dumps: Line and Waiter carry padding
+    // bytes, and snapshots must be byte-deterministic.
+    w.put(static_cast<std::uint64_t>(lines_.size()));
+    for (const Line &l : lines_) {
+        w.put(l.tag);
+        w.put(l.lru);
+        w.put(l.valid);
+        w.put(l.dirty);
+    }
+    w.put(lruClock_);
+    std::map<Addr, const MshrEntry *> sorted;
+    for (const auto &kv : mshrs_)
+        sorted.emplace(kv.first, &kv.second);
+    w.put(static_cast<std::uint64_t>(sorted.size()));
+    for (const auto &[addr, entry] : sorted) {
+        w.put(addr);
+        w.put(static_cast<std::uint64_t>(entry->waiters.size()));
+        for (const MshrEntry::Waiter &wt : entry->waiters) {
+            w.put(wt.core);
+            w.put(wt.token);
+            w.put(wt.isWrite);
+        }
+        w.put(entry->issued);
+        w.put(entry->isPtw);
+        w.put(entry->ptwLevel);
+    }
+    w.putVec(mshrInUse_);
+    w.putDeque(fetchRetryQ_);
+    w.putDeque(writebackQ_);
+    w.putVec(blockedLine_);
+    w.put(watchCount_);
+    w.put(watchLimit_);
+    w.put(drainBlocked_);
+    w.put(stats_);
+}
+
+void
+Llc::loadState(resilience::SnapshotReader &r)
+{
+    std::uint64_t n_lines = r.get<std::uint64_t>();
+    if (n_lines != lines_.size())
+        throw resilience::SimError(
+            resilience::ErrorKind::CorruptSnapshot,
+            "LLC line-array size mismatch in snapshot");
+    for (Line &l : lines_) {
+        r.get(l.tag);
+        r.get(l.lru);
+        r.get(l.valid);
+        r.get(l.dirty);
+    }
+    r.get(lruClock_);
+    mshrs_.clear();
+    std::uint64_t n_mshrs = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n_mshrs; ++i) {
+        Addr addr = r.get<Addr>();
+        MshrEntry entry;
+        std::uint64_t n_waiters = r.get<std::uint64_t>();
+        entry.waiters.resize(n_waiters);
+        for (MshrEntry::Waiter &wt : entry.waiters) {
+            r.get(wt.core);
+            r.get(wt.token);
+            r.get(wt.isWrite);
+        }
+        r.get(entry.issued);
+        r.get(entry.isPtw);
+        r.get(entry.ptwLevel);
+        mshrs_.emplace(addr, std::move(entry));
+    }
+    r.getVec(mshrInUse_);
+    r.getDeque(fetchRetryQ_);
+    r.getDeque(writebackQ_);
+    r.getVec(blockedLine_);
+    r.get(watchCount_);
+    r.get(watchLimit_);
+    r.get(drainBlocked_);
+    r.get(stats_);
 }
 
 } // namespace ccsim::mem

@@ -19,6 +19,11 @@
 #include "ctrl/controller.hh"
 #include "dram/addr.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::mem {
 
 struct LlcConfig {
@@ -141,6 +146,19 @@ class Llc
 
     int numSets() const { return sets_; }
     const LlcConfig &config() const { return config_; }
+
+    /**
+     * The fill completion the LLC attaches to every fetch Request. A
+     * named function (not a capturing lambda) so a restored controller
+     * can rebind the raw pointer a snapshot cannot carry: `ctx` is the
+     * Llc instance.
+     */
+    static void fillCallback(void *ctx, const ctrl::Request &req,
+                             Cycle done);
+
+    /** Checkpoint: tag/LRU arrays, MSHRs, drain queues, park watches. */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
   private:
     struct Line {

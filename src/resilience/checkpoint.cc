@@ -1,0 +1,78 @@
+#include "resilience/checkpoint.hh"
+
+#include <csignal>
+
+#include "resilience/serial.hh"
+
+namespace ccsim::resilience {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'C', 'S', 'N', 'A', 'P', '0', '1'};
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onStopSignal(int)
+{
+    g_stop = 1;
+}
+
+} // namespace
+
+void
+writeSnapshotHeader(SnapshotWriter &w, std::uint64_t config_hash)
+{
+    w.putRaw(kMagic, 8);
+    w.put<std::uint32_t>(kSnapshotFormat);
+    w.put<std::uint64_t>(config_hash);
+}
+
+void
+readSnapshotHeader(SnapshotReader &r, std::uint64_t config_hash)
+{
+    char magic[8];
+    r.getRaw(magic, 8);
+    for (int i = 0; i < 8; ++i)
+        if (magic[i] != kMagic[i])
+            throw SimError(ErrorKind::CorruptSnapshot,
+                           "bad snapshot magic");
+    std::uint32_t format = r.get<std::uint32_t>();
+    if (format != kSnapshotFormat)
+        throw SimError(ErrorKind::CorruptSnapshot,
+                       "snapshot format " + std::to_string(format) +
+                           " != supported " +
+                           std::to_string(kSnapshotFormat));
+    std::uint64_t stored = r.get<std::uint64_t>();
+    if (stored != config_hash)
+        throw SimError(ErrorKind::CorruptSnapshot,
+                       "snapshot was taken under a different "
+                       "configuration (hash mismatch)");
+}
+
+void
+installStopSignalHandler()
+{
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+}
+
+bool
+stopRequested()
+{
+    return g_stop != 0;
+}
+
+void
+clearStopFlag()
+{
+    g_stop = 0;
+}
+
+void
+requestStop()
+{
+    g_stop = 1;
+}
+
+} // namespace ccsim::resilience

@@ -1,0 +1,119 @@
+#include "resilience/fault.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/random.hh"
+#include "resilience/error.hh"
+
+namespace ccsim::resilience {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None:          return "none";
+      case FaultKind::WorkerStall:   return "worker-stall";
+      case FaultKind::WorkerDeath:   return "worker-death";
+      case FaultKind::RingCorrupt:   return "ring-corrupt";
+      case FaultKind::AllocFail:     return "alloc-fail";
+      case FaultKind::TraceTruncate: return "trace-truncate";
+    }
+    return "unknown";
+}
+
+void
+applyEnvFaults(FaultConfig &cfg)
+{
+    auto env = [](const char *name) -> const char * {
+        const char *v = std::getenv(name);
+        return v && *v ? v : nullptr;
+    };
+    if (const char *v = env("CCSIM_FAULT_SEED"))
+        cfg.seed = std::strtoull(v, nullptr, 10);
+    if (const char *v = env("CCSIM_FAULT_KIND")) {
+        std::string k = v;
+        if (k == "worker-stall")
+            cfg.kind = FaultKind::WorkerStall;
+        else if (k == "worker-death")
+            cfg.kind = FaultKind::WorkerDeath;
+        else if (k == "ring-corrupt")
+            cfg.kind = FaultKind::RingCorrupt;
+        else if (k == "alloc-fail")
+            cfg.kind = FaultKind::AllocFail;
+        else if (k == "trace-truncate")
+            cfg.kind = FaultKind::TraceTruncate;
+        else if (k == "none")
+            cfg.kind = FaultKind::None;
+        else
+            throw SimError(ErrorKind::InvalidConfig,
+                           "CCSIM_FAULT_KIND='" + k + "' is not a fault");
+    }
+    if (const char *v = env("CCSIM_FAULT_AFTER"))
+        cfg.afterCommands = std::strtoull(v, nullptr, 10);
+    if (const char *v = env("CCSIM_FAULT_CHANNEL"))
+        cfg.channel = static_cast<int>(std::strtol(v, nullptr, 10));
+}
+
+FaultPlan::FaultPlan(const FaultConfig &cfg, int channels) : cfg_(cfg)
+{
+    if (!cfg_.enabled())
+        return;
+    std::uint64_t s = cfg_.seed;
+    // Derivation order is fixed: kind, afterCommands, channel — so a
+    // partially-pinned config consumes the same stream positions.
+    std::uint64_t dk = splitMix64(s);
+    std::uint64_t da = splitMix64(s);
+    std::uint64_t dc = splitMix64(s);
+    kind_ = cfg_.kind != FaultKind::None
+                ? cfg_.kind
+                : static_cast<FaultKind>(1 + dk % 5);
+    after_ = cfg_.afterCommands != 0 ? cfg_.afterCommands : 1 + da % 64;
+    channel_ = cfg_.channel >= 0
+                   ? cfg_.channel % (channels > 0 ? channels : 1)
+                   : static_cast<int>(dc % (channels > 0 ? channels : 1));
+}
+
+bool
+FaultPlan::fireOnce()
+{
+    bool expected = false;
+    return fired_.compare_exchange_strong(expected, true);
+}
+
+bool
+FaultPlan::shouldCorruptCmd(int ch, std::uint64_t cmd_idx)
+{
+    if (!enabled() || kind_ != FaultKind::RingCorrupt || ch != channel_ ||
+        cmd_idx < after_)
+        return false;
+    return fireOnce();
+}
+
+FaultKind
+FaultPlan::workerAction(int ch, std::uint64_t cmd_idx)
+{
+    if (!enabled() || ch != channel_ || cmd_idx < after_)
+        return FaultKind::None;
+    if (kind_ != FaultKind::WorkerStall && kind_ != FaultKind::WorkerDeath)
+        return FaultKind::None;
+    return fireOnce() ? kind_ : FaultKind::None;
+}
+
+bool
+FaultPlan::shouldFailAlloc()
+{
+    if (!enabled() || kind_ != FaultKind::AllocFail)
+        return false;
+    return fireOnce();
+}
+
+std::uint64_t
+FaultPlan::traceTruncateAfter() const
+{
+    if (!enabled() || kind_ != FaultKind::TraceTruncate)
+        return 0;
+    return after_;
+}
+
+} // namespace ccsim::resilience

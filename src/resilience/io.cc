@@ -1,0 +1,126 @@
+#include "resilience/io.hh"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "resilience/error.hh"
+
+namespace ccsim::resilience {
+
+namespace {
+
+std::string
+tempPathFor(const std::string &path)
+{
+    // Same directory as the target so the rename stays on one
+    // filesystem (rename(2) atomicity). The pid suffix keeps
+    // concurrent writers (CI matrix jobs sharing a workspace) from
+    // clobbering each other's temp file.
+    std::ostringstream os;
+    os << path << ".tmp." << static_cast<unsigned long>(::getpid());
+    return os.str();
+}
+
+} // namespace
+
+void
+atomicWriteFile(const std::string &path, const void *data,
+                std::size_t size)
+{
+    const std::string tmp = tempPathFor(path);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw SimError(ErrorKind::IoError,
+                           "cannot open '" + tmp + "' for writing");
+        out.write(static_cast<const char *>(data),
+                  static_cast<std::streamsize>(size));
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            throw SimError(ErrorKind::IoError,
+                           "short write to '" + tmp + "'");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        std::remove(tmp.c_str());
+        throw SimError(ErrorKind::IoError,
+                       "rename '" + tmp + "' -> '" + path +
+                           "' failed: " + std::strerror(err));
+    }
+}
+
+bool
+tryAtomicWriteFile(const std::string &path, const std::string &text)
+{
+    try {
+        atomicWriteFile(path, text);
+        return true;
+    } catch (const SimError &) {
+        return false;
+    }
+}
+
+void
+atomicAppendFile(const std::string &path, const std::string &text)
+{
+    std::string contents;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (in) {
+            std::ostringstream os;
+            os << in.rdbuf();
+            contents = os.str();
+        }
+    }
+    contents += text;
+    atomicWriteFile(path, contents);
+}
+
+bool
+tryAtomicAppendFile(const std::string &path, const std::string &text)
+{
+    try {
+        atomicAppendFile(path, text);
+        return true;
+    } catch (const SimError &) {
+        return false;
+    }
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SimError(ErrorKind::IoError,
+                       "cannot open '" + path + "' for reading");
+    std::vector<std::uint8_t> bytes;
+    in.seekg(0, std::ios::end);
+    std::streampos end = in.tellg();
+    if (end > 0) {
+        bytes.resize(static_cast<std::size_t>(end));
+        in.seekg(0);
+        in.read(reinterpret_cast<char *>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    if (!in)
+        throw SimError(ErrorKind::IoError,
+                       "short read from '" + path + "'");
+    return bytes;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return static_cast<bool>(in);
+}
+
+} // namespace ccsim::resilience

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Crash-safe file I/O for snapshots and bench artifacts.
+ *
+ * All durable outputs of the simulator — checkpoint snapshots,
+ * BENCH_*.json reports, JSONL perf trajectories — go through
+ * atomicWriteFile: the bytes are written to a temp file in the target
+ * directory and renamed over the destination, so a reader (the CI
+ * gate, a resuming run) either sees the complete previous version or
+ * the complete new one, never a torn write. Appends are implemented as
+ * read-modify-atomic-replace for the same reason.
+ *
+ * Failures throw resilience::SimError{IoError}; helpers with a `try`
+ * prefix return false instead (bench mains that prefer a warning).
+ */
+
+#ifndef CCSIM_RESILIENCE_IO_HH
+#define CCSIM_RESILIENCE_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccsim::resilience {
+
+/** Atomically replace `path` with `size` bytes at `data`. */
+void atomicWriteFile(const std::string &path, const void *data,
+                     std::size_t size);
+
+inline void
+atomicWriteFile(const std::string &path,
+                const std::vector<std::uint8_t> &bytes)
+{
+    atomicWriteFile(path, bytes.data(), bytes.size());
+}
+
+inline void
+atomicWriteFile(const std::string &path, const std::string &text)
+{
+    atomicWriteFile(path, text.data(), text.size());
+}
+
+/** atomicWriteFile that reports failure instead of throwing. */
+bool tryAtomicWriteFile(const std::string &path, const std::string &text);
+
+/**
+ * Atomically append `text` to `path` (read existing contents + rewrite
+ * via temp+rename). Missing file is treated as empty. For JSONL
+ * trajectories the caller includes the trailing newline.
+ */
+void atomicAppendFile(const std::string &path, const std::string &text);
+
+/** atomicAppendFile that reports failure instead of throwing. */
+bool tryAtomicAppendFile(const std::string &path, const std::string &text);
+
+/** Read a whole file; throws SimError{IoError} when unreadable. */
+std::vector<std::uint8_t> readFileBytes(const std::string &path);
+
+/** Whether `path` exists and is a regular readable file. */
+bool fileExists(const std::string &path);
+
+} // namespace ccsim::resilience
+
+#endif // CCSIM_RESILIENCE_IO_HH

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Versioned, checksummed binary serialization for simulation snapshots.
+ *
+ * A snapshot is a flat byte stream of named *sections*. Each section
+ * carries its own format version and a CRC32 over its payload, so a
+ * truncated or bit-flipped snapshot is detected at the section that
+ * broke, and a component can evolve its format independently of the
+ * others. The container layout is
+ *
+ *     section := name-len u8 | name bytes | version u32
+ *              | payload-size u64 | payload | crc32 u32
+ *
+ * on top of raw little-endian-as-stored field writes (snapshots are
+ * host-format artifacts, not an interchange format; the file header
+ * written by sim::System additionally pins a config hash so a snapshot
+ * is only ever read back by a compatible simulation).
+ *
+ * Readers throw resilience::SimError{CorruptSnapshot} on any mismatch:
+ * wrong section name, unexpected version, short payload, trailing
+ * payload bytes, or CRC failure. Writers never fail.
+ */
+
+#ifndef CCSIM_RESILIENCE_SERIAL_HH
+#define CCSIM_RESILIENCE_SERIAL_HH
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "resilience/error.hh"
+
+namespace ccsim::resilience {
+
+/** CRC-32 (IEEE, reflected) over `n` bytes, chainable via `seed`. */
+inline std::uint32_t
+crc32(const void *data, std::size_t n, std::uint32_t seed = 0)
+{
+    static const std::uint32_t *table = [] {
+        static std::uint32_t t[256];
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    std::uint32_t c = seed ^ 0xffffffffu;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+class SnapshotWriter
+{
+  public:
+    /** Append a trivially-copyable value verbatim. */
+    template <typename T>
+    void
+    put(const T &v)
+    {
+        static_assert(std::is_trivially_copyable<T>::value,
+                      "put() needs a trivially copyable type");
+        append(&v, sizeof(T));
+    }
+
+    /** Pairs are dumped field-wise (std::pair is not trivially
+        copyable, and raw dumps could carry padding anyway). */
+    template <typename A, typename B>
+    void
+    put(const std::pair<A, B> &p)
+    {
+        put(p.first);
+        put(p.second);
+    }
+
+    void
+    putString(const std::string &s)
+    {
+        put<std::uint64_t>(s.size());
+        append(s.data(), s.size());
+    }
+
+    /** Raw bytes, length implied by context (e.g. fixed-size magic). */
+    void putRaw(const void *p, std::size_t n) { append(p, n); }
+
+    template <typename T>
+    void
+    putVec(const std::vector<T> &v)
+    {
+        put<std::uint64_t>(v.size());
+        if constexpr (std::is_trivially_copyable<T>::value) {
+            if (!v.empty())
+                append(v.data(), v.size() * sizeof(T));
+        } else {
+            for (const T &e : v)
+                put(e);
+        }
+    }
+
+    template <typename T>
+    void
+    putDeque(const std::deque<T> &d)
+    {
+        put<std::uint64_t>(d.size());
+        for (const T &v : d)
+            put(v);
+    }
+
+    /** Open a named, versioned section; every write until the matching
+        endSection() lands in its payload. Sections do not nest. */
+    void
+    beginSection(const std::string &name, std::uint32_t version)
+    {
+        put<std::uint8_t>(static_cast<std::uint8_t>(name.size()));
+        append(name.data(), name.size());
+        put<std::uint32_t>(version);
+        sizeAt_ = buf_.size();
+        put<std::uint64_t>(0); // patched by endSection
+        payloadAt_ = buf_.size();
+    }
+
+    void
+    endSection()
+    {
+        std::uint64_t size = buf_.size() - payloadAt_;
+        std::memcpy(buf_.data() + sizeAt_, &size, sizeof(size));
+        std::uint32_t crc = crc32(buf_.data() + payloadAt_, size);
+        put<std::uint32_t>(crc);
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    void
+    append(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    std::vector<std::uint8_t> buf_;
+    std::size_t sizeAt_ = 0;
+    std::size_t payloadAt_ = 0;
+};
+
+class SnapshotReader
+{
+  public:
+    SnapshotReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    explicit SnapshotReader(const std::vector<std::uint8_t> &bytes)
+        : SnapshotReader(bytes.data(), bytes.size())
+    {}
+
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_trivially_copyable<T>::value,
+                      "get() needs a trivially copyable type");
+        T v;
+        copyOut(&v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    get(T &v)
+    {
+        v = get<T>();
+    }
+
+    template <typename A, typename B>
+    void
+    get(std::pair<A, B> &p)
+    {
+        get(p.first);
+        get(p.second);
+    }
+
+    /** Raw bytes, length implied by context (e.g. fixed-size magic). */
+    void getRaw(void *dst, std::size_t n) { copyOut(dst, n); }
+
+    std::string
+    getString()
+    {
+        std::uint64_t n = get<std::uint64_t>();
+        checkAvail(n);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      static_cast<std::size_t>(n));
+        pos_ += n;
+        return s;
+    }
+
+    template <typename T>
+    void
+    getVec(std::vector<T> &v)
+    {
+        std::uint64_t n = get<std::uint64_t>();
+        if constexpr (std::is_trivially_copyable<T>::value) {
+            checkAvail(n * sizeof(T));
+            v.resize(static_cast<std::size_t>(n));
+            if (n)
+                copyOut(v.data(), v.size() * sizeof(T));
+        } else {
+            v.clear();
+            v.resize(static_cast<std::size_t>(n));
+            for (T &e : v)
+                get(e);
+        }
+    }
+
+    template <typename T>
+    void
+    getDeque(std::deque<T> &d)
+    {
+        std::uint64_t n = get<std::uint64_t>();
+        d.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            d.emplace_back();
+            get(d.back());
+        }
+    }
+
+    /**
+     * Open the section that must come next; throws when the stored name
+     * differs or the stored version exceeds `max_version`. Returns the
+     * stored version so loaders can branch on older formats.
+     */
+    std::uint32_t
+    openSection(const std::string &name, std::uint32_t max_version)
+    {
+        std::uint8_t len = get<std::uint8_t>();
+        checkAvail(len);
+        std::string stored(reinterpret_cast<const char *>(data_ + pos_),
+                           len);
+        pos_ += len;
+        if (stored != name)
+            throw SimError(ErrorKind::CorruptSnapshot,
+                           "expected section '" + name + "', found '" +
+                               stored + "'");
+        std::uint32_t version = get<std::uint32_t>();
+        if (version > max_version)
+            throw SimError(ErrorKind::CorruptSnapshot,
+                           "section '" + name + "' has version " +
+                               std::to_string(version) +
+                               " > supported " +
+                               std::to_string(max_version));
+        std::uint64_t size = get<std::uint64_t>();
+        checkAvail(size);
+        sectionEnd_ = pos_ + static_cast<std::size_t>(size);
+        sectionStart_ = pos_;
+        sectionName_ = name;
+        return version;
+    }
+
+    /** Verify the open section was consumed exactly and its CRC holds. */
+    void
+    closeSection()
+    {
+        if (pos_ != sectionEnd_)
+            throw SimError(ErrorKind::CorruptSnapshot,
+                           "section '" + sectionName_ +
+                               "' size mismatch on read");
+        std::uint32_t stored = get<std::uint32_t>();
+        std::uint32_t actual = crc32(data_ + sectionStart_,
+                                     sectionEnd_ - sectionStart_);
+        if (stored != actual)
+            throw SimError(ErrorKind::CorruptSnapshot,
+                           "section '" + sectionName_ + "' CRC mismatch");
+    }
+
+    bool atEnd() const { return pos_ == size_; }
+
+  private:
+    void
+    checkAvail(std::uint64_t n)
+    {
+        if (n > size_ - pos_)
+            throw SimError(ErrorKind::CorruptSnapshot,
+                           "snapshot truncated");
+    }
+
+    void
+    copyOut(void *dst, std::size_t n)
+    {
+        checkAvail(n);
+        std::memcpy(dst, data_ + pos_, n);
+        pos_ += n;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    std::size_t sectionStart_ = 0;
+    std::size_t sectionEnd_ = 0;
+    std::string sectionName_;
+};
+
+} // namespace ccsim::resilience
+
+#endif // CCSIM_RESILIENCE_SERIAL_HH

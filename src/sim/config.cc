@@ -1,6 +1,7 @@
 #include "sim/config.hh"
 
 #include "common/log.hh"
+#include "resilience/error.hh"
 
 namespace ccsim::sim {
 
@@ -65,7 +66,9 @@ SimConfig::buildSpec() const
         return dram::DramSpec::ddr3_1600(channels);
     if (dramStandard == "DDR4-2400")
         return dram::DramSpec::ddr4_2400(channels);
-    CCSIM_FATAL("unknown DRAM standard '", dramStandard, "'");
+    throw resilience::SimError(resilience::ErrorKind::InvalidConfig,
+                               "unknown DRAM standard '" + dramStandard +
+                                   "'");
 }
 
 void

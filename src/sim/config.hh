@@ -21,6 +21,7 @@
 #include "dram/addr.hh"
 #include "dram/spec.hh"
 #include "mem/llc.hh"
+#include "resilience/fault.hh"
 #include "vm/mmu.hh"
 
 namespace ccsim::sim {
@@ -135,6 +136,31 @@ struct SimConfig {
      * exactly the cycle the per-cycle schedule needs it.
      */
     bool kernelParanoid = false;
+
+    /**
+     * Deterministic fault injection (tests/CI soak): disabled unless
+     * faults.seed != 0. The plan derives what/when/where from the seed
+     * (see src/resilience/fault.hh); injected worker faults degrade a
+     * sharded run to serial execution with bit-identical results
+     * (docs/resilience.md).
+     */
+    resilience::FaultConfig faults;
+    /**
+     * Sharded-kernel watchdog: a worker that misses this many epoch
+     * deadlines in a row (each `shardEpochDeadlineMs` of wall-clock
+     * with no sync progress) has its channels absorbed onto the
+     * coordinator and the run continues serially (degraded, but
+     * bit-identical). 0 deadlines disables the watchdog.
+     */
+    int shardMissedDeadlineLimit = 4;
+    /** Wall-clock per-epoch deadline for the sharded watchdog (ms). */
+    double shardEpochDeadlineMs = 250.0;
+    /**
+     * After requesting quarantine of a suspect worker, how long the
+     * coordinator waits for it to release its channels before declaring
+     * the run unrecoverable (ms).
+     */
+    double shardAbsorbGraceMs = 10000.0;
 
     /** Paper single-core system: 1 channel, open-row. */
     static SimConfig singleCore();

@@ -1,10 +1,12 @@
 #include "sim/experiment.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <future>
 #include <map>
 
 #include "common/log.hh"
+#include "resilience/error.hh"
 #include "workloads/profiles.hh"
 
 namespace ccsim::sim {
@@ -18,8 +20,10 @@ envU64(const char *name, std::uint64_t def)
     char *end = nullptr;
     std::uint64_t parsed = std::strtoull(v, &end, 10);
     if (end == v || *end != '\0')
-        CCSIM_FATAL("environment variable ", name, "='", v,
-                    "' is not an integer");
+        throw resilience::SimError(
+            resilience::ErrorKind::InvalidConfig,
+            std::string("environment variable ") + name + "='" + v +
+                "' is not an integer");
     return parsed;
 }
 
@@ -32,8 +36,10 @@ envF64(const char *name, double def)
     char *end = nullptr;
     double parsed = std::strtod(v, &end);
     if (end == v || *end != '\0')
-        CCSIM_FATAL("environment variable ", name, "='", v,
-                    "' is not a number");
+        throw resilience::SimError(
+            resilience::ErrorKind::InvalidConfig,
+            std::string("environment variable ") + name + "='" + v +
+                "' is not a number");
     return parsed;
 }
 
@@ -206,10 +212,33 @@ std::vector<SystemResult>
 runSweep(std::size_t n, const std::function<SystemResult(std::size_t)> &point,
          int threads)
 {
+    // Transient failures (SimError::retryable(): resource exhaustion,
+    // I/O) get a bounded retry with exponential backoff — a sweep of
+    // hundreds of points should not die because one point hit a
+    // momentary allocation or filesystem hiccup. Deterministic errors
+    // (bad config, malformed trace, corrupt data) propagate on first
+    // throw.
+    const int attempts =
+        static_cast<int>(envU64("CCSIM_SWEEP_RETRIES", 2)) + 1;
     std::vector<SystemResult> results(n);
     ParallelRunner pool(threads);
     for (std::size_t i = 0; i < n; ++i)
-        pool.enqueue([i, &point, &results] { results[i] = point(i); });
+        pool.enqueue([i, &point, &results, attempts] {
+            for (int attempt = 1;; ++attempt) {
+                try {
+                    results[i] = point(i);
+                    return;
+                } catch (const resilience::SimError &e) {
+                    if (!e.retryable() || attempt >= attempts)
+                        throw;
+                    auto backoff = std::chrono::milliseconds(
+                        1u << (attempt < 10 ? attempt : 10));
+                    CCSIM_WARN("sweep point ", i, " attempt ", attempt,
+                               " failed (", e.what(), "); retrying");
+                    std::this_thread::sleep_for(backoff);
+                }
+            }
+        });
     pool.waitAll();
     return results;
 }

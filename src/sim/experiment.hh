@@ -37,8 +37,9 @@ ExpScale expScale();
 
 /**
  * Validated environment scalars: unset/empty returns `def`; anything
- * that does not parse fully is a CCSIM_FATAL naming the variable (a
- * typo'd scale or gate knob must never silently become 0).
+ * that does not parse fully throws SimError{InvalidConfig} naming the
+ * variable (a typo'd scale or gate knob must never silently become 0).
+ * User input is a structured, catchable error — not an abort.
  */
 std::uint64_t envU64(const char *name, std::uint64_t def);
 double envF64(const char *name, double def);
@@ -119,6 +120,10 @@ class ParallelRunner
 /**
  * Evaluate `point(i)` for i in [0, n) on a temporary pool and return
  * the results in index order — the one-call form the bench figures use.
+ * Points that fail with a retryable SimError (resource exhaustion,
+ * transient I/O) are retried with exponential backoff, up to
+ * CCSIM_SWEEP_RETRIES extra attempts (default 2); deterministic errors
+ * propagate immediately.
  */
 std::vector<SystemResult>
 runSweep(std::size_t n, const std::function<SystemResult(std::size_t)> &point,

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 
 #include "common/log.hh"
+#include "common/random.hh"
 #include "ctrl/controller.hh"
 #include "energy/energy_model.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/error.hh"
+#include "resilience/fault.hh"
 #include "sim/system.hh"
 
 namespace ccsim::sim {
@@ -32,7 +37,78 @@ serialClockAt(CpuCycle c, CpuCycle ratio)
     return c == 0 ? 0 : static_cast<Cycle>((c - 1) / ratio) + 1;
 }
 
+// Field-wise checksum folds (never raw struct bytes — padding is
+// indeterminate and the rings copy by assignment).
+inline std::uint64_t
+foldU64(std::uint64_t h, std::uint64_t v)
+{
+    return mix64(h ^ v);
+}
+
+inline std::uint64_t
+foldRequest(std::uint64_t h, const ctrl::Request &r)
+{
+    h = foldU64(h, static_cast<std::uint64_t>(r.type));
+    h = foldU64(h, r.lineAddr);
+    h = foldU64(h, static_cast<std::uint64_t>(r.addr.channel));
+    h = foldU64(h, static_cast<std::uint64_t>(r.addr.rank));
+    h = foldU64(h, static_cast<std::uint64_t>(r.addr.bank));
+    h = foldU64(h, static_cast<std::uint64_t>(r.addr.row));
+    h = foldU64(h, static_cast<std::uint64_t>(r.addr.col));
+    h = foldU64(h, static_cast<std::uint64_t>(r.coreId));
+    h = foldU64(h, r.isPtw ? 1 : 0);
+    h = foldU64(h, static_cast<std::uint64_t>(r.ptwLevel));
+    h = foldU64(h, static_cast<std::uint64_t>(r.arrive));
+    h = foldU64(h, r.token);
+    h = foldU64(h, reinterpret_cast<std::uintptr_t>(r.callback));
+    h = foldU64(h, reinterpret_cast<std::uintptr_t>(r.callbackCtx));
+    return h;
+}
+
+inline std::uint64_t
+cmdChecksum(const ShardCmd &c)
+{
+    std::uint64_t h = 0x53484152444d4421ull; // "SHARDMD!"
+    h = foldU64(h, static_cast<std::uint64_t>(c.op));
+    h = foldU64(h, static_cast<std::uint64_t>(c.target));
+    h = foldRequest(h, c.req);
+    return h;
+}
+
+inline std::uint64_t
+compChecksum(const ShardCompletion &c)
+{
+    std::uint64_t h = 0x5348415244435021ull; // "SHARDCP!"
+    h = foldU64(h, static_cast<std::uint64_t>(c.done));
+    h = foldRequest(h, c.req);
+    return h;
+}
+
 } // namespace
+
+void
+ShardCmd::seal()
+{
+    csum = cmdChecksum(*this);
+}
+
+bool
+ShardCmd::verify() const
+{
+    return csum == cmdChecksum(*this);
+}
+
+void
+ShardCompletion::seal()
+{
+    csum = compChecksum(*this);
+}
+
+bool
+ShardCompletion::verify() const
+{
+    return csum == compChecksum(*this);
+}
 
 // ---------------------------------------------------------------------
 // Per-channel shared state and the worker thread.
@@ -57,9 +133,33 @@ struct ShardedRunner::Channel {
     std::uint32_t readCount = 0;
     std::uint32_t writeCount = 0;
 
+    /**
+     * Quarantine handshake (graceful degradation): 0 = live; 1 = the
+     * coordinator asked the worker to release the channel (set after
+     * repeated missed epoch deadlines); 2 = the worker released it —
+     * it will never touch the channel again, and the release-store
+     * publishes every controller write for the coordinator's acquire.
+     * Workers also release unilaterally (2 without a request) on an
+     * injected/real death or a command-checksum failure — always at a
+     * command boundary, so the journal replay below is exact.
+     */
+    std::atomic<int> quarantine{0};
+
     // Coordinator-only.
     alignas(64) std::uint64_t sent = 0;
     Worker *worker = nullptr;
+    /**
+     * Pristine copies of the not-yet-acked commands [journalBase,
+     * sent), pruned on every sync. If the worker is lost, absorb()
+     * replays [acked, sent) from here inline — including a command
+     * whose ring copy was corrupted in flight.
+     */
+    std::deque<ShardCmd> journal;
+    std::uint64_t journalBase = 0;
+    /** Consecutive epoch deadlines missed (wall-clock watchdog). */
+    int missedDeadlines = 0;
+    /** Absorbed: the coordinator executes this channel inline. */
+    bool local = false;
 
     // Worker-only.
     std::uint64_t processed = 0;
@@ -129,6 +229,7 @@ ShardedRunner::ShardedRunner(System &sys, int threads)
     lminDram_ = std::max<Cycle>(1, Cycle(t.tCL) + Cycle(t.tBL));
     readQSize_ = sys_.config_.ctrl.readQueueSize;
     writeQSize_ = sys_.config_.ctrl.writeQueueSize;
+    plan_ = sys_.faultPlan_.get();
 }
 
 ShardedRunner::~ShardedRunner()
@@ -210,6 +311,7 @@ ShardedRunner::completionSinkThunk(void *ctx, const ctrl::Request &req,
     ShardCompletion sc;
     sc.req = req;
     sc.done = done;
+    sc.seal();
     bool ok = c.comps.tryPush(sc);
     CCSIM_ASSERT(ok, "shard completion ring overflow on channel ",
                  c.index);
@@ -287,7 +389,48 @@ ShardedRunner::drainChannel(Channel &c)
 {
     bool did = false;
     ShardCmd cmd;
-    while (!c.stopped && c.cmds.tryPop(cmd)) {
+    while (!c.stopped) {
+        if (c.quarantine.load(std::memory_order_acquire) == 1) {
+            // Coordinator asked for the channel back. Release at this
+            // command boundary without touching any more state; the
+            // release-store publishes everything written so far.
+            c.stopped = true;
+            c.quarantine.store(2, std::memory_order_release);
+            return did;
+        }
+        if (!c.cmds.tryPop(cmd))
+            break;
+        if (plan_ && plan_->enabled()) {
+            resilience::FaultKind fk =
+                plan_->workerAction(c.index, c.processed);
+            if (fk == resilience::FaultKind::WorkerStall) {
+                std::this_thread::sleep_for(std::chrono::duration<double,
+                                                                  std::milli>(
+                    plan_->stallMs()));
+                if (c.quarantine.load(std::memory_order_acquire) == 1) {
+                    // The watchdog fired during the stall: the popped
+                    // command was NOT executed; its journal copy will
+                    // be replayed by the coordinator.
+                    c.stopped = true;
+                    c.quarantine.store(2, std::memory_order_release);
+                    return did;
+                }
+            } else if (fk == resilience::FaultKind::WorkerDeath) {
+                throw resilience::SimError(
+                    resilience::ErrorKind::FaultInjected,
+                    "injected worker death before command " +
+                        std::to_string(c.processed) + " on channel " +
+                        std::to_string(c.index));
+            }
+        }
+        if (!cmd.verify()) {
+            // Corrupted ring slot, caught BEFORE execution — a clean
+            // boundary. Release the channel; the coordinator replays
+            // the pristine journal copy and takes over.
+            c.stopped = true;
+            c.quarantine.store(2, std::memory_order_release);
+            return did;
+        }
         execute(c, cmd);
         ++c.processed;
         publish(c);
@@ -313,6 +456,21 @@ ShardedRunner::workerLoop(Worker &w)
                 // re-raise from sync()/send().
                 try {
                     did |= drainChannel(c);
+                } catch (const resilience::SimError &) {
+                    // Recoverable worker death (injected or a
+                    // structured failure): every throw site sits at a
+                    // command boundary — the in-flight command was not
+                    // applied — so release this worker's channels for
+                    // coordinator absorption and retire the thread.
+                    // Controller state is published by the release
+                    // stores; the run continues, degraded.
+                    for (int rel : w.channels) {
+                        Channel &dead = *chs_[rel];
+                        dead.stopped = true;
+                        dead.quarantine.store(2,
+                                              std::memory_order_release);
+                    }
+                    return;
                 } catch (const std::exception &e) {
                     {
                         std::lock_guard<std::mutex> lk(errorMutex_);
@@ -378,7 +536,32 @@ void
 ShardedRunner::send(int ch, const ShardCmd &cmd)
 {
     Channel &c = *chs_[ch];
-    while (!c.cmds.tryPush(cmd)) {
+    if (!c.local && c.quarantine.load(std::memory_order_acquire) == 2)
+        absorb(c);
+    if (c.local) {
+        // Absorbed channel: the coordinator is the worker now.
+        // Completions still flow through the comps ring (same thread)
+        // and are replayed at the same delivery boundaries as before.
+        ShardCmd local = cmd;
+        local.seal();
+        execute(c, local);
+        ++c.processed;
+        publish(c);
+        ++c.sent;
+        return;
+    }
+    ShardCmd sealed = cmd;
+    sealed.seal();
+    c.journal.push_back(sealed);
+    ShardCmd wire = sealed;
+    if (plan_ && plan_->enabled() &&
+        plan_->shouldCorruptCmd(ch, c.sent)) {
+        // Injected in-flight corruption: flip a payload bit AFTER
+        // sealing so the worker's verify fails. The journal copy above
+        // stays pristine for the replay.
+        wire.target ^= Cycle(1) << 17;
+    }
+    while (!c.cmds.tryPush(wire)) {
         // Ring full: the worker is mid-drain; give it the cpu.
         checkWorkerFailure();
         kick(*c.worker);
@@ -392,12 +575,36 @@ void
 ShardedRunner::sync(int ch)
 {
     Channel &c = *chs_[ch];
-    if (c.acked.load(std::memory_order_acquire) == c.sent)
+    if (c.local)
+        return; // Inline execution keeps local channels synced.
+    auto prune_journal = [&c]() {
+        const std::uint64_t upto = c.sent;
+        while (c.journalBase < upto && !c.journal.empty()) {
+            c.journal.pop_front();
+            ++c.journalBase;
+        }
+    };
+    if (c.acked.load(std::memory_order_acquire) == c.sent) {
+        c.missedDeadlines = 0;
+        prune_journal();
         return;
+    }
     kick(*c.worker);
+
+    using Clock = std::chrono::steady_clock;
+    const double deadline_ms = sys_.config_.shardEpochDeadlineMs;
+    const int miss_limit = sys_.config_.shardMissedDeadlineLimit;
+    Clock::time_point epoch_start{};
+    Clock::time_point quarantine_start{};
+    std::uint64_t epoch_acked = c.acked.load(std::memory_order_relaxed);
+
     int spins = 0;
     while (c.acked.load(std::memory_order_acquire) != c.sent) {
         checkWorkerFailure();
+        if (c.quarantine.load(std::memory_order_acquire) == 2) {
+            absorb(c);
+            return;
+        }
         ++spins;
         if (spins < coordSpin_) {
             cpuRelax();
@@ -406,8 +613,88 @@ ShardedRunner::sync(int ch)
         } else {
             kick(*c.worker);
             std::this_thread::sleep_for(std::chrono::microseconds(20));
+
+            // Wall-clock watchdog (slow path only). A channel that
+            // makes no ack progress for a whole epoch deadline misses
+            // one deadline; `miss_limit` consecutive misses trigger the
+            // quarantine request. Timing here decides only WHO executes
+            // the remaining commands, never WHAT they are, so the
+            // result stays bit-identical regardless of when (or
+            // whether) the watchdog fires.
+            const auto t = Clock::now();
+            if (epoch_start == Clock::time_point{})
+                epoch_start = t;
+            const std::uint64_t a =
+                c.acked.load(std::memory_order_relaxed);
+            if (a != epoch_acked) {
+                epoch_acked = a;
+                epoch_start = t;
+                c.missedDeadlines = 0;
+            } else if (miss_limit > 0 &&
+                       std::chrono::duration<double, std::milli>(
+                           t - epoch_start)
+                               .count() >= deadline_ms) {
+                epoch_start = t;
+                ++c.missedDeadlines;
+                if (c.missedDeadlines >= miss_limit) {
+                    int expect = 0;
+                    c.quarantine.compare_exchange_strong(
+                        expect, 1, std::memory_order_acq_rel);
+                    if (quarantine_start == Clock::time_point{})
+                        quarantine_start = t;
+                }
+            }
+            if (quarantine_start != Clock::time_point{} &&
+                std::chrono::duration<double, std::milli>(
+                    t - quarantine_start)
+                        .count() >= sys_.config_.shardAbsorbGraceMs) {
+                CCSIM_PANIC("shard worker failed to release channel ",
+                            c.index, " within ",
+                            sys_.config_.shardAbsorbGraceMs,
+                            " ms of the quarantine request");
+            }
         }
     }
+    c.missedDeadlines = 0;
+    prune_journal();
+}
+
+void
+ShardedRunner::absorb(Channel &c)
+{
+    // The worker has released the channel (quarantine == 2, acquired
+    // by the caller): it will never touch it again and every one of
+    // its controller writes is visible. Whatever it did not execute
+    // sits in [acked, sent) — replay the pristine journal copies
+    // inline. Completions raised during the replay flow through the
+    // comps ring exactly as before (producer and consumer are now the
+    // same thread) and are popped at the usual delivery boundaries.
+    const std::uint64_t done = c.acked.load(std::memory_order_acquire);
+    while (c.journalBase < done && !c.journal.empty()) {
+        c.journal.pop_front();
+        ++c.journalBase;
+    }
+    CCSIM_ASSERT(c.journalBase == done,
+                 "shard journal lost commands for channel ", c.index);
+    CCSIM_ASSERT(c.journal.size() == c.sent - done,
+                 "shard journal incomplete for channel ", c.index);
+
+    // Discard ring entries the worker never consumed (the journal has
+    // pristine copies; a corrupted slot is skipped with them).
+    ShardCmd drop;
+    while (c.cmds.tryPop(drop)) {
+    }
+
+    c.processed = done;
+    for (const ShardCmd &cmd : c.journal) {
+        execute(c, cmd);
+        ++c.processed;
+    }
+    publish(c);
+    c.journal.clear();
+    c.journalBase = c.sent;
+    c.local = true;
+    sys_.degraded_ = true;
 }
 
 // ---------------------------------------------------------------------
@@ -487,7 +774,55 @@ ShardedRunner::run()
 
     bool progress_since_check = true;
 
+    // Land every controller clock on the serial value and join all
+    // shards — the quiescent point a snapshot needs. Advancing an idle
+    // controller's (lazy) clock is exactly what the serial kernel's
+    // advanceIdle does each boundary, so it cannot perturb the
+    // schedule: autosave-and-continue stays bit-identical.
+    auto quiesce_shards = [&](CpuCycle at) {
+        const Cycle a = serialClockAt(at, ratio);
+        for (std::size_t ch = 0; ch < n_ch; ++ch) {
+            ShardCmd s;
+            s.op = ShardCmd::Op::Sync;
+            s.target = a;
+            send(static_cast<int>(ch), s);
+        }
+        for (std::size_t ch = 0; ch < n_ch; ++ch)
+            sync(static_cast<int>(ch));
+    };
+
+    if (sys.resume_) {
+        // Resuming from a snapshot: the restored controllers carry
+        // real state, so initialise the coordinator mirrors from them
+        // (the fresh-start zeros would mis-report delivery horizons).
+        // Workers have not consumed a command yet, so the mirror is
+        // still coordinator-owned; the first ring push publishes it.
+        now = sys.resume_->now;
+        warm = sys.resume_->warm;
+        warm_end = sys.resume_->warmEnd;
+        next_progress_check = now + 65536;
+        for (std::size_t ch = 0; ch < n_ch; ++ch) {
+            Channel &c = *chs_[ch];
+            c.nextEvent = c.mc->nextEventAt();
+            c.nextDelivery = c.mc->nextDeliveryAt();
+            c.readCount = static_cast<std::uint32_t>(c.mc->readCount());
+            c.writeCount = static_cast<std::uint32_t>(c.mc->writeCount());
+        }
+        sys.resume_.reset();
+    }
+
     while (true) {
+        if (sys.checkpointDue(now)) {
+            quiesce_shards(now);
+            settle_all_parked(now);
+            try {
+                sys.fireCheckpoint(now, warm, warm_end);
+            } catch (...) {
+                sys.cal_.reset();
+                throw; // ~ShardedRunner hard-stops the workers.
+            }
+        }
+
         if (progress_since_check) {
             progress_since_check = false;
             if (!warm && all_retired_at_least(sys.config_.warmupInsts)) {
@@ -566,8 +901,16 @@ ShardedRunner::run()
                     sync(static_cast<int>(ch));
                 for (std::size_t ch = 0; ch < n_ch; ++ch) {
                     ShardCompletion sc;
-                    while (chs_[ch]->comps.tryPop(sc))
+                    while (chs_[ch]->comps.tryPop(sc)) {
+                        if (!sc.verify())
+                            throw resilience::SimError(
+                                resilience::ErrorKind::CorruptData,
+                                "corrupt shard completion on channel " +
+                                    std::to_string(ch) +
+                                    " (controller state has already "
+                                    "advanced; not recoverable)");
                         sc.req.complete(sc.done);
+                    }
                 }
             }
             if (sys.llc_->needsAnyDrain())
@@ -673,6 +1016,22 @@ ShardedRunner::run()
         while (now >= next_progress_check) {
             watchdog_check(now);
             next_progress_check += 65536;
+            if (resilience::stopRequested()) {
+                quiesce_shards(now);
+                settle_all_parked(now);
+                try {
+                    if (sys.ckptHook_)
+                        sys.fireCheckpoint(now, warm, warm_end);
+                } catch (...) {
+                    sys.cal_.reset();
+                    throw;
+                }
+                sys.cal_.reset();
+                throw resilience::SimError(
+                    resilience::ErrorKind::Interrupted,
+                    "stop signal received at cycle " +
+                        std::to_string(now));
+            }
         }
         if (now > sys.config_.maxCpuCycles)
             CCSIM_FATAL("simulation exceeded maxCpuCycles=",

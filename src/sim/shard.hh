@@ -56,6 +56,9 @@ class EnergyModel;
 namespace ccsim::ctrl {
 class MemoryController;
 }
+namespace ccsim::resilience {
+class FaultPlan;
+}
 
 namespace ccsim::sim {
 
@@ -136,12 +139,30 @@ struct ShardCmd {
     Op op = Op::Sync;
     Cycle target = 0;
     ctrl::Request req; ///< Enqueue only.
+    /**
+     * Payload checksum, sealed by the producer and verified by the
+     * consumer before execution. A field-wise fold (never raw struct
+     * bytes — padding is indeterminate) so a corrupted ring slot is
+     * caught at a clean boundary: the command has not been applied and
+     * the coordinator can replay its pristine journal copy.
+     */
+    std::uint64_t csum = 0;
+
+    void seal();
+    bool verify() const;
 };
 
 /** A captured read completion, replayed by the coordinator. */
 struct ShardCompletion {
     ctrl::Request req;
     Cycle done = 0;
+    /** Like ShardCmd::csum. A corrupt completion is NOT recoverable:
+        the controller already advanced past the delivery, so the
+        coordinator raises SimError{CorruptData} (docs/resilience.md). */
+    std::uint64_t csum = 0;
+
+    void seal();
+    bool verify() const;
 };
 
 /**
@@ -185,6 +206,17 @@ class ShardedRunner
     /** Re-raise a worker-side panic on the coordinator thread, where
         it propagates normally (gtest context, stress-seed trace). */
     void checkWorkerFailure();
+    /**
+     * Graceful degradation: take over a channel whose worker released
+     * it (quarantine handshake — injected or real stall, death, or a
+     * command-checksum failure). Replays the pristine journal copies of
+     * every un-acked command inline, marks the channel local (all later
+     * commands execute on the coordinator), and flags the run degraded.
+     * Command generation depends only on coordinator state and synced
+     * mirrors, so results stay bit-identical no matter when the
+     * wall-clock watchdog fires (docs/resilience.md).
+     */
+    void absorb(Channel &c);
 
     System &sys_;
     const int threads_;
@@ -199,6 +231,8 @@ class ShardedRunner
     int writeQSize_ = 0;
     int workerSpin_ = 1;
     int coordSpin_ = 1;
+    /** Fault-injection plan (System-owned; inert when not enabled). */
+    resilience::FaultPlan *plan_ = nullptr;
     CpuCycle now_ = 0; ///< Coordinator cycle (Port enqueue targets).
     bool finished_ = false;
 

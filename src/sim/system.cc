@@ -1,20 +1,50 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/log.hh"
+#include "common/random.hh"
 #include "mcpat_lite/overhead.hh"
+#include "resilience/checkpoint.hh"
+#include "resilience/error.hh"
+#include "resilience/serial.hh"
 #include "sim/shard.hh"
 #include "workloads/profiles.hh"
 
 namespace ccsim::sim {
 
+namespace {
+
+// Core/channel counts come from user configuration (sweep files, env,
+// CLI), not from internal invariants — report them as structured
+// errors the sweep runner can skip or retry instead of aborting.
+void
+validateCounts(const SimConfig &config, std::size_t sources,
+               const char *what)
+{
+    using resilience::ErrorKind;
+    using resilience::SimError;
+    if (config.nCores <= 0)
+        throw SimError(ErrorKind::InvalidConfig,
+                       "nCores must be positive");
+    if (config.channels <= 0)
+        throw SimError(ErrorKind::InvalidConfig,
+                       "channels must be positive");
+    if (static_cast<int>(sources) != config.nCores)
+        throw SimError(ErrorKind::InvalidConfig,
+                       std::string("need one ") + what + " per core (" +
+                           std::to_string(sources) + " for " +
+                           std::to_string(config.nCores) + " cores)");
+}
+
+} // namespace
+
 System::System(const SimConfig &config,
                const std::vector<std::string> &workloads)
     : config_(config), spec_(config.buildSpec()), workloadNames_(workloads)
 {
-    CCSIM_ASSERT(static_cast<int>(workloads.size()) == config_.nCores,
-                 "need one workload per core");
+    validateCounts(config_, workloads.size(), "workload");
     mapper_ = std::make_unique<dram::AddressMapper>(spec_.org,
                                                     config_.mapping);
     Addr capacity = mapper_->numLines();
@@ -34,8 +64,7 @@ System::System(const SimConfig &config,
                const std::vector<cpu::TraceSource *> &traces)
     : config_(config), spec_(config.buildSpec())
 {
-    CCSIM_ASSERT(static_cast<int>(traces.size()) == config_.nCores,
-                 "need one trace per core");
+    validateCounts(config_, traces.size(), "trace");
     mapper_ = std::make_unique<dram::AddressMapper>(spec_.org,
                                                     config_.mapping);
     build(traces);
@@ -89,6 +118,16 @@ System::makeProviders()
 void
 System::build(const std::vector<cpu::TraceSource *> &traces)
 {
+    traceRefs_ = traces; // Retained for snapshot serialization.
+
+    faultPlan_ = std::make_unique<resilience::FaultPlan>(config_.faults,
+                                                         config_.channels);
+    if (faultPlan_->shouldFailAlloc())
+        throw resilience::SimError(
+            resilience::ErrorKind::ResourceExhausted,
+            "injected allocation failure (fault seed " +
+                std::to_string(config_.faults.seed) + ")");
+
     // Per-channel refresh schedulers first (NUAT is built against them).
     dram::DramSpec chan_spec = spec_;
     chan_spec.org.channels = 1; // Controllers are per-channel.
@@ -405,7 +444,26 @@ System::run()
     // only when a core tick makes progress.
     bool progress_since_check = true;
 
+    if (resume_) {
+        // Resuming from a snapshot: continue from the saved run point
+        // with every core awake. A restored core that was parked takes
+        // one real (non-progressing) tick at `now` and re-parks — the
+        // same statistics its settled bulk accounting would produce —
+        // so the schedule is bit-identical to the uninterrupted run
+        // (docs/resilience.md).
+        now = resume_->now;
+        warm = resume_->warm;
+        warm_end = resume_->warmEnd;
+        next_progress_check = now + 65536;
+        resume_.reset();
+    }
+
     while (true) {
+        if (checkpointDue(now)) {
+            settle_parked(now);
+            fireCheckpoint(now, warm, warm_end);
+        }
+
         if (!event || progress_since_check) {
             progress_since_check = false;
             if (!warm && all_retired_at_least(config_.warmupInsts)) {
@@ -577,6 +635,15 @@ System::run()
         while (now >= next_progress_check) {
             watchdog.checkAt(now);
             next_progress_check += 65536;
+            if (resilience::stopRequested()) {
+                settle_parked(now);
+                if (ckptHook_)
+                    fireCheckpoint(now, warm, warm_end);
+                throw resilience::SimError(
+                    resilience::ErrorKind::Interrupted,
+                    "stop signal received at cycle " +
+                        std::to_string(now));
+            }
         }
         if (now > config_.maxCpuCycles)
             CCSIM_FATAL("simulation exceeded maxCpuCycles=",
@@ -592,6 +659,7 @@ SystemResult
 System::collectResults(CpuCycle now, CpuCycle warm_end)
 {
     SystemResult res;
+    res.degraded = degraded_;
     res.cpuCycles = now - warm_end;
     for (const auto &core : cores_) {
         CpuCycle c = core->targetCycle() - warm_end;
@@ -808,7 +876,33 @@ System::runCalendar()
 
     bool progress_since_check = true;
 
+    if (resume_) {
+        // Resuming from a snapshot: continue from the saved run point
+        // with every core awake (the CalendarKernelState starts with
+        // all cores on the awake list and an empty wheel). Restored
+        // previously-parked cores take one real non-progressing tick
+        // and re-park, reposting their self-wakes; the controller
+        // slots start at 0 and force a first-boundary horizon refresh.
+        // Both are observationally identical to the uninterrupted
+        // schedule (docs/resilience.md).
+        now = resume_->now;
+        warm = resume_->warm;
+        warm_end = resume_->warmEnd;
+        next_progress_check = now + 65536;
+        resume_.reset();
+    }
+
     while (true) {
+        if (checkpointDue(now)) {
+            settle_all_parked(now);
+            try {
+                fireCheckpoint(now, warm, warm_end);
+            } catch (...) {
+                cal_.reset(); // Keep the kernel re-entrant after a stop.
+                throw;
+            }
+        }
+
         if (progress_since_check) {
             progress_since_check = false;
             if (!warm && all_retired_at_least(config_.warmupInsts)) {
@@ -938,6 +1032,21 @@ System::runCalendar()
         while (now >= next_progress_check) {
             watchdog.checkAt(now);
             next_progress_check += 65536;
+            if (resilience::stopRequested()) {
+                settle_all_parked(now);
+                try {
+                    if (ckptHook_)
+                        fireCheckpoint(now, warm, warm_end);
+                } catch (...) {
+                    cal_.reset();
+                    throw;
+                }
+                cal_.reset();
+                throw resilience::SimError(
+                    resilience::ErrorKind::Interrupted,
+                    "stop signal received at cycle " +
+                        std::to_string(now));
+            }
         }
         if (now > config_.maxCpuCycles)
             CCSIM_FATAL("simulation exceeded maxCpuCycles=",
@@ -948,6 +1057,208 @@ System::runCalendar()
     settle_all_parked(now);
     cal_.reset();
     return collectResults(now, warm_end);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/restore (docs/resilience.md).
+// ---------------------------------------------------------------------
+
+void
+System::setCheckpointHook(CpuCycle first_at, CpuCycle interval,
+                          CheckpointHook hook)
+{
+    ckptHook_ = std::move(hook);
+    ckptNextAt_ = ckptHook_ ? first_at : kNoCycle;
+    ckptInterval_ = interval;
+}
+
+void
+System::fireCheckpoint(CpuCycle now, bool warm, CpuCycle warm_end)
+{
+    ckptPoint_ = RunPoint{now, warm, warm_end};
+    ckptNextAt_ = ckptInterval_ > 0 ? now + ckptInterval_ : kNoCycle;
+    inCkptHook_ = true;
+    bool keep = false;
+    try {
+        keep = ckptHook_(*this);
+    } catch (...) {
+        inCkptHook_ = false;
+        throw;
+    }
+    inCkptHook_ = false;
+    if (!keep)
+        throw resilience::SimError(
+            resilience::ErrorKind::Interrupted,
+            "run stopped by checkpoint hook at cycle " +
+                std::to_string(now));
+}
+
+std::uint64_t
+System::configHash() const
+{
+    // Advisory compatibility check: covers the knobs that shape
+    // simulated state, excludes pure execution strategy (kernel mode,
+    // shard width, paranoia, fault plan) so snapshots resume across
+    // kernels. See resilience/checkpoint.hh.
+    std::uint64_t h = 0x4343534e41503031ull; // "CCSNAP01"
+    auto mix = [&h](std::uint64_t v) { h = mix64(h ^ v); };
+    auto mix_str = [&](const std::string &s) {
+        mix(s.size());
+        for (char c : s)
+            mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    };
+    auto mix_f64 = [&](double d) {
+        std::uint64_t v;
+        std::memcpy(&v, &d, sizeof v);
+        mix(v);
+    };
+    mix(static_cast<std::uint64_t>(config_.nCores));
+    mix(static_cast<std::uint64_t>(config_.channels));
+    mix_str(config_.dramStandard);
+    mix(static_cast<std::uint64_t>(config_.mapping));
+    mix(static_cast<std::uint64_t>(config_.cpuRatio));
+    mix(config_.warmupInsts);
+    mix(config_.targetInsts);
+    mix(static_cast<std::uint64_t>(config_.scheme));
+    mix_f64(config_.ccDurationMs);
+    mix(config_.seed);
+    mix(config_.modelEnergy ? 1 : 0);
+    mix(config_.ctrl.trackRltl ? 1 : 0);
+    mix(config_.vm.enable ? 1 : 0);
+    if (config_.vm.enable) {
+        mix(static_cast<std::uint64_t>(config_.vm.alloc));
+        mix(config_.vm.fragSeed);
+        mix(static_cast<std::uint64_t>(config_.vm.mp.processes));
+        mix(config_.vm.mp.switchQuantum);
+        mix(config_.vm.mp.remapPeriod);
+    }
+    mix(workloadNames_.size());
+    for (const auto &name : workloadNames_)
+        mix_str(name);
+    return h;
+}
+
+std::vector<std::uint8_t>
+System::serializeSnapshot() const
+{
+    using resilience::ErrorKind;
+    using resilience::SimError;
+    if (!inCkptHook_)
+        throw SimError(ErrorKind::Unsupported,
+                       "serializeSnapshot must be called from inside a "
+                       "checkpoint hook (the kernel anchors the "
+                       "snapshot to a quiescent run point)");
+
+    resilience::SnapshotWriter w;
+    resilience::writeSnapshotHeader(w, configHash());
+
+    w.beginSection("meta", 1);
+    w.put(ckptPoint_.now);
+    w.put(ckptPoint_.warm);
+    w.put(ckptPoint_.warmEnd);
+    w.put(degraded_);
+    w.endSection();
+
+    w.beginSection("traces", 1);
+    for (const cpu::TraceSource *t : traceRefs_)
+        t->saveState(w);
+    w.endSection();
+
+    w.beginSection("cores", 1);
+    for (const auto &core : cores_)
+        core->saveState(w);
+    w.endSection();
+
+    w.beginSection("vm", 1);
+    w.put(static_cast<std::uint32_t>(spaces_.size()));
+    for (const auto &space : spaces_)
+        space->saveState(w);
+    w.put(static_cast<std::uint32_t>(mmus_.size()));
+    for (const auto &mmu : mmus_)
+        mmu->saveState(w);
+    w.endSection();
+
+    w.beginSection("channels", 1);
+    for (int ch = 0; ch < config_.channels; ++ch) {
+        controllers_[ch]->saveState(w);
+        refresh_[ch]->saveState(w);
+        providers_[ch]->saveState(w);
+    }
+    w.put(static_cast<std::uint32_t>(energy_.size()));
+    for (const auto &e : energy_)
+        e->saveState(w);
+    w.endSection();
+
+    w.beginSection("llc", 1);
+    llc_->saveState(w);
+    w.endSection();
+
+    return w.take();
+}
+
+void
+System::restoreSnapshot(const std::vector<std::uint8_t> &bytes)
+{
+    using resilience::ErrorKind;
+    using resilience::SimError;
+    if (inCkptHook_)
+        throw SimError(ErrorKind::Unsupported,
+                       "cannot restore a snapshot from inside a "
+                       "checkpoint hook");
+
+    resilience::SnapshotReader r(bytes);
+    resilience::readSnapshotHeader(r, configHash());
+
+    r.openSection("meta", 1);
+    RunPoint pt;
+    r.get(pt.now);
+    r.get(pt.warm);
+    r.get(pt.warmEnd);
+    r.get(degraded_);
+    r.closeSection();
+
+    r.openSection("traces", 1);
+    for (cpu::TraceSource *t : traceRefs_)
+        t->loadState(r);
+    r.closeSection();
+
+    r.openSection("cores", 1);
+    for (auto &core : cores_)
+        core->loadState(r);
+    r.closeSection();
+
+    r.openSection("vm", 1);
+    if (r.get<std::uint32_t>() != spaces_.size())
+        throw SimError(ErrorKind::CorruptSnapshot,
+                       "address-space count mismatch in snapshot");
+    for (auto &space : spaces_)
+        space->loadState(r);
+    if (r.get<std::uint32_t>() != mmus_.size())
+        throw SimError(ErrorKind::CorruptSnapshot,
+                       "MMU count mismatch in snapshot");
+    for (auto &mmu : mmus_)
+        mmu->loadState(r);
+    r.closeSection();
+
+    r.openSection("channels", 1);
+    for (int ch = 0; ch < config_.channels; ++ch) {
+        controllers_[ch]->loadState(r, &mem::Llc::fillCallback,
+                                    llc_.get());
+        refresh_[ch]->loadState(r);
+        providers_[ch]->loadState(r);
+    }
+    if (r.get<std::uint32_t>() != energy_.size())
+        throw SimError(ErrorKind::CorruptSnapshot,
+                       "energy-model count mismatch in snapshot");
+    for (auto &e : energy_)
+        e->loadState(r);
+    r.closeSection();
+
+    r.openSection("llc", 1);
+    llc_->loadState(r);
+    r.closeSection();
+
+    resume_ = pt;
 }
 
 } // namespace ccsim::sim

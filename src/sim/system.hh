@@ -10,7 +10,10 @@
 #ifndef CCSIM_SIM_SYSTEM_HH
 #define CCSIM_SIM_SYSTEM_HH
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,6 +71,15 @@ struct SystemResult {
     std::vector<double> rltlWindowsMs;
     double afterRefresh8ms = 0.0;
 
+    /**
+     * True when a sharded run lost a worker (injected or real) and the
+     * affected channels were absorbed onto the coordinator. The
+     * statistics above are still bit-identical to an undisturbed run —
+     * degradation changes who executes, never what executes (see
+     * docs/resilience.md).
+     */
+    bool degraded = false;
+
     double
     ipcSum() const
     {
@@ -115,6 +127,49 @@ class System
     OracleListener *oracleListener(int channel);
     const SimConfig &config() const { return config_; }
 
+    // ----- Checkpoint/restore (src/resilience, docs/resilience.md) -----
+
+    /**
+     * Hook invoked from the top of the kernel loop (any kernel,
+     * including the sharded coordinator) the first time simulated time
+     * reaches `first_at` and every `interval` CPU cycles thereafter
+     * (interval 0 = once). The hook runs at a quiescent point: parked
+     * cores have been settled, sharded workers synced — so
+     * serializeSnapshot() is legal inside it. Returning false stops the
+     * run: the kernel unwinds with SimError{Interrupted}. The hook is
+     * also where the SIGINT/SIGTERM stop flag is typically polled
+     * (resilience::stopRequested()), making `interval` the shutdown
+     * latency bound.
+     */
+    using CheckpointHook = std::function<bool(System &)>;
+    void setCheckpointHook(CpuCycle first_at, CpuCycle interval,
+                           CheckpointHook hook);
+
+    /**
+     * Serialize the full simulation state as a versioned snapshot.
+     * Callable only from inside a checkpoint hook (the kernel records
+     * the quiescent run point the snapshot is anchored to). Resuming
+     * from the returned bytes — in a fresh process, under a different
+     * kernel, or with a different shard width — reproduces the
+     * uninterrupted run bit for bit (tests/test_resilience.cc).
+     */
+    std::vector<std::uint8_t> serializeSnapshot() const;
+
+    /**
+     * Restore a snapshot produced by serializeSnapshot() on an
+     * identically-configured System (config-hash checked). Must be
+     * called before run(); run() then continues from the snapshot's
+     * run point instead of cycle 0.
+     */
+    void restoreSnapshot(const std::vector<std::uint8_t> &bytes);
+
+    /**
+     * Hash of every configuration knob that shapes simulated state.
+     * Deliberately excludes execution strategy (kernel, shard threads,
+     * paranoia, fault plan) so snapshots resume across kernels.
+     */
+    std::uint64_t configHash() const;
+
   private:
     class StallWatchdog;
     /** Channel-sharded multi-threaded driver (src/sim/shard.cc). */
@@ -155,6 +210,28 @@ class System
     /** Gather every end-of-run metric (shared by all kernels). */
     SystemResult collectResults(CpuCycle now, CpuCycle warm_end);
 
+    /** Quiescent run point a snapshot is anchored to / resumed from. */
+    struct RunPoint {
+        CpuCycle now = 0;
+        bool warm = false;
+        CpuCycle warmEnd = 0;
+    };
+
+    /** True when the checkpoint hook wants control at `now`. */
+    bool
+    checkpointDue(CpuCycle now) const
+    {
+        return ckptHook_ && now >= ckptNextAt_;
+    }
+
+    /**
+     * Invoke the checkpoint hook. The caller must already have brought
+     * the system to a quiescent point (parked cores settled to `now`,
+     * sharded channels synced). Rearms the next fire time; throws
+     * SimError{Interrupted} when the hook asks the run to stop.
+     */
+    void fireCheckpoint(CpuCycle now, bool warm, CpuCycle warm_end);
+
     SimConfig config_;
     dram::DramSpec spec_;
     std::unique_ptr<dram::AddressMapper> mapper_;
@@ -162,6 +239,8 @@ class System
     std::vector<std::string> workloadNames_;
 
     std::vector<std::unique_ptr<workloads::SyntheticTrace>> ownedTraces_;
+    /** Every core's trace source (owned or external), for snapshots. */
+    std::vector<cpu::TraceSource *> traceRefs_;
     std::vector<std::unique_ptr<ctrl::RefreshScheduler>> refresh_;
     std::vector<std::unique_ptr<chargecache::LatencyProvider>> providers_;
     std::vector<std::unique_ptr<ctrl::MemoryController>> controllers_;
@@ -193,6 +272,21 @@ class System
      * route wakes through it when present.
      */
     std::unique_ptr<CalendarKernelState> cal_;
+
+    /** Fault-injection plan (non-null; inert when faults.seed == 0). */
+    std::unique_ptr<resilience::FaultPlan> faultPlan_;
+
+    // Checkpoint/restore plumbing.
+    CheckpointHook ckptHook_;
+    CpuCycle ckptNextAt_ = kNoCycle;
+    CpuCycle ckptInterval_ = 0;
+    /** Quiescent point of the in-flight hook (serializeSnapshot anchor). */
+    RunPoint ckptPoint_;
+    bool inCkptHook_ = false;
+    /** Set by restoreSnapshot(); consumed by the next run(). */
+    std::optional<RunPoint> resume_;
+    /** Sharded run lost a worker and fell back to serial execution. */
+    bool degraded_ = false;
 };
 
 } // namespace ccsim::sim

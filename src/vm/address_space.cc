@@ -1,6 +1,12 @@
 #include "vm/address_space.hh"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "resilience/serial.hh"
+
+#include <algorithm>
 
 #include "common/log.hh"
 
@@ -95,6 +101,37 @@ AddressSpace::lookup(Addr vpn, std::uint64_t &ppn) const
         return false;
     ppn = it->second;
     return true;
+}
+
+
+void
+AddressSpace::saveState(resilience::SnapshotWriter &w) const
+{
+    alloc_.saveState(w);
+    pageTable_.saveState(w);
+    std::vector<std::pair<Addr, std::uint64_t>> sorted(pageMap_.begin(),
+                                                       pageMap_.end());
+    std::sort(sorted.begin(), sorted.end());
+    w.putVec(sorted);
+    w.putDeque(mapOrder_);
+    w.put(touchCount_);
+    w.put(touchesSinceRemap_);
+    w.put(remaps_);
+}
+
+void
+AddressSpace::loadState(resilience::SnapshotReader &r)
+{
+    alloc_.loadState(r);
+    pageTable_.loadState(r);
+    std::vector<std::pair<Addr, std::uint64_t>> sorted;
+    r.getVec(sorted);
+    pageMap_.clear();
+    pageMap_.insert(sorted.begin(), sorted.end());
+    r.getDeque(mapOrder_);
+    r.get(touchCount_);
+    r.get(touchesSinceRemap_);
+    r.get(remaps_);
 }
 
 } // namespace ccsim::vm

@@ -37,6 +37,11 @@
 #include "vm/page_table.hh"
 #include "vm/vm_config.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::vm {
 
 class AddressSpace
@@ -80,6 +85,11 @@ class AddressSpace
     std::uint64_t dataFrames() const { return dataFrames_; }
     std::uint64_t mappedPages() const { return pageMap_.size(); }
     std::uint64_t remaps() const { return remaps_; }
+
+    /** Checkpoint: allocator, page table, the vpn→frame map (key-sorted)
+        and the remap-age bookkeeping. */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
   private:
     /** The region's split into data frames and the page-table pool

@@ -1,5 +1,7 @@
 #include "vm/mmu.hh"
 
+#include "resilience/serial.hh"
+
 #include <algorithm>
 
 #include "common/log.hh"
@@ -227,6 +229,74 @@ Mmu::resetStats()
     // hit rates — same contract as the provider/HCRAC reset path.
     if (pwc_)
         pwc_->resetStats();
+}
+
+
+void
+Mmu::saveState(resilience::SnapshotWriter &w) const
+{
+    l1_.saveState(w);
+    l2_.saveState(w);
+    w.put(static_cast<bool>(pwc_));
+    if (pwc_)
+        pwc_->saveState(w);
+    w.put(static_cast<bool>(owned_));
+    if (owned_)
+        owned_->saveState(w);
+    std::uint32_t space_idx = 0;
+    for (std::size_t i = 0; i < spaces_.size(); ++i)
+        if (spaces_[i] == space_) {
+            space_idx = static_cast<std::uint32_t>(i);
+            break;
+        }
+    w.put(space_idx);
+    w.put(schedRng_.state());
+    w.put(xlatVaddr_);
+    w.put(translatedLine_);
+    w.put(walkLevel_);
+    w.put(pteLine_);
+    w.put(walkStart_);
+    w.put(shootdownPending_);
+    w.put(shootdownAsid_);
+    w.put(shootdownVpn_);
+    w.put(stats_);
+}
+
+void
+Mmu::loadState(resilience::SnapshotReader &r)
+{
+    l1_.loadState(r);
+    l2_.loadState(r);
+    bool has_pwc = r.get<bool>();
+    if (has_pwc != static_cast<bool>(pwc_))
+        throw resilience::SimError(
+            resilience::ErrorKind::CorruptSnapshot,
+            "page-walk-cache presence mismatch in snapshot");
+    if (pwc_)
+        pwc_->loadState(r);
+    bool owns_space = r.get<bool>();
+    if (owns_space != static_cast<bool>(owned_))
+        throw resilience::SimError(
+            resilience::ErrorKind::CorruptSnapshot,
+            "address-space ownership mismatch in snapshot");
+    if (owned_)
+        owned_->loadState(r);
+    std::uint32_t space_idx = r.get<std::uint32_t>();
+    if (space_idx >= spaces_.size())
+        throw resilience::SimError(
+            resilience::ErrorKind::CorruptSnapshot,
+            "scheduled address-space index out of range in snapshot");
+    space_ = spaces_[space_idx];
+    schedRng_.setState(r.get<std::array<std::uint64_t, 4>>());
+    r.get(xlatVaddr_);
+    r.get(translatedLine_);
+    r.get(walkLevel_);
+    r.get(pteLine_);
+    r.get(walkStart_);
+    r.get(shootdownPending_);
+    r.get(shootdownAsid_);
+    r.get(shootdownVpn_);
+    r.get(stats_);
 }
 
 } // namespace ccsim::vm

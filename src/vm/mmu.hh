@@ -47,6 +47,11 @@
 #include "vm/tlb.hh"
 #include "vm/vm_config.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::vm {
 
 /** Counters the figures and the OS-pressure ablations consume. */
@@ -208,6 +213,15 @@ class Mmu
     const VmConfig &config() const { return config_; }
     const VmStats &stats() const;
     void resetStats();
+
+    /**
+     * Checkpoint. In legacy single-space mode the Mmu owns its address
+     * space and serializes it inline; in multi-process mode the spaces
+     * are System-owned (serialized once there) and only the index of
+     * the currently scheduled space is recorded.
+     */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
     // Structure access for tests.
     TlbArray &l1Tlb() { return l1_; }

@@ -1,5 +1,9 @@
 #include "vm/page_alloc.hh"
 
+#include <array>
+
+#include "resilience/serial.hh"
+
 #include <algorithm>
 
 #include "common/log.hh"
@@ -87,6 +91,21 @@ PageAllocator::frameForAt(std::uint64_t touch_idx, CpuCycle now)
         std::swap(order_[slot], order_[j]);
     }
     return order_[slot];
+}
+
+
+void
+PageAllocator::saveState(resilience::SnapshotWriter &w) const
+{
+    w.put(rng_.state());
+    w.putVec(order_);
+}
+
+void
+PageAllocator::loadState(resilience::SnapshotReader &r)
+{
+    rng_.setState(r.get<std::array<std::uint64_t, 4>>());
+    r.getVec(order_);
 }
 
 } // namespace ccsim::vm

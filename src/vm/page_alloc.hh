@@ -47,6 +47,11 @@
 #include "common/random.hh"
 #include "common/types.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::vm {
 
 /** Allocation policy (see file header). */
@@ -109,6 +114,11 @@ class PageAllocator
     std::uint64_t poolFrames() const { return poolFrames_; }
     PageAlloc policy() const { return policy_; }
     const AgingSpec &aging() const { return aging_; }
+
+    /** Checkpoint: the lazy-shuffle RNG stream and the (possibly
+        partially settled) frame order. */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
   private:
     PageAlloc policy_;

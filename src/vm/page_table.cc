@@ -1,5 +1,11 @@
 #include "vm/page_table.hh"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "resilience/serial.hh"
+
 #include "common/log.hh"
 
 namespace ccsim::vm {
@@ -38,6 +44,27 @@ PageTable::pteLineFor(Addr vpn, int level)
     return poolBaseLine_ +
            frame * static_cast<std::uint64_t>(linesPerTable_) +
            (entry >> pteShift_);
+}
+
+
+void
+PageTable::saveState(resilience::SnapshotWriter &w) const
+{
+    w.put(nextFrame_);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted(
+        tables_.begin(), tables_.end());
+    std::sort(sorted.begin(), sorted.end());
+    w.putVec(sorted);
+}
+
+void
+PageTable::loadState(resilience::SnapshotReader &r)
+{
+    r.get(nextFrame_);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted;
+    r.getVec(sorted);
+    tables_.clear();
+    tables_.insert(sorted.begin(), sorted.end());
 }
 
 } // namespace ccsim::vm

@@ -26,6 +26,11 @@
 
 #include "common/types.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::vm {
 
 class PageTable
@@ -56,6 +61,11 @@ class PageTable
 
     /** Distinct table frames allocated so far (all levels). */
     std::uint64_t tablesAllocated() const { return tables_.size(); }
+
+    /** Checkpoint: allocation cursor + the (lookup-only, key-sorted)
+        table map. */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
   private:
     int levels_;

@@ -1,5 +1,7 @@
 #include "vm/pwc.hh"
 
+#include "resilience/serial.hh"
+
 #include "common/log.hh"
 
 namespace ccsim::vm {
@@ -45,6 +47,23 @@ Pwc::flush()
 {
     for (auto &a : arrays_)
         a.flush();
+}
+
+
+void
+Pwc::saveState(resilience::SnapshotWriter &w) const
+{
+    for (const TlbArray &a : arrays_)
+        a.saveState(w);
+    w.put(stats_);
+}
+
+void
+Pwc::loadState(resilience::SnapshotReader &r)
+{
+    for (TlbArray &a : arrays_)
+        a.loadState(r);
+    r.get(stats_);
 }
 
 } // namespace ccsim::vm

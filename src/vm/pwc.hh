@@ -30,6 +30,11 @@
 #include "vm/tlb.hh"
 #include "vm/vm_config.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::vm {
 
 class Pwc
@@ -64,6 +69,10 @@ class Pwc
     void resetStats() { stats_ = Stats(); }
 
     int upperLevels() const { return levels_ - 1; }
+
+    /** Checkpoint: every per-level array + counters. */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
   private:
     /** Tag for level `l`: the vpn bits above that level's index. */

@@ -1,5 +1,7 @@
 #include "vm/tlb.hh"
 
+#include "resilience/serial.hh"
+
 #include "common/log.hh"
 
 namespace ccsim::vm {
@@ -108,6 +110,39 @@ TlbArray::validCount(std::int64_t asid) const
         if (e.valid && (asid < 0 || e.asid == static_cast<std::uint32_t>(asid)))
             ++n;
     return n;
+}
+
+
+void
+TlbArray::saveState(resilience::SnapshotWriter &w) const
+{
+    w.put(clock_);
+    w.put(static_cast<std::uint64_t>(entries_.size()));
+    for (const Entry &e : entries_) {
+        w.put(e.vpn);
+        w.put(e.ppn);
+        w.put(e.lru);
+        w.put(e.asid);
+        w.put(e.valid);
+    }
+}
+
+void
+TlbArray::loadState(resilience::SnapshotReader &r)
+{
+    r.get(clock_);
+    std::uint64_t n = r.get<std::uint64_t>();
+    if (n != entries_.size())
+        throw resilience::SimError(
+            resilience::ErrorKind::CorruptSnapshot,
+            "TLB geometry mismatch in snapshot");
+    for (Entry &e : entries_) {
+        r.get(e.vpn);
+        r.get(e.ppn);
+        r.get(e.lru);
+        r.get(e.asid);
+        r.get(e.valid);
+    }
 }
 
 } // namespace ccsim::vm

@@ -20,6 +20,11 @@
 
 #include "common/types.hh"
 
+namespace ccsim::resilience {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace ccsim::resilience
+
 namespace ccsim::vm {
 
 class TlbArray
@@ -52,6 +57,10 @@ class TlbArray
 
     int numSets() const { return sets_; }
     int numWays() const { return ways_; }
+
+    /** Checkpoint: LRU clock + every entry. */
+    void saveState(resilience::SnapshotWriter &w) const;
+    void loadState(resilience::SnapshotReader &r);
 
   private:
     struct Entry {

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "common/random.hh"
+#include "resilience/error.hh"
 
 namespace ccsim::workloads {
 
@@ -134,7 +135,8 @@ profileByName(const std::string &name)
     for (const auto &p : allProfiles())
         if (p.name == name)
             return p;
-    CCSIM_FATAL("unknown workload profile '", name, "'");
+    throw resilience::SimError(resilience::ErrorKind::InvalidConfig,
+                               "unknown workload profile '" + name + "'");
 }
 
 std::vector<std::string>

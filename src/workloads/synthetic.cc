@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "resilience/serial.hh"
 
 namespace ccsim::workloads {
 
@@ -74,6 +75,20 @@ SyntheticTrace::reset()
 {
     rng_.reseed(seed_);
     streamPos_.assign(profile_.streams.size(), 0);
+}
+
+void
+SyntheticTrace::saveState(resilience::SnapshotWriter &w) const
+{
+    w.put(rng_.state());
+    w.putVec(streamPos_);
+}
+
+void
+SyntheticTrace::loadState(resilience::SnapshotReader &r)
+{
+    rng_.setState(r.get<std::array<std::uint64_t, 4>>());
+    r.getVec(streamPos_);
 }
 
 Addr

@@ -85,6 +85,11 @@ class SyntheticTrace : public cpu::TraceSource
     bool next(cpu::TraceRecord &record) override;
     void reset() override;
 
+    /** Checkpoint: the RNG stream and the stream cursors are the only
+        mutable state; everything else derives from the profile. */
+    void saveState(resilience::SnapshotWriter &w) const override;
+    void loadState(resilience::SnapshotReader &r) override;
+
     const SyntheticProfile &profile() const { return profile_; }
 
   private:

@@ -120,6 +120,11 @@ expectIdenticalResults(const sim::SystemResult &a,
     for (size_t i = 0; i < a.rltl.size(); ++i)
         EXPECT_EQ(a.rltl[i], b.rltl[i]) << "rltl window " << i;
     EXPECT_EQ(a.afterRefresh8ms, b.afterRefresh8ms);
+
+    // SystemResult::degraded is deliberately NOT compared: the
+    // resilience tests pit a degraded sharded run against a healthy
+    // serial reference precisely to prove the *statistics* stay
+    // bit-identical while the flag differs (tests/test_resilience.cc).
 }
 
 /** Per-core statistics must also agree (park/wake bulk accounting). */

@@ -11,6 +11,7 @@
 #include "common/random.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "resilience/error.hh"
 
 namespace ccsim {
 namespace {
@@ -156,8 +157,8 @@ TEST(Config, MalformedValuesThrow)
     Config cfg;
     cfg.set("i", "notanint");
     cfg.set("b", "maybe");
-    EXPECT_THROW(cfg.getInt("i", 0), FatalError);
-    EXPECT_THROW(cfg.getBool("b", false), FatalError);
+    EXPECT_THROW(cfg.getInt("i", 0), resilience::SimError);
+    EXPECT_THROW(cfg.getBool("b", false), resilience::SimError);
 }
 
 TEST(Config, ParseArgsReturnsUnparsed)
@@ -188,7 +189,8 @@ TEST(Config, ParseFileWithComments)
 TEST(Config, MissingFileThrows)
 {
     Config cfg;
-    EXPECT_THROW(cfg.parseFile("/nonexistent/xyz.cfg"), FatalError);
+    EXPECT_THROW(cfg.parseFile("/nonexistent/xyz.cfg"),
+                 resilience::SimError);
 }
 
 TEST(Config, UnusedKeysReported)

@@ -10,6 +10,7 @@
 #include "dram/oracle.hh"
 #include "dram/rank.hh"
 #include "dram/spec.hh"
+#include "resilience/error.hh"
 
 namespace ccsim::dram {
 namespace {
@@ -60,11 +61,11 @@ TEST(Spec, InvalidConfigsThrow)
 {
     DramSpec s = DramSpec::ddr3_1600(1);
     s.org.rowsPerBank = 1000; // not a power of two
-    EXPECT_THROW(s.validate(), FatalError);
+    EXPECT_THROW(s.validate(), resilience::SimError);
 
     DramSpec s2 = DramSpec::ddr3_1600(1);
     s2.timing.tRAS = s2.timing.tRCD; // tRAS must exceed tRCD
-    EXPECT_THROW(s2.validate(), FatalError);
+    EXPECT_THROW(s2.validate(), resilience::SimError);
 }
 
 // ---------------------------------------------------------------------
@@ -126,7 +127,7 @@ TEST(Mapper, RowMajorSchemeKeepsRowTogether)
 TEST(Mapper, ParseNames)
 {
     EXPECT_EQ(parseMapScheme("RoBaRaCoCh"), MapScheme::RoBaRaCoCh);
-    EXPECT_THROW(parseMapScheme("bogus"), FatalError);
+    EXPECT_THROW(parseMapScheme("bogus"), resilience::SimError);
 }
 
 // ---------------------------------------------------------------------

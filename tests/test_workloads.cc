@@ -9,6 +9,7 @@
 #include "common/log.hh"
 #include "workloads/profiles.hh"
 #include "workloads/synthetic.hh"
+#include "resilience/error.hh"
 #include "workloads/trace_file.hh"
 
 namespace ccsim::workloads {
@@ -26,7 +27,7 @@ TEST(Profiles, LookupByNameWorksAndThrowsOnUnknown)
 {
     EXPECT_EQ(profileByName("mcf").name, "mcf");
     EXPECT_EQ(profileByName("STREAMcopy").name, "STREAMcopy");
-    EXPECT_THROW(profileByName("doom"), FatalError);
+    EXPECT_THROW(profileByName("doom"), resilience::SimError);
 }
 
 TEST(Profiles, HmmerIsCacheResident)
@@ -304,8 +305,14 @@ TEST(TraceFile, ParsesRamulatorFormat)
 
 TEST(TraceFile, MissingFileThrows)
 {
-    EXPECT_THROW(RamulatorTraceReader("/nonexistent/trace.txt"),
-                 FatalError);
+    // User input (a trace path) failing is a structured, recoverable
+    // error, not an invariant violation.
+    try {
+        RamulatorTraceReader reader("/nonexistent/trace.txt");
+        FAIL() << "expected SimError";
+    } catch (const resilience::SimError &e) {
+        EXPECT_EQ(e.kind(), resilience::ErrorKind::TraceIo);
+    }
 }
 
 } // namespace
