@@ -1,0 +1,53 @@
+#include "trace/convert.hh"
+
+#include "resilience/error.hh"
+#include "workloads/profiles.hh"
+#include "workloads/synthetic.hh"
+
+namespace ccsim::trace {
+
+using resilience::ErrorKind;
+using resilience::SimError;
+
+TraceMeta
+writeTrace(cpu::TraceSource &src, const std::string &path,
+           std::uint64_t n_records, std::uint32_t records_per_block)
+{
+    if (n_records == 0)
+        throw SimError(ErrorKind::InvalidConfig,
+                       "cannot write an empty trace");
+    TraceWriter writer(path, records_per_block);
+    cpu::TraceRecord rec;
+    for (std::uint64_t i = 0; i < n_records; ++i) {
+        if (!src.next(rec)) {
+            // Finite source: wrap like cpu::Core does on exhaustion.
+            src.reset();
+            if (!src.next(rec))
+                throw SimError(ErrorKind::InvalidConfig,
+                               "trace source yields no records");
+        }
+        writer.append(rec);
+    }
+    return writer.close();
+}
+
+TraceMeta
+writeSyntheticTrace(const std::string &workload, std::uint64_t seed,
+                    int core_id, int n_cores, Addr capacity_lines,
+                    const std::string &path, std::uint64_t n_records,
+                    std::uint32_t records_per_block)
+{
+    if (n_cores <= 0 || core_id < 0 || core_id >= n_cores)
+        throw SimError(ErrorKind::InvalidConfig,
+                       "bad core_id/n_cores for trace conversion");
+    // Mirror System's per-core layout: seed skew 0x9E37*(i+1), cores
+    // in disjoint regions of the line space.
+    Addr region = capacity_lines / static_cast<Addr>(n_cores);
+    workloads::SyntheticTrace src(
+        workloads::profileByName(workload),
+        seed + 0x9E37 * (static_cast<std::uint64_t>(core_id) + 1),
+        region * static_cast<Addr>(core_id), capacity_lines);
+    return writeTrace(src, path, n_records, records_per_block);
+}
+
+} // namespace ccsim::trace

@@ -1,0 +1,19 @@
+#include "trace/replay.hh"
+
+#include "resilience/serial.hh"
+
+namespace ccsim::trace {
+
+void
+TraceReplaySource::saveState(resilience::SnapshotWriter &w) const
+{
+    w.put(reader_.position());
+}
+
+void
+TraceReplaySource::loadState(resilience::SnapshotReader &r)
+{
+    reader_.seekRecord(r.get<std::uint64_t>());
+}
+
+} // namespace ccsim::trace

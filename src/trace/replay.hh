@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Trace replay: a cpu::TraceSource backed by a CCTR trace file, so a
+ * recorded stream feeds cpu::Core through exactly the same issue path
+ * as an in-process generator. Finite by design — the core's wrap-on-
+ * exhaustion logic (trace_.reset() when next() returns false) applies,
+ * so a file holding fewer records than the run needs loops like the
+ * Ramulator text reader does.
+ */
+
+#ifndef CCSIM_TRACE_REPLAY_HH
+#define CCSIM_TRACE_REPLAY_HH
+
+#include <string>
+
+#include "cpu/trace.hh"
+#include "trace/format.hh"
+
+namespace ccsim::trace {
+
+class TraceReplaySource : public cpu::TraceSource
+{
+  public:
+    /** Opens eagerly; throws like TraceReader's constructor. */
+    explicit TraceReplaySource(const std::string &path)
+        : reader_(path)
+    {
+    }
+
+    bool
+    next(cpu::TraceRecord &record) override
+    {
+        return reader_.next(record);
+    }
+
+    void
+    reset() override
+    {
+        reader_.rewind();
+    }
+
+    /**
+     * Checkpoint support (the PR-6 hooks): the replay position is the
+     * only mutable state — restore re-seeks the same file, so a
+     * resumed run replays the identical record stream.
+     */
+    void saveState(resilience::SnapshotWriter &w) const override;
+    void loadState(resilience::SnapshotReader &r) override;
+
+    /** Underlying reader, for fault-injection hooks and metadata. */
+    TraceReader &reader() { return reader_; }
+    const TraceReader &reader() const { return reader_; }
+
+  private:
+    TraceReader reader_;
+};
+
+} // namespace ccsim::trace
+
+#endif // CCSIM_TRACE_REPLAY_HH

@@ -1,0 +1,309 @@
+#include "trace/sampling.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/random.hh"
+#include "resilience/error.hh"
+#include "trace/replay.hh"
+
+namespace ccsim::trace {
+
+using resilience::ErrorKind;
+using resilience::SimError;
+
+namespace {
+
+double
+dist2(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double d = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double t = a[i] - b[i];
+        d += t * t;
+    }
+    return d;
+}
+
+} // namespace
+
+SampledSimulation::SampledSimulation(const sim::SimConfig &config,
+                                     const std::string &trace_path,
+                                     const SamplingConfig &sampling)
+    : config_(config), path_(trace_path), sampling_(sampling)
+{
+    if (config_.nCores != 1)
+        throw SimError(ErrorKind::InvalidConfig,
+                       "sampled simulation drives exactly one core "
+                       "per trace (nCores must be 1)");
+    if (sampling_.intervalInsts == 0)
+        throw SimError(ErrorKind::InvalidConfig,
+                       "sampling intervalInsts must be positive");
+    if (sampling_.warmupInsts >= sampling_.intervalInsts)
+        throw SimError(ErrorKind::InvalidConfig,
+                       "sampling warmup must be shorter than the "
+                       "interval");
+    if (sampling_.maxClusters == 0 || sampling_.signatureBuckets <= 0)
+        throw SimError(ErrorKind::InvalidConfig,
+                       "sampling needs clusters and signature buckets");
+}
+
+std::vector<IntervalInfo>
+SampledSimulation::profileTrace(std::uint64_t &total_insts)
+{
+    const std::uint64_t L = sampling_.intervalInsts;
+    const std::uint64_t W = sampling_.warmupInsts;
+    const auto B =
+        static_cast<std::uint64_t>(sampling_.signatureBuckets);
+
+    TraceReader rd(path_);
+    std::vector<IntervalInfo> out;
+    std::vector<std::uint64_t> hist(B, 0);
+    std::uint64_t writes = 0;
+
+    IntervalInfo cur; // Interval 0 starts at the trace head, no warmup.
+    std::uint64_t cum = 0, recIdx = 0;
+    std::uint64_t nextBoundary = L;
+    // Warm lead-in start for the NEXT interval: the first record at or
+    // past (boundary - W) instructions, captured in this same pass.
+    std::uint64_t pendWarmRec = 0, pendWarmInst = 0;
+    bool pendValid = false;
+
+    auto finish = [&]() {
+        cur.insts = cum - cur.startInst;
+        cur.records = recIdx - cur.startRecord;
+        cur.signature.assign(B + 2, 0.0);
+        if (cur.records > 0) {
+            for (std::uint64_t b = 0; b < B; ++b)
+                cur.signature[b] = static_cast<double>(hist[b]) /
+                                   static_cast<double>(cur.records);
+            cur.signature[B] = static_cast<double>(cur.records) /
+                               static_cast<double>(cur.insts);
+            cur.signature[B + 1] = static_cast<double>(writes) /
+                                   static_cast<double>(cur.records);
+        }
+        out.push_back(cur);
+        std::fill(hist.begin(), hist.end(), 0);
+        writes = 0;
+    };
+
+    cpu::TraceRecord rec;
+    while (rd.next(rec)) {
+        if (!pendValid && cum >= nextBoundary - W) {
+            pendWarmRec = recIdx;
+            pendWarmInst = cum;
+            pendValid = true;
+        }
+        // 8 KB row granularity: the locality unit ChargeCache tracks.
+        ++hist[mix64(rec.addr >> 13) % B];
+        writes += rec.isWrite ? 1 : 0;
+        cum += rec.nonMemInsts + 1;
+        ++recIdx;
+        if (cum >= nextBoundary) {
+            finish();
+            cur = IntervalInfo{};
+            cur.startRecord = recIdx;
+            cur.startInst = cum;
+            cur.warmStartRecord = pendValid ? pendWarmRec : recIdx;
+            cur.warmStartInst = pendValid ? pendWarmInst : cum;
+            pendValid = false;
+            nextBoundary += L;
+        }
+    }
+    if (cum > cur.startInst)
+        finish(); // Partial tail interval, weighted by its real size.
+    total_insts = cum;
+    if (out.empty())
+        throw SimError(ErrorKind::InvalidConfig,
+                       "trace '" + path_ + "' holds no instructions");
+    return out;
+}
+
+int
+SampledSimulation::clusterIntervals(std::vector<IntervalInfo> &ivs)
+{
+    const auto n = ivs.size();
+    int k = static_cast<int>(
+        std::min<std::uint64_t>(sampling_.maxClusters, n));
+    if (k <= 1) {
+        for (auto &iv : ivs)
+            iv.cluster = 0;
+        return 1;
+    }
+
+    Rng rng(sampling_.seed);
+    std::vector<std::vector<double>> centers;
+    centers.reserve(k);
+    centers.push_back(ivs[rng.below(n)].signature);
+
+    // k-means++ seeding: next center drawn proportional to squared
+    // distance from the chosen set.
+    std::vector<double> d2(n, std::numeric_limits<double>::max());
+    while (static_cast<int>(centers.size()) < k) {
+        double total = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            d2[i] = std::min(d2[i],
+                             dist2(ivs[i].signature, centers.back()));
+            total += d2[i];
+        }
+        if (total <= 0) {
+            // All remaining points coincide with a center.
+            k = static_cast<int>(centers.size());
+            break;
+        }
+        double r = rng.uniform() * total, acc = 0;
+        std::size_t pick = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            acc += d2[i];
+            if (acc >= r) {
+                pick = i;
+                break;
+            }
+        }
+        centers.push_back(ivs[pick].signature);
+    }
+
+    // Lloyd iterations; assignments are deterministic (ties resolve to
+    // the lowest center index).
+    std::vector<int> assign(n, -1);
+    for (std::uint32_t iter = 0; iter < sampling_.kmeansIters; ++iter) {
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            int best = 0;
+            double bestD = dist2(ivs[i].signature, centers[0]);
+            for (int c = 1; c < k; ++c) {
+                double d = dist2(ivs[i].signature, centers[c]);
+                if (d < bestD) {
+                    bestD = d;
+                    best = c;
+                }
+            }
+            if (assign[i] != best) {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+        std::vector<std::vector<double>> sum(
+            k, std::vector<double>(ivs[0].signature.size(), 0.0));
+        std::vector<std::uint64_t> cnt(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            auto &s = sum[assign[i]];
+            for (std::size_t j = 0; j < s.size(); ++j)
+                s[j] += ivs[i].signature[j];
+            ++cnt[assign[i]];
+        }
+        for (int c = 0; c < k; ++c) {
+            if (cnt[c] == 0)
+                continue; // Keep the old center for empty clusters.
+            for (auto &v : sum[c])
+                v /= static_cast<double>(cnt[c]);
+            centers[c] = std::move(sum[c]);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        ivs[i].cluster = assign[i];
+    return k;
+}
+
+SampledResult
+SampledSimulation::run()
+{
+    SampledResult out;
+    out.intervals = profileTrace(out.totalInsts);
+    out.clusters = clusterIntervals(out.intervals);
+    const auto &ivs = out.intervals;
+
+    // Representative per cluster: closest to the centroid — computed
+    // as the member minimizing summed distance to its cluster mates
+    // is overkill; the centroid distance needs the centroid, which
+    // Lloyd's loop no longer holds, so recompute it per cluster.
+    const std::size_t dim = ivs[0].signature.size();
+    for (int c = 0; c < out.clusters; ++c) {
+        std::vector<double> centroid(dim, 0.0);
+        std::uint64_t members = 0, clusterInsts = 0;
+        for (const auto &iv : ivs) {
+            if (iv.cluster != c)
+                continue;
+            for (std::size_t j = 0; j < dim; ++j)
+                centroid[j] += iv.signature[j];
+            ++members;
+            clusterInsts += iv.insts;
+        }
+        if (members == 0)
+            continue;
+        for (auto &v : centroid)
+            v /= static_cast<double>(members);
+
+        std::size_t rep = 0;
+        double bestD = std::numeric_limits<double>::max();
+        for (std::size_t i = 0; i < ivs.size(); ++i) {
+            if (ivs[i].cluster != c)
+                continue;
+            double d = dist2(ivs[i].signature, centroid);
+            if (d < bestD) {
+                bestD = d;
+                rep = i;
+            }
+        }
+
+        const IntervalInfo &iv = ivs[rep];
+        sim::SimConfig cfg = config_;
+        cfg.warmupInsts = iv.startInst - iv.warmStartInst;
+        cfg.targetInsts = iv.insts;
+        TraceReplaySource src(path_);
+        // Functional fast-forward: seek-skip whole blocks to the
+        // warmup lead-in, then simulate warmup + slice detailed.
+        src.reader().skipRecords(iv.warmStartRecord);
+        std::vector<cpu::TraceSource *> traces{&src};
+        sim::System sys(cfg, traces);
+
+        SampledSlice slice;
+        slice.interval = rep;
+        slice.weight = static_cast<double>(clusterInsts) /
+                       static_cast<double>(out.totalInsts);
+        slice.result = sys.run();
+        out.detailedInsts += cfg.warmupInsts + cfg.targetInsts;
+        out.slices.push_back(std::move(slice));
+    }
+
+    // Aggregate headline metrics. IPC combines as an instruction-
+    // weighted harmonic mean (weights are instruction shares, so
+    // cycles add); hit rates weight by each slice's activation rate.
+    double cyclesPerInst = 0, actPerInst = 0;
+    double hcracNum = 0, provNum = 0, unlNum = 0;
+    for (const auto &s : out.slices) {
+        double ipc = s.result.ipc.empty() ? 0.0 : s.result.ipc[0];
+        cyclesPerInst += s.weight / std::max(ipc, 1e-12);
+        double insts =
+            static_cast<double>(ivs[s.interval].insts);
+        double api =
+            insts > 0
+                ? static_cast<double>(s.result.activations) / insts
+                : 0.0;
+        actPerInst += s.weight * api;
+        hcracNum += s.weight * api * s.result.hcracHitRate;
+        provNum += s.weight * api * s.result.providerHitRate;
+        unlNum += s.weight * api * s.result.unlimitedHitRate;
+    }
+    auto &agg = out.aggregate;
+    agg.ipc.assign(1, cyclesPerInst > 0 ? 1.0 / cyclesPerInst : 0.0);
+    agg.cpuCycles = static_cast<CpuCycle>(
+        static_cast<double>(out.totalInsts) * cyclesPerInst);
+    agg.activations = static_cast<std::uint64_t>(
+        actPerInst * static_cast<double>(out.totalInsts));
+    if (actPerInst > 0) {
+        agg.hcracHitRate = hcracNum / actPerInst;
+        agg.providerHitRate = provNum / actPerInst;
+        agg.unlimitedHitRate = unlNum / actPerInst;
+    }
+    agg.rmpkc = agg.cpuCycles > 0
+                    ? static_cast<double>(agg.activations) /
+                          (static_cast<double>(agg.cpuCycles) / 1000.0)
+                    : 0.0;
+    return out;
+}
+
+} // namespace ccsim::trace

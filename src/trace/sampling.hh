@@ -1,0 +1,117 @@
+/**
+ * @file
+ * SimPoint-style sampled simulation of CCTR traces.
+ *
+ * The full methodology (Sherwood et al., ASPLOS 2002, adapted from
+ * basic-block vectors to memory-access signatures — the simulator is
+ * trace-driven, so the access stream *is* the program behaviour):
+ *
+ *  1. Profile: one streaming pass slices the trace into fixed-length
+ *     instruction intervals and builds a per-interval signature — a
+ *     normalized histogram of hashed row addresses plus memory
+ *     intensity and write fraction. O(1) state; the trace is never
+ *     resident.
+ *  2. Cluster: deterministic k-means++ (common/random.hh Rng) groups
+ *     intervals by signature distance; each cluster's representative
+ *     is the interval closest to its centroid, weighted by the
+ *     cluster's share of total instructions.
+ *  3. Simulate: each representative slice runs detailed, launched by
+ *     functional fast-forward (TraceReader::skipRecords — whole-block
+ *     seek skips, no decode) to a warmup lead-in that primes caches
+ *     and the HCRAC before measurement starts (System's existing
+ *     warmup-then-reset machinery). Slices run serially so reported
+ *     speedups are honest wall-clock.
+ *  4. Aggregate: headline metrics are combined across slices —
+ *     instruction-weighted harmonic mean for IPC, activation-weighted
+ *     means for the hit rates — into a SystemResult standing in for
+ *     the full run. Error model and knobs: docs/traces.md.
+ *
+ * Only single-core configs are supported (one trace file drives one
+ * core); multi-core sampling needs per-core phase alignment, which is
+ * out of scope here.
+ */
+
+#ifndef CCSIM_TRACE_SAMPLING_HH
+#define CCSIM_TRACE_SAMPLING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "trace/format.hh"
+
+namespace ccsim::trace {
+
+struct SamplingConfig {
+    std::uint64_t intervalInsts = 1'000'000; ///< Slice length.
+    std::uint64_t warmupInsts = 200'000;     ///< Detailed lead-in.
+    std::uint32_t maxClusters = 8;           ///< k (SimPoint maxK).
+    std::uint32_t kmeansIters = 50;
+    int signatureBuckets = 32; ///< Row-hash histogram width.
+    std::uint64_t seed = 42;   ///< Clustering RNG seed.
+};
+
+/** One profiled interval (all indices are absolute trace positions). */
+struct IntervalInfo {
+    std::uint64_t startRecord = 0;
+    std::uint64_t startInst = 0;
+    std::uint64_t warmStartRecord = 0; ///< Warmup lead-in start.
+    std::uint64_t warmStartInst = 0;
+    std::uint64_t insts = 0;   ///< Actual instructions inside.
+    std::uint64_t records = 0; ///< Records inside.
+    std::vector<double> signature;
+    int cluster = -1;
+};
+
+/** One representative slice's detailed run. */
+struct SampledSlice {
+    std::uint64_t interval = 0; ///< Index into intervals.
+    double weight = 0.0;        ///< Cluster instruction share.
+    sim::SystemResult result;
+};
+
+struct SampledResult {
+    /**
+     * Weighted stand-in for the full run. Headline metrics are
+     * populated (ipc, cpuCycles, activations, hcracHitRate,
+     * providerHitRate, unlimitedHitRate, rmpkc); subsystem breakdowns
+     * stay at their defaults — read them per-slice instead.
+     */
+    sim::SystemResult aggregate;
+    std::vector<IntervalInfo> intervals;
+    std::vector<SampledSlice> slices;
+    std::uint64_t totalInsts = 0;    ///< Whole trace.
+    std::uint64_t detailedInsts = 0; ///< Actually simulated detailed.
+    int clusters = 0;
+};
+
+class SampledSimulation
+{
+  public:
+    /**
+     * @param config single-core SimConfig; kernel/scheme/etc. apply to
+     *        each representative slice. warmupInsts/targetInsts are
+     *        ignored (the sampler owns them per slice).
+     * @throws resilience::SimError{InvalidConfig} unless nCores == 1.
+     */
+    SampledSimulation(const sim::SimConfig &config,
+                      const std::string &trace_path,
+                      const SamplingConfig &sampling);
+
+    /** Profile + cluster + simulate representatives + aggregate. */
+    SampledResult run();
+
+  private:
+    std::vector<IntervalInfo> profileTrace(std::uint64_t &total_insts);
+    /** k-means++ over signatures; returns cluster count. */
+    int clusterIntervals(std::vector<IntervalInfo> &intervals);
+
+    sim::SimConfig config_;
+    std::string path_;
+    SamplingConfig sampling_;
+};
+
+} // namespace ccsim::trace
+
+#endif // CCSIM_TRACE_SAMPLING_HH
