@@ -3,8 +3,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "workloads/profiles.hh"
+
+#ifndef CCSIM_GIT_SHA
+#define CCSIM_GIT_SHA "unknown"
+#endif
 
 namespace ccsim::bench {
 
@@ -15,6 +20,45 @@ envInt(const char *name, int def)
 {
     return static_cast<int>(
         sim::envU64(name, static_cast<std::uint64_t>(def)));
+}
+
+/**
+ * Build-provenance object spliced into every captured record: the git
+ * revision and compiler the binary came from, an FNV-1a hash over the
+ * build identity (revision + compiler + compile-time feature set) for
+ * cheap "same build?" comparisons across trajectory rows, and the
+ * host's hardware thread count (shard speedups are meaningless
+ * without it).
+ */
+std::string
+provenanceJson()
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const char *s) {
+        for (; *s; ++s) {
+            h ^= static_cast<unsigned char>(*s);
+            h *= 1099511628211ull;
+        }
+    };
+    mix(CCSIM_GIT_SHA);
+    mix("|");
+    mix(__VERSION__);
+    mix("|");
+#if CCSIM_OBS
+    mix("obs=1");
+#else
+    mix("obs=0");
+#endif
+#ifdef NDEBUG
+    mix("|ndebug");
+#endif
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "\"prov\": {\"git_sha\": \"%s\", \"compiler\": \"%s\", "
+                  "\"build_hash\": \"%016llx\", \"hw_threads\": %u}",
+                  CCSIM_GIT_SHA, __VERSION__, (unsigned long long)h,
+                  std::thread::hardware_concurrency());
+    return buf;
 }
 
 } // namespace
@@ -97,6 +141,12 @@ captureRecord(const std::function<void(std::FILE *)> &emit)
     std::fclose(mem);
     std::string out(buf, size);
     std::free(buf);
+    // Splice build provenance into the record's top-level object (the
+    // emitters all end with "}" or "}\n"); non-JSON output passes
+    // through untouched.
+    std::size_t pos = out.find_last_of('}');
+    if (pos != std::string::npos)
+        out.insert(pos, ", " + provenanceJson());
     return out;
 }
 

@@ -57,6 +57,11 @@ double mean(const std::vector<double> &values);
  * BENCH_*.json or JSONL trajectory is replaced atomically — a
  * concurrent CI reader sees the old record or the new one, never a
  * torn file.
+ *
+ * Every JSON record additionally gets a "prov" object spliced into its
+ * top level (git sha, compiler, build hash, hardware threads) so a
+ * trajectory row can always be traced back to the build that produced
+ * it.
  */
 std::string captureRecord(const std::function<void(std::FILE *)> &emit);
 

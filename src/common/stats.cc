@@ -25,6 +25,47 @@ Distribution::reset()
     sum_ = min_ = max_ = 0.0;
 }
 
+void
+Histogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (int i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+std::uint64_t
+Histogram::percentileUpperBound(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    // Rank of the p-quantile, 1-based; ceil without float rounding woes.
+    std::uint64_t rank = static_cast<std::uint64_t>(p * double(count_));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= rank)
+            return bucketHi(i);
+    }
+    return bucketHi(kBuckets - 1);
+}
+
 Counter &
 StatRegistry::counter(const std::string &name)
 {
@@ -35,6 +76,12 @@ Distribution &
 StatRegistry::distribution(const std::string &name)
 {
     return distributions_[name];
+}
+
+Histogram &
+StatRegistry::histogram(const std::string &name)
+{
+    return histograms_[name];
 }
 
 const Counter *
@@ -49,6 +96,23 @@ StatRegistry::findDistribution(const std::string &name) const
 {
     auto it = distributions_.find(name);
     return it == distributions_.end() ? nullptr : &it->second;
+}
+
+const Histogram *
+StatRegistry::findHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+StatRegistry::histogramNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(histograms_.size());
+    for (const auto &kv : histograms_)
+        names.push_back(kv.first);
+    return names;
 }
 
 std::vector<std::string>
@@ -68,6 +132,8 @@ StatRegistry::resetAll()
         kv.second.reset();
     for (auto &kv : distributions_)
         kv.second.reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
 }
 
 void
@@ -80,6 +146,13 @@ StatRegistry::dump(std::ostream &os) const
         os << kv.first << ".mean " << kv.second.mean() << "\n";
         os << kv.first << ".min " << kv.second.minimum() << "\n";
         os << kv.first << ".max " << kv.second.maximum() << "\n";
+    }
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        os << kv.first << ".count " << h.count() << "\n";
+        os << kv.first << ".mean " << h.mean() << "\n";
+        os << kv.first << ".p50 " << h.percentileUpperBound(0.5) << "\n";
+        os << kv.first << ".p99 " << h.percentileUpperBound(0.99) << "\n";
     }
 }
 

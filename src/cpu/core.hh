@@ -28,6 +28,7 @@
 #include <functional>
 #include <limits>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "cpu/trace.hh"
 #include "mem/llc.hh"
@@ -184,6 +185,20 @@ class Core
     const CoreStats &stats() const { return stats_; }
     const vm::Mmu *mmu() const { return mmu_; }
 
+#if CCSIM_OBS
+    /**
+     * Attach the telemetry page-walk latency histogram: each completed
+     * full walk (L2 TLB miss through last PTE return) samples its
+     * start-to-finish CPU-cycle latency. Observation-only.
+     */
+    void setObsPtwHist(Histogram *hist) { obsPtwHist_ = hist; }
+    /** In-flight walk start cycle (kNoCycle = none); checkpointed by
+        the System's "obs" section so a resumed run's first completed
+        walk still samples the right latency. */
+    CpuCycle obsWalkStart() const { return obsWalkStart_; }
+    void setObsWalkStart(CpuCycle at) { obsWalkStart_ = at; }
+#endif
+
     /**
      * Zero statistics and re-base instruction counting at `now`
      * (end-of-warm-up). In-flight state is preserved.
@@ -288,6 +303,11 @@ class Core
         (0 = scheduling disabled). */
     std::uint64_t instsSinceSwitch_ = 0;
     std::uint64_t switchQuantum_ = 0;
+
+#if CCSIM_OBS
+    Histogram *obsPtwHist_ = nullptr; ///< Telemetry walk latency.
+    CpuCycle obsWalkStart_ = kNoCycle; ///< In-flight walk start.
+#endif
 
     CoreStats stats_;
 };

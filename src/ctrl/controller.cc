@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/log.hh"
+#include "obs/telemetry.hh"
 #include "resilience/serial.hh"
 
 namespace ccsim::ctrl {
@@ -180,6 +181,11 @@ MemoryController::enqueue(Request req)
         // callbacks must never fire inside enqueue (reentrancy).
         if (writeLines_.count(req.lineAddr)) {
             ++stats_.readForwards;
+#if CCSIM_OBS
+            // Forwarded reads never enter the read queue: wait is 0.
+            if (obsHists_)
+                obsHists_->queueWait.sample(0);
+#endif
             PendingRead pr;
             pr.req = std::move(req);
             pr.done = now_ + 1;
@@ -554,6 +560,10 @@ MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
                 ++stats_.autoPres;
             }
             if (!is_write) {
+#if CCSIM_OBS
+                if (obsHists_)
+                    obsHists_->queueWait.sample(now_ - qr.req.arrive);
+#endif
                 PendingRead pr;
                 pr.req = std::move(qr.req);
                 pr.done = channel_.readDataDone(now_);
@@ -665,6 +675,10 @@ MemoryController::serveQueueBankLists(bool is_write)
             ++stats_.autoPres;
         }
         if (!is_write) {
+#if CCSIM_OBS
+            if (obsHists_)
+                obsHists_->queueWait.sample(now_ - qr.req.arrive);
+#endif
             PendingRead pr;
             pr.req = std::move(qr.req);
             pr.done = channel_.readDataDone(now_);
@@ -745,6 +759,10 @@ MemoryController::serveQueueReference(std::deque<QueuedReq> &queue,
             ++stats_.autoPres;
         }
         if (!is_write) {
+#if CCSIM_OBS
+            if (obsHists_)
+                obsHists_->queueWait.sample(now_ - it->req.arrive);
+#endif
             PendingRead pr;
             pr.req = std::move(it->req);
             pr.done = channel_.readDataDone(now_);
@@ -797,6 +815,10 @@ MemoryController::tick()
         pending_.pop();
         ++stats_.reads;
         stats_.readLatencySum += pr.done - pr.req.arrive;
+#if CCSIM_OBS
+        if (obsHists_)
+            obsHists_->readLatency.sample(pr.done - pr.req.arrive);
+#endif
         active = true;
         if (completionSink_)
             completionSink_(completionCtx_, pr.req, pr.done);

@@ -34,6 +34,10 @@ class SnapshotWriter;
 class SnapshotReader;
 } // namespace ccsim::resilience
 
+namespace ccsim::obs {
+struct CtrlHists;
+} // namespace ccsim::obs
+
 namespace ccsim::ctrl {
 
 /** Row-buffer management policy (Section 3 / Table 1). */
@@ -264,6 +268,17 @@ class MemoryController : public MemPort
     const CtrlStats &stats() const { return stats_; }
     void resetStats();
 
+#if CCSIM_OBS
+    /**
+     * Attach the telemetry hot-path histograms (read service latency,
+     * queue wait). Observation-only: samples mirror values the
+     * controller already computes, so attaching them cannot perturb
+     * scheduling. Null (the default) skips the hooks with a single
+     * pointer test.
+     */
+    void setObsHists(obs::CtrlHists *hists) { obsHists_ = hists; }
+#endif
+
     const dram::Channel &channel() const { return channel_; }
     RefreshScheduler &refreshScheduler() { return refresh_; }
     const RefreshScheduler &refreshScheduler() const { return refresh_; }
@@ -473,6 +488,9 @@ class MemoryController : public MemPort
     CompletionSink completionSink_ = nullptr;
     void *completionCtx_ = nullptr;
     CtrlStats stats_;
+#if CCSIM_OBS
+    obs::CtrlHists *obsHists_ = nullptr; ///< Telemetry histograms.
+#endif
 };
 
 } // namespace ccsim::ctrl

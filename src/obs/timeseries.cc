@@ -1,0 +1,184 @@
+#include "obs/timeseries.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+#include "resilience/error.hh"
+#include "resilience/io.hh"
+#include "resilience/serial.hh"
+
+namespace ccsim::obs {
+
+void
+TimeSeries::addDelta(const std::string &name, const std::uint64_t *src)
+{
+    Probe p;
+    p.kind = Probe::Kind::Delta;
+    p.name = name;
+    p.a = src;
+    probes_.push_back(std::move(p));
+}
+
+void
+TimeSeries::addRatio(const std::string &name, const std::uint64_t *num,
+                     const std::uint64_t *den)
+{
+    Probe p;
+    p.kind = Probe::Kind::Ratio;
+    p.name = name;
+    p.a = num;
+    p.b = den;
+    probes_.push_back(std::move(p));
+}
+
+void
+TimeSeries::addRate(const std::string &name, const std::uint64_t *src)
+{
+    Probe p;
+    p.kind = Probe::Kind::Rate;
+    p.name = name;
+    p.a = src;
+    probes_.push_back(std::move(p));
+}
+
+void
+TimeSeries::addGauge(const std::string &name, Gauge fn)
+{
+    Probe p;
+    p.kind = Probe::Kind::Gauge;
+    p.name = name;
+    p.fn = std::move(fn);
+    probes_.push_back(std::move(p));
+}
+
+void
+TimeSeries::rebase()
+{
+    for (Probe &p : probes_) {
+        if (p.a)
+            p.baseA = *p.a;
+        if (p.b)
+            p.baseB = *p.b;
+    }
+}
+
+void
+TimeSeries::sample(CpuCycle now)
+{
+    Row row;
+    row.cycle = now;
+    row.vals.reserve(probes_.size());
+    for (Probe &p : probes_) {
+        double v = 0.0;
+        switch (p.kind) {
+          case Probe::Kind::Delta:
+            v = double(*p.a - p.baseA);
+            p.baseA = *p.a;
+            break;
+          case Probe::Kind::Ratio: {
+            std::uint64_t dn = *p.a - p.baseA;
+            std::uint64_t dd = *p.b - p.baseB;
+            p.baseA = *p.a;
+            p.baseB = *p.b;
+            v = dd ? double(dn) / double(dd) : 0.0;
+            break;
+          }
+          case Probe::Kind::Rate: {
+            std::uint64_t dn = *p.a - p.baseA;
+            p.baseA = *p.a;
+            CpuCycle dc = now - prevCycle_;
+            v = dc ? double(dn) / double(dc) : 0.0;
+            break;
+          }
+          case Probe::Kind::Gauge:
+            v = p.fn();
+            break;
+        }
+        row.vals.push_back(v);
+    }
+    rows_.push_back(std::move(row));
+    prevCycle_ = now;
+}
+
+const std::string &
+TimeSeries::columnName(std::size_t c) const
+{
+    return probes_[c].name;
+}
+
+double
+TimeSeries::value(std::size_t r, std::size_t c) const
+{
+    return rows_[r].vals[c];
+}
+
+std::string
+TimeSeries::toJsonl() const
+{
+    std::ostringstream os;
+    os << std::setprecision(15);
+    for (const Row &row : rows_) {
+        os << "{\"cycle\":" << row.cycle;
+        for (std::size_t c = 0; c < probes_.size(); ++c)
+            os << ",\"" << probes_[c].name << "\":" << row.vals[c];
+        os << "}\n";
+    }
+    return os.str();
+}
+
+void
+TimeSeries::writeJsonl(const std::string &path) const
+{
+    resilience::atomicWriteFile(path, toJsonl());
+}
+
+void
+TimeSeries::saveState(resilience::SnapshotWriter &w) const
+{
+    w.put(prevCycle_);
+    w.put<std::uint64_t>(probes_.size());
+    for (const Probe &p : probes_) {
+        w.put(p.baseA);
+        w.put(p.baseB);
+    }
+    w.put<std::uint64_t>(rows_.size());
+    for (const Row &row : rows_) {
+        w.put(row.cycle);
+        w.putVec(row.vals);
+    }
+}
+
+void
+TimeSeries::loadState(resilience::SnapshotReader &r)
+{
+    r.get(prevCycle_);
+    std::uint64_t nProbes = r.get<std::uint64_t>();
+    if (nProbes != probes_.size()) {
+        throw resilience::SimError(
+            resilience::ErrorKind::CorruptSnapshot,
+            "time-series probe count mismatch: snapshot has " +
+                std::to_string(nProbes) + ", system registered " +
+                std::to_string(probes_.size()));
+    }
+    for (Probe &p : probes_) {
+        r.get(p.baseA);
+        r.get(p.baseB);
+    }
+    std::uint64_t nRows = r.get<std::uint64_t>();
+    rows_.clear();
+    rows_.reserve(static_cast<std::size_t>(nRows));
+    for (std::uint64_t i = 0; i < nRows; ++i) {
+        Row row;
+        r.get(row.cycle);
+        r.getVec(row.vals);
+        if (row.vals.size() != probes_.size()) {
+            throw resilience::SimError(
+                resilience::ErrorKind::CorruptSnapshot,
+                "time-series row width mismatch");
+        }
+        rows_.push_back(std::move(row));
+    }
+}
+
+} // namespace ccsim::obs

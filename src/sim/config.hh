@@ -21,6 +21,7 @@
 #include "dram/addr.hh"
 #include "dram/spec.hh"
 #include "mem/llc.hh"
+#include "obs/obs_config.hh"
 #include "resilience/fault.hh"
 #include "vm/mmu.hh"
 
@@ -155,6 +156,16 @@ struct SimConfig {
     int shardMissedDeadlineLimit = 4;
     /** Wall-clock per-epoch deadline for the sharded watchdog (ms). */
     double shardEpochDeadlineMs = 250.0;
+    /**
+     * Telemetry (src/obs/, docs/observability.md): interval
+     * time-series, hot-path latency histograms, trace-event export.
+     * Observation-only — results are bit-identical with telemetry on
+     * or off, across kernels and shard widths (tests/test_obs.cc).
+     * Excluded from the snapshot config hash like the other execution-
+     * strategy knobs. Inert unless obs.enable (and the CCSIM_OBS
+     * compile option, default ON) are set.
+     */
+    obs::ObsConfig obs;
     /**
      * After requesting quarantine of a suspect worker, how long the
      * coordinator waits for it to release its channels before declaring

@@ -8,6 +8,7 @@
 #include "common/random.hh"
 #include "ctrl/controller.hh"
 #include "energy/energy_model.hh"
+#include "obs/trace_event.hh"
 #include "resilience/checkpoint.hh"
 #include "resilience/error.hh"
 #include "resilience/fault.hh"
@@ -442,6 +443,9 @@ ShardedRunner::drainChannel(Channel &c)
 void
 ShardedRunner::workerLoop(Worker &w)
 {
+    // Host wall-clock span covering this worker thread's whole life
+    // (no-op unless a telemetry sink is attached; see obs/trace_event.hh).
+    obs::HostSpan lifeSpan("worker", "shard");
     int spins = 0;
     while (true) {
         bool did = false;
@@ -640,8 +644,11 @@ ShardedRunner::sync(int ch)
                     int expect = 0;
                     c.quarantine.compare_exchange_strong(
                         expect, 1, std::memory_order_acq_rel);
-                    if (quarantine_start == Clock::time_point{})
+                    if (quarantine_start == Clock::time_point{}) {
                         quarantine_start = t;
+                        obs::hostInstant("quarantine requested",
+                                         "watchdog");
+                    }
                 }
             }
             if (quarantine_start != Clock::time_point{} &&
@@ -662,6 +669,7 @@ ShardedRunner::sync(int ch)
 void
 ShardedRunner::absorb(Channel &c)
 {
+    obs::hostInstant("absorb channel", "watchdog");
     // The worker has released the channel (quarantine == 2, acquired
     // by the caller): it will never touch it again and every one of
     // its controller writes is visible. Whatever it did not execute
@@ -705,6 +713,7 @@ ShardedRunner::absorb(Channel &c)
 SystemResult
 ShardedRunner::run()
 {
+    obs::HostSpan runSpan("coordinator", "shard");
     System &sys = sys_;
     CCSIM_ASSERT(!sys.cal_, "sharded run is not reentrant");
     CCSIM_ASSERT(sys.config_.kernel == KernelMode::Calendar &&
@@ -735,7 +744,7 @@ ShardedRunner::run()
             CCSIM_ASSERT(upto >= cal.parkedSince[i],
                          "core parked in the future");
             sys.settleCoreStalls(static_cast<int>(i),
-                                 upto - cal.parkedSince[i]);
+                                 upto - cal.parkedSince[i], upto);
             cal.parkedSince[i] = upto;
         }
     };
@@ -780,6 +789,7 @@ ShardedRunner::run()
     // advanceIdle does each boundary, so it cannot perturb the
     // schedule: autosave-and-continue stays bit-identical.
     auto quiesce_shards = [&](CpuCycle at) {
+        obs::HostSpan span("quiesce shards", "shard");
         const Cycle a = serialClockAt(at, ratio);
         for (std::size_t ch = 0; ch < n_ch; ++ch) {
             ShardCmd s;
@@ -812,6 +822,17 @@ ShardedRunner::run()
     }
 
     while (true) {
+#if CCSIM_OBS
+        // Sample before a same-cycle checkpoint (see System::run()).
+        // The quiesce joins every worker at the serial controller
+        // clock, so the probes read shard-owned statistics from
+        // quiescent state — the same values the serial kernels see.
+        if (sys.obsSampleDue(now)) {
+            quiesce_shards(now);
+            settle_all_parked(now);
+            sys.tele_->takeSample(now);
+        }
+#endif
         if (sys.checkpointDue(now)) {
             quiesce_shards(now);
             settle_all_parked(now);
@@ -849,6 +870,10 @@ ShardedRunner::run()
                 }
                 for (std::size_t ch = 0; ch < n_ch; ++ch)
                     sync(static_cast<int>(ch));
+#if CCSIM_OBS
+                if (sys.tele_)
+                    sys.tele_->rebase();
+#endif
             }
             if (warm) {
                 bool done = true;
@@ -989,8 +1014,20 @@ ShardedRunner::run()
                 // Bounded hop: keeps the watchdog cadence alive even
                 // with no posted event in reach.
                 horizon = std::min<CpuCycle>(horizon, now + 65536);
+#if CCSIM_OBS
+                // Land exactly on the next sample cycle (see
+                // System::run()); the free-run targets below inherit
+                // the clamp, so no worker runs past a sample point.
+                if (sys.tele_ && sys.tele_->seriesOn())
+                    horizon = std::min<CpuCycle>(
+                        horizon, sys.tele_->nextSampleAt());
+#endif
                 next = std::max(now + 1, horizon);
                 if (next > now + 1) {
+#if CCSIM_OBS
+                    if (sys.tele_)
+                        sys.tele_->freeRunEpoch(now, next);
+#endif
                     const Cycle bound =
                         static_cast<Cycle>((next + ratio - 1) / ratio);
                     for (std::size_t ch = 0; ch < n_ch; ++ch) {
@@ -1009,6 +1046,12 @@ ShardedRunner::run()
                     now + 1, std::min<CpuCycle>(cal.wheel.nextEventAt(),
                                                 (now / ratio + 1) *
                                                     ratio));
+#if CCSIM_OBS
+                if (sys.tele_ && sys.tele_->seriesOn())
+                    next = std::max<CpuCycle>(
+                        now + 1,
+                        std::min(next, sys.tele_->nextSampleAt()));
+#endif
             }
         }
         now = next;

@@ -236,6 +236,51 @@ System::build(const std::vector<cpu::TraceSource *> &traces)
                        CpuCycle now) {
                     shootdownBroadcast(initiator, asid, vpn, now);
                 });
+
+#if CCSIM_OBS
+    if (config_.obs.enable) {
+        tele_ = std::make_unique<obs::Telemetry>(
+            config_.obs, config_.channels, config_.nCores,
+            config_.cpuRatio, spec_.timing.tRFC);
+        for (int ch = 0; ch < config_.channels; ++ch) {
+            if (ctrl::CommandListener *t = tele_->bankTracer(ch))
+                controllers_[ch]->addListener(t);
+            controllers_[ch]->setObsHists(tele_->ctrlHists(ch));
+        }
+        for (int i = 0; i < config_.nCores; ++i)
+            cores_[i]->setObsPtwHist(tele_->ptwHist(i));
+        registerObsProbes();
+    }
+#endif
+}
+
+void
+System::registerObsProbes()
+{
+    obs::TimeSeries &ts = tele_->series();
+    for (int ch = 0; ch < config_.channels; ++ch) {
+        const std::string p = "ch" + std::to_string(ch) + ".";
+        const ctrl::CtrlStats &s = controllers_[ch]->stats();
+        ts.addDelta(p + "reads", &s.reads);
+        ts.addDelta(p + "writes", &s.writes);
+        ts.addDelta(p + "rowHits", &s.rowHits);
+        ts.addRatio(p + "hcracHitRate",
+                    &providers_[ch]->reducedActivations,
+                    &providers_[ch]->activations);
+        ctrl::MemoryController *mc = controllers_[ch].get();
+        ts.addGauge(p + "queueDepth",
+                    [mc] { return double(mc->queuedRequests()); });
+    }
+    for (int i = 0; i < config_.nCores; ++i) {
+        const std::string p = "core" + std::to_string(i) + ".";
+        const cpu::CoreStats &s = cores_[i]->stats();
+        ts.addRate(p + "ipc", &s.retired);
+        ts.addDelta(p + "xlatStalls", &s.xlatStallCycles);
+        ts.addDelta(p + "shootdownStalls", &s.shootdownStallCycles);
+    }
+    ts.addRatio("llc.hitRate", &llc_->stats().hits,
+                &llc_->stats().accesses);
+    ts.addDelta("llc.misses", &llc_->stats().misses);
 }
 
 void
@@ -343,6 +388,15 @@ class System::StallWatchdog
 SystemResult
 System::run()
 {
+#if CCSIM_OBS
+    if (tele_) {
+        tele_->attachHost();
+        // Fresh runs arm the sample grid at cycle 0; resumed runs
+        // carry nextSampleAt in the snapshot (no gap, no duplicate).
+        if (!resume_ && tele_->nextSampleAt() == kNoCycle)
+            tele_->scheduleFrom(0);
+    }
+#endif
     if (config_.kernel == KernelMode::Calendar &&
         !config_.kernelParanoid && config_.shardThreads > 0) {
         SystemResult res = runShardedSystem(*this);
@@ -416,7 +470,8 @@ System::run()
                 continue;
             CCSIM_ASSERT(upto >= parkedSince[i],
                          "core parked in the future");
-            settleCoreStalls(static_cast<int>(i), upto - parkedSince[i]);
+            settleCoreStalls(static_cast<int>(i), upto - parkedSince[i],
+                             upto);
             parkedSince[i] = upto;
         }
     };
@@ -459,6 +514,16 @@ System::run()
     }
 
     while (true) {
+#if CCSIM_OBS
+        // Sample before any checkpoint at the same cycle so a snapshot
+        // taken now already carries this row (and the advanced
+        // nextSampleAt), keeping resumed series gap- and
+        // duplicate-free.
+        if (obsSampleDue(now)) {
+            settle_parked(now);
+            tele_->takeSample(now);
+        }
+#endif
         if (checkpointDue(now)) {
             settle_parked(now);
             fireCheckpoint(now, warm, warm_end);
@@ -471,6 +536,10 @@ System::run()
                 warm_end = now;
                 settle_parked(now);
                 resetAllStats(now);
+#if CCSIM_OBS
+                if (tele_)
+                    tele_->rebase();
+#endif
             }
             if (warm) {
                 bool done = true;
@@ -568,7 +637,7 @@ System::run()
                     }
                     if (!paranoid)
                         settleCoreStalls(static_cast<int>(i),
-                                         now - parkedSince[i]);
+                                         now - parkedSince[i], now);
                     parkedSince[i] = kNoCycle;
                     ++awake_cores;
                     transitions = true;
@@ -621,6 +690,16 @@ System::run()
                 horizon = std::min<CpuCycle>(horizon, ctrl_now * ratio);
             CCSIM_ASSERT(horizon != kNoCycle, "no future event horizon");
             next = std::max(now + 1, horizon);
+#if CCSIM_OBS
+            // Land exactly on the next sample cycle: stopping a jump
+            // early at an eventless cycle is statistically invisible
+            // (same argument as stale wheel entries), and it makes the
+            // sample grid — hence the whole time series — identical to
+            // the per-cycle reference.
+            if (tele_ && tele_->seriesOn())
+                next = std::max<CpuCycle>(
+                    now + 1, std::min(next, tele_->nextSampleAt()));
+#endif
             if (next > now + 1) {
                 // Controller ticks inside (now, next) are provably
                 // idle; fast-forward their clocks in one step.
@@ -748,17 +827,28 @@ System::collectResults(CpuCycle now, CpuCycle warm_end)
             res.rltl.push_back(acts ? within[i] / acts : 0.0);
         res.afterRefresh8ms = acts ? after_ref / acts : 0.0;
     }
+
+#if CCSIM_OBS
+    if (tele_)
+        tele_->flush(); // Write configured files; detach the host sink.
+#endif
     return res;
 }
 
 void
-System::settleCoreStalls(int core, CpuCycle skipped)
+System::settleCoreStalls(int core, CpuCycle skipped, CpuCycle upto)
 {
     if (skipped == 0)
         return;
     cores_[core]->accountStallCycles(skipped);
     if (cores_[core]->stallKind() == cpu::Core::StallKind::BlockedLlc)
         llc_->accountBlockedProbes(skipped);
+#if CCSIM_OBS
+    if (tele_)
+        tele_->corePark(core, skipped, upto);
+#else
+    (void)upto;
+#endif
 }
 
 void
@@ -770,7 +860,7 @@ System::calUnpark(int core, CpuCycle now)
     CCSIM_ASSERT(now >= since, "core parked in the future");
     // Settle the stall statistics the elided ticks would have accrued
     // over [since, now) — identical to the EventSkip bulk accounting.
-    settleCoreStalls(core, now - since);
+    settleCoreStalls(core, now - since, now);
     cal.parkedSince[core] = kNoCycle;
     cal.awake.insert(
         std::lower_bound(cal.awake.begin(), cal.awake.end(), core), core);
@@ -869,7 +959,7 @@ System::runCalendar()
             CCSIM_ASSERT(upto >= cal.parkedSince[i],
                          "core parked in the future");
             settleCoreStalls(static_cast<int>(i),
-                             upto - cal.parkedSince[i]);
+                             upto - cal.parkedSince[i], upto);
             cal.parkedSince[i] = upto;
         }
     };
@@ -893,6 +983,13 @@ System::runCalendar()
     }
 
     while (true) {
+#if CCSIM_OBS
+        // Sample before a same-cycle checkpoint (see run()).
+        if (obsSampleDue(now)) {
+            settle_all_parked(now);
+            tele_->takeSample(now);
+        }
+#endif
         if (checkpointDue(now)) {
             settle_all_parked(now);
             try {
@@ -910,6 +1007,10 @@ System::runCalendar()
                 warm_end = now;
                 settle_all_parked(now);
                 resetAllStats(now);
+#if CCSIM_OBS
+                if (tele_)
+                    tele_->rebase();
+#endif
             }
             if (warm) {
                 bool done = true;
@@ -1018,6 +1119,12 @@ System::runCalendar()
                 horizon = std::min<CpuCycle>(horizon, ctrl_now * ratio);
             CCSIM_ASSERT(horizon != kNoCycle, "no future event horizon");
             next = std::max(now + 1, horizon);
+#if CCSIM_OBS
+            // Land exactly on the next sample cycle (see run()).
+            if (tele_ && tele_->seriesOn())
+                next = std::max<CpuCycle>(
+                    now + 1, std::min(next, tele_->nextSampleAt()));
+#endif
             if (next > now + 1) {
                 // Controller ticks inside (now, next) are provably
                 // idle; fast-forward their clocks in one step.
@@ -1193,6 +1300,22 @@ System::serializeSnapshot() const
     llc_->saveState(w);
     w.endSection();
 
+    // Telemetry is execution strategy (excluded from the config hash);
+    // the section records whether it was live so a mismatched resume
+    // fails loudly instead of silently dropping the series.
+    w.beginSection("obs", 1);
+#if CCSIM_OBS
+    w.put<std::uint8_t>(tele_ ? 1 : 0);
+    if (tele_) {
+        tele_->saveState(w);
+        for (const auto &core : cores_)
+            w.put(core->obsWalkStart());
+    }
+#else
+    w.put<std::uint8_t>(0);
+#endif
+    w.endSection();
+
     return w.take();
 }
 
@@ -1256,6 +1379,31 @@ System::restoreSnapshot(const std::vector<std::uint8_t> &bytes)
 
     r.openSection("llc", 1);
     llc_->loadState(r);
+    r.closeSection();
+
+    r.openSection("obs", 1);
+    {
+        bool snapObs = r.get<std::uint8_t>() != 0;
+#if CCSIM_OBS
+        bool haveObs = tele_ != nullptr;
+#else
+        bool haveObs = false;
+#endif
+        if (snapObs != haveObs)
+            throw SimError(ErrorKind::Unsupported,
+                           snapObs
+                               ? "snapshot carries telemetry state; "
+                                 "resume with obs.enable set"
+                               : "snapshot has no telemetry state; "
+                                 "resume with obs.enable unset");
+#if CCSIM_OBS
+        if (haveObs) {
+            tele_->loadState(r);
+            for (auto &core : cores_)
+                core->setObsWalkStart(r.get<CpuCycle>());
+        }
+#endif
+    }
     r.closeSection();
 
     resume_ = pt;

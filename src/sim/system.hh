@@ -22,6 +22,7 @@
 #include "dram/oracle.hh"
 #include "energy/energy_model.hh"
 #include "mem/llc.hh"
+#include "obs/telemetry.hh"
 #include "sim/calendar.hh"
 #include "sim/config.hh"
 #include "workloads/synthetic.hh"
@@ -127,6 +128,14 @@ class System
     OracleListener *oracleListener(int channel);
     const SimConfig &config() const { return config_; }
 
+    /**
+     * Telemetry facade (src/obs/, docs/observability.md); null unless
+     * config.obs.enable was set and CCSIM_OBS is compiled in. Owned by
+     * the System for its lifetime; time-series rows, histograms and
+     * the trace-event sink stay readable after run() returns.
+     */
+    obs::Telemetry *telemetry() { return tele_.get(); }
+
     // ----- Checkpoint/restore (src/resilience, docs/resilience.md) -----
 
     /**
@@ -205,8 +214,25 @@ class System
     void calUnpark(int core, CpuCycle now);
     /** Account `skipped` elided park cycles of `core`: the same
         one-per-cycle stall statistics the per-cycle loop would have
-        accrued (plus the LLC-side retry counters for BlockedLlc). */
-    void settleCoreStalls(int core, CpuCycle skipped);
+        accrued (plus the LLC-side retry counters for BlockedLlc).
+        `upto` is the absolute cycle the settled region ends at (for
+        the telemetry park span; statistics ignore it). */
+    void settleCoreStalls(int core, CpuCycle skipped, CpuCycle upto);
+
+    /** Register the fixed probe set on tele_'s time series (build). */
+    void registerObsProbes();
+
+    /** True when the time-series sampler wants control at `now`. */
+    bool
+    obsSampleDue(CpuCycle now) const
+    {
+#if CCSIM_OBS
+        return tele_ && tele_->sampleDue(now);
+#else
+        (void)now;
+        return false;
+#endif
+    }
     /** Gather every end-of-run metric (shared by all kernels). */
     SystemResult collectResults(CpuCycle now, CpuCycle warm_end);
 
@@ -275,6 +301,9 @@ class System
 
     /** Fault-injection plan (non-null; inert when faults.seed == 0). */
     std::unique_ptr<resilience::FaultPlan> faultPlan_;
+
+    /** Telemetry (null unless config.obs.enable && CCSIM_OBS). */
+    std::unique_ptr<obs::Telemetry> tele_;
 
     // Checkpoint/restore plumbing.
     CheckpointHook ckptHook_;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/random.hh"
+#include "obs/trace_event.hh"
 #include "resilience/error.hh"
 #include "trace/replay.hh"
 
@@ -212,8 +213,17 @@ SampledResult
 SampledSimulation::run()
 {
     SampledResult out;
-    out.intervals = profileTrace(out.totalInsts);
-    out.clusters = clusterIntervals(out.intervals);
+    {
+        // Host wall-clock spans for the sampled-simulation stages
+        // (no-ops unless a telemetry sink is attached; the detailed
+        // slices attach their own per-System sinks below).
+        obs::HostSpan span("sampling: profile", "sampling");
+        out.intervals = profileTrace(out.totalInsts);
+    }
+    {
+        obs::HostSpan span("sampling: cluster", "sampling");
+        out.clusters = clusterIntervals(out.intervals);
+    }
     const auto &ivs = out.intervals;
 
     // Representative per cluster: closest to the centroid — computed
@@ -264,7 +274,10 @@ SampledSimulation::run()
         slice.interval = rep;
         slice.weight = static_cast<double>(clusterInsts) /
                        static_cast<double>(out.totalInsts);
-        slice.result = sys.run();
+        {
+            obs::HostSpan span("sampling: detailed slice", "sampling");
+            slice.result = sys.run();
+        }
         out.detailedInsts += cfg.warmupInsts + cfg.targetInsts;
         out.slices.push_back(std::move(slice));
     }

@@ -254,5 +254,159 @@ TEST(Mix64, DistinctInputsDistinctOutputs)
     EXPECT_EQ(seen.size(), 10000u);
 }
 
+TEST(Stats, ReRegisterReturnsExisting)
+{
+    StatRegistry reg;
+    Counter &c = reg.counter("same");
+    c += 7;
+    EXPECT_EQ(&reg.counter("same"), &c);
+    EXPECT_EQ(reg.counter("same").value(), 7u);
+
+    Distribution &d = reg.distribution("dist");
+    d.sample(1.0);
+    EXPECT_EQ(&reg.distribution("dist"), &d);
+    EXPECT_EQ(reg.distribution("dist").count(), 1u);
+
+    Histogram &h = reg.histogram("hist");
+    h.sample(42);
+    EXPECT_EQ(&reg.histogram("hist"), &h);
+    EXPECT_EQ(reg.histogram("hist").count(), 1u);
+
+    // Lookups find registered names and nothing else.
+    EXPECT_EQ(reg.findCounter("same"), &c);
+    EXPECT_EQ(reg.findDistribution("dist"), &d);
+    EXPECT_EQ(reg.findHistogram("hist"), &h);
+    EXPECT_EQ(reg.findCounter("absent"), nullptr);
+    EXPECT_EQ(reg.findDistribution("absent"), nullptr);
+    EXPECT_EQ(reg.findHistogram("absent"), nullptr);
+}
+
+TEST(Stats, DistributionZeroSamples)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.minimum(), 0.0);
+    EXPECT_DOUBLE_EQ(d.maximum(), 0.0);
+    EXPECT_DOUBLE_EQ(d.sum(), 0.0);
+}
+
+TEST(Stats, ResetAllCoversHistograms)
+{
+    StatRegistry reg;
+    reg.histogram("h").sample(100);
+    reg.histogram("h").sample(3);
+    ASSERT_EQ(reg.histogram("h").count(), 2u);
+    reg.resetAll();
+    EXPECT_EQ(reg.histogram("h").count(), 0u);
+    EXPECT_EQ(reg.histogram("h").sum(), 0u);
+    for (int i = 0; i < Histogram::kBuckets; ++i)
+        EXPECT_EQ(reg.histogram("h").bucketCount(i), 0u);
+    // Registration survives a reset (same object, zeroed).
+    EXPECT_NE(reg.findHistogram("h"), nullptr);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    // Bucket 0 holds {0}, bucket 1 {1}, bucket i [2^(i-1), 2^i - 1].
+    EXPECT_EQ(Histogram::bucketOf(0), 0);
+    EXPECT_EQ(Histogram::bucketOf(1), 1);
+    EXPECT_EQ(Histogram::bucketOf(2), 2);
+    EXPECT_EQ(Histogram::bucketOf(3), 2);
+    EXPECT_EQ(Histogram::bucketOf(4), 3);
+    for (int k = 2; k < 64; ++k) {
+        const std::uint64_t p = std::uint64_t(1) << k;
+        EXPECT_EQ(Histogram::bucketOf(p - 1), k);
+        EXPECT_EQ(Histogram::bucketOf(p), k + 1);
+    }
+    EXPECT_EQ(Histogram::bucketOf(~std::uint64_t(0)), 64);
+
+    // Lo/Hi are consistent with bucketOf at every edge.
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLo(i)), i);
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketHi(i)), i);
+    }
+
+    Histogram h;
+    h.sample(0);
+    h.sample(1);
+    h.sample(2);
+    h.sample(3);
+    h.sample(4);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 2u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, PercentileAndMerge)
+{
+    Histogram h;
+    EXPECT_EQ(h.percentileUpperBound(0.5), 0u);
+    for (int i = 0; i < 90; ++i)
+        h.sample(10); // bucket 4 (hi 15)
+    for (int i = 0; i < 10; ++i)
+        h.sample(1000); // bucket 10 (hi 1023)
+    EXPECT_EQ(h.percentileUpperBound(0.5), 15u);
+    EXPECT_EQ(h.percentileUpperBound(0.99), 1023u);
+
+    Histogram other;
+    other.sample(0);
+    other.merge(h);
+    EXPECT_EQ(other.count(), 101u);
+    EXPECT_EQ(other.bucketCount(0), 1u);
+    EXPECT_EQ(other.bucketCount(4), 90u);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentileUpperBound(0.5), 0u);
+}
+
+TEST(Logger, ParseLogLevel)
+{
+    EXPECT_EQ(parseLogLevel("error"), LogLevel::Error);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("info"), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("0"), LogLevel::Error);
+    EXPECT_EQ(parseLogLevel("3"), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("bogus"), LogLevel::Info);
+}
+
+TEST(Logger, ThresholdFilters)
+{
+    LogLevel prev = logLevel();
+    setLogLevel(LogLevel::Warn);
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+    setLogLevel(prev);
+}
+
+TEST(Logger, RateLimitPerSite)
+{
+    // Drive one call site past the limit with output squelched; the
+    // accounting (which setQuiet leaves running) is the observable.
+    setQuiet(true);
+    detail::LogSite site;
+    for (std::uint64_t i = 0; i < detail::kLogSiteLimit + 5; ++i)
+        detail::logImpl(LogLevel::Warn, "test", site, "msg");
+    setQuiet(false);
+    EXPECT_EQ(site.emitted.load(), detail::kLogSiteLimit + 5);
+    EXPECT_EQ(site.suppressed.load(), 5u);
+
+    // A different site has its own budget.
+    setQuiet(true);
+    detail::LogSite fresh;
+    detail::logImpl(LogLevel::Warn, "test", fresh, "msg");
+    setQuiet(false);
+    EXPECT_EQ(fresh.emitted.load(), 1u);
+    EXPECT_EQ(fresh.suppressed.load(), 0u);
+}
+
 } // namespace
 } // namespace ccsim
