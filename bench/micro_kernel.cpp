@@ -219,6 +219,7 @@ writeRecord(std::FILE *f, std::size_t points, std::uint64_t insts,
         "\"calendar_vs_eventskip\": %.3f, "
         "\"kernel_speedup\": %.3f, \"total_speedup\": %.3f, "
         "\"shard\": {\"insts_per_core\": %llu, \"hw_threads\": %u, "
+        "\"advisory\": %s, "
         "\"serial_wall_s\": %.4f, \"t2_wall_s\": %.4f, "
         "\"t4_wall_s\": %.4f, \"sim_cycles\": %llu, "
         "\"speedup_t2\": %.3f, \"speedup_t4\": %.3f}}\n",
@@ -239,7 +240,13 @@ writeRecord(std::FILE *f, std::size_t points, std::uint64_t insts,
             ? percycle.wallSeconds / parallel.wallSeconds
             : 0.0,
         (unsigned long long)shard.insts,
-        std::thread::hardware_concurrency(), shard.serialWall,
+        std::thread::hardware_concurrency(),
+        // On a 1-hw-thread host the sharded timings are pure handshake
+        // overhead (speedup_t2 ~ 0.05), not a scaling signal: mark the
+        // record advisory so trajectory consumers and the future
+        // enforcing CCSIM_SHARD_GATE never ingest it.
+        std::thread::hardware_concurrency() < 2 ? "true" : "false",
+        shard.serialWall,
         shard.wallT2, shard.wallT4,
         (unsigned long long)shard.simCycles, shard.speedup(shard.wallT2),
         shard.speedup(shard.wallT4));

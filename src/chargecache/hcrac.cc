@@ -203,6 +203,18 @@ UnlimitedHcrac::lookup(std::uint64_t key, Cycle now)
 
 
 void
+Hcrac::warmCopyFrom(const Hcrac &other)
+{
+    if (other.ways_ != ways_ || other.sets_ != sets_)
+        throw resilience::SimError(
+            resilience::ErrorKind::InvalidConfig,
+            "warm-state injection needs matching HCRAC geometry");
+    entries_ = other.entries_;
+    clock_ = other.clock_;
+    valid_ = other.valid_;
+}
+
+void
 Hcrac::saveState(resilience::SnapshotWriter &w) const
 {
     w.putVec(entries_);

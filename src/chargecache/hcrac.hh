@@ -92,6 +92,14 @@ class Hcrac
     const Stats &stats() const { return stats_; }
     void resetStats() { stats_ = Stats(); }
 
+    /**
+     * Warm-state injection (SMARTS-style functional warming): adopt
+     * `other`'s entries and recency clock. Geometry must match or
+     * SimError{InvalidConfig} is thrown. Statistics and the BIP RNG
+     * are untouched — warming seeds state, not history.
+     */
+    void warmCopyFrom(const Hcrac &other);
+
     /** Checkpoint: entries, recency clock, RNG, statistics. */
     void saveState(resilience::SnapshotWriter &w) const;
     void loadState(resilience::SnapshotReader &r);

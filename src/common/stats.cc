@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 
 namespace ccsim {
@@ -51,8 +52,13 @@ Histogram::percentileUpperBound(double p) const
         p = 0.0;
     if (p > 1.0)
         p = 1.0;
-    // Rank of the p-quantile, 1-based; ceil without float rounding woes.
-    std::uint64_t rank = static_cast<std::uint64_t>(p * double(count_));
+    // 1-based rank of the p-quantile: the smallest rank covering a p
+    // fraction of the samples, i.e. ceil(p * count). Truncating here
+    // instead of ceiling returned the bucket *below* the true quantile
+    // whenever p * count was fractional (count=5, p=0.5 gave rank 2,
+    // not the median's rank 3).
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(count_)));
     if (rank < 1)
         rank = 1;
     if (rank > count_)

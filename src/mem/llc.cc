@@ -240,6 +240,37 @@ Llc::tick()
     drainBlocked_ = !fetchRetryQ_.empty() || !writebackQ_.empty();
 }
 
+bool
+Llc::warmAccess(Addr line_addr, bool is_write, Addr *evicted_dirty)
+{
+    if (evicted_dirty)
+        *evicted_dirty = kNoAddr;
+    if (Line *line = findLine(line_addr)) {
+        line->lru = ++lruClock_;
+        line->dirty = line->dirty || is_write;
+        return true;
+    }
+    std::uint64_t set = line_addr & (sets_ - 1);
+    Line *victim = victimFor(line_addr);
+    if (victim->valid && victim->dirty && evicted_dirty)
+        *evicted_dirty = (victim->tag << log2Exact(sets_)) | set;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = line_addr >> log2Exact(sets_);
+    victim->lru = ++lruClock_;
+    return false;
+}
+
+void
+Llc::warmCopyTagsFrom(const Llc &other)
+{
+    if (other.sets_ != sets_ || other.config_.ways != config_.ways)
+        throw resilience::SimError(
+            resilience::ErrorKind::InvalidConfig,
+            "warm-state injection needs matching LLC geometry");
+    lines_ = other.lines_;
+    lruClock_ = other.lruClock_;
+}
 
 void
 Llc::fillCallback(void *ctx, const ctrl::Request &req, Cycle)

@@ -156,6 +156,28 @@ class Llc
     static void fillCallback(void *ctx, const ctrl::Request &req,
                              Cycle done);
 
+    // ---- functional warming (SMARTS-style; trace/sampling.hh) -------
+
+    /**
+     * Functional tag-state touch: updates tags/LRU/dirty exactly as a
+     * detailed hit or fill would, but with no timing — no MSHRs, drain
+     * queues, wake callbacks or statistics. A missing line is installed
+     * inline. When the install displaces a dirty victim its line
+     * address is stored through `evicted_dirty` (kNoAddr otherwise) so
+     * the caller can model the writeback's DRAM traffic. Returns true
+     * on hit.
+     */
+    bool warmAccess(Addr line_addr, bool is_write,
+                    Addr *evicted_dirty = nullptr);
+
+    /**
+     * Warm-state injection: adopt `other`'s tag/LRU arrays (geometry
+     * must match or SimError{InvalidConfig} is thrown). Seeds a fresh
+     * detailed slice from a functionally warmed cache; MSHRs, queues
+     * and statistics are untouched.
+     */
+    void warmCopyTagsFrom(const Llc &other);
+
     /** Checkpoint: tag/LRU arrays, MSHRs, drain queues, park watches. */
     void saveState(resilience::SnapshotWriter &w) const;
     void loadState(resilience::SnapshotReader &r);

@@ -1,34 +1,48 @@
 /**
  * @file
- * SimPoint-style sampled simulation of CCTR traces.
+ * SimPoint-style sampled simulation of CCTR traces, multi-core with
+ * SMARTS-style functional warming.
  *
  * The full methodology (Sherwood et al., ASPLOS 2002, adapted from
  * basic-block vectors to memory-access signatures — the simulator is
- * trace-driven, so the access stream *is* the program behaviour):
+ * trace-driven, so the access stream *is* the program behaviour;
+ * warming follows Wunderlich et al., ISCA 2003):
  *
- *  1. Profile: one streaming pass slices the trace into fixed-length
- *     instruction intervals and builds a per-interval signature — a
- *     normalized histogram of hashed row addresses plus memory
- *     intensity and write fraction. O(1) state; the trace is never
- *     resident.
+ *  1. Profile: one streaming pass advances every core's trace in
+ *     lockstep over shared `intervalInsts` boundaries and builds a
+ *     per-interval signature — the concatenation of each core's
+ *     normalized row-address histogram plus memory intensity and
+ *     write fraction. Clustering that concatenated vector is co-phase
+ *     clustering: a representative interval fixes every core's phase
+ *     simultaneously. RAM is bounded: when the interval count would
+ *     exceed `maxIntervals`, adjacent intervals merge (raw counts add)
+ *     and the effective interval length doubles, so arbitrarily long
+ *     traces profile in one bounded-RAM pass.
  *  2. Cluster: deterministic k-means++ (common/random.hh Rng) groups
- *     intervals by signature distance; each cluster's representative
- *     is the interval closest to its centroid, weighted by the
- *     cluster's share of total instructions.
- *  3. Simulate: each representative slice runs detailed, launched by
- *     functional fast-forward (TraceReader::skipRecords — whole-block
- *     seek skips, no decode) to a warmup lead-in that primes caches
- *     and the HCRAC before measurement starts (System's existing
- *     warmup-then-reset machinery). Slices run serially so reported
- *     speedups are honest wall-clock.
- *  4. Aggregate: headline metrics are combined across slices —
- *     instruction-weighted harmonic mean for IPC, activation-weighted
- *     means for the hit rates — into a SystemResult standing in for
- *     the full run. Error model and knobs: docs/traces.md.
+ *     intervals by signature distance. Zero-record intervals (a long
+ *     compute-only gap spanning a whole interval) are excluded from
+ *     center seeding — their all-zero signatures would seed degenerate
+ *     centers — and are assigned to the nearest real cluster after
+ *     Lloyd's loop converges.
+ *  3. Simulate: each cluster's representative (the member closest to
+ *     the recomputed centroid) runs detailed. Fast-forward is a
+ *     whole-block seek-skip (TraceReader::skipRecords, no decode);
+ *     the last `functionalWarmInsts` before the detailed lead-in are
+ *     replayed *functionally* — records update LLC tags/LRU/dirty and
+ *     HCRAC entries with no timing — and the warm state is injected
+ *     into the slice System, so the detailed lead-in only re-warms
+ *     in-flight machine state and `warmupInsts` can drop from the
+ *     ~1.5M-instruction LLC horizon to ~100k. Slices run serially so
+ *     reported speedups are honest wall-clock.
+ *  4. Aggregate: per-core IPC combines as an instruction-weighted
+ *     harmonic mean over each core's own instruction shares; shared
+ *     LLC/HCRAC hit rates weight by each slice's activation rate —
+ *     into a SystemResult standing in for the full run. Error model
+ *     and knobs: docs/traces.md.
  *
- * Only single-core configs are supported (one trace file drives one
- * core); multi-core sampling needs per-core phase alignment, which is
- * out of scope here.
+ * Functional warming is a pure function of the record streams, so the
+ * sampled result stays bit-identical across the PerCycle/EventSkip/
+ * Calendar kernels and repeat invocations (tests/test_sampling.cc).
  */
 
 #ifndef CCSIM_TRACE_SAMPLING_HH
@@ -44,22 +58,44 @@
 namespace ccsim::trace {
 
 struct SamplingConfig {
-    std::uint64_t intervalInsts = 1'000'000; ///< Slice length.
-    std::uint64_t warmupInsts = 200'000;     ///< Detailed lead-in.
-    std::uint32_t maxClusters = 8;           ///< k (SimPoint maxK).
+    std::uint64_t intervalInsts = 1'000'000; ///< Slice length (per core).
+    std::uint64_t warmupInsts = 100'000;     ///< Detailed lead-in.
+    /**
+     * Functional warm window per slice (instructions per core): the
+     * stretch before the detailed lead-in replayed into LLC/HCRAC tag
+     * state without timing. 0 disables functional warming; it is also
+     * skipped when the VM subsystem is enabled (the functional model
+     * has no MMU, so trace addresses would not match post-translation
+     * traffic).
+     */
+    std::uint64_t functionalWarmInsts = 4'000'000;
+    std::uint32_t maxClusters = 8; ///< k (SimPoint maxK).
     std::uint32_t kmeansIters = 50;
-    int signatureBuckets = 32; ///< Row-hash histogram width.
+    /**
+     * Bounded-RAM profiling cap: when a trace yields more intervals
+     * than this, adjacent intervals merge and the effective interval
+     * length doubles (streaming aggregation of the raw counts).
+     */
+    std::uint32_t maxIntervals = 4096;
+    int signatureBuckets = 32; ///< Row-hash histogram width (per core).
     std::uint64_t seed = 42;   ///< Clustering RNG seed.
 };
 
-/** One profiled interval (all indices are absolute trace positions). */
+/** One profiled co-phase interval (indices are absolute positions). */
 struct IntervalInfo {
-    std::uint64_t startRecord = 0;
-    std::uint64_t startInst = 0;
-    std::uint64_t warmStartRecord = 0; ///< Warmup lead-in start.
-    std::uint64_t warmStartInst = 0;
-    std::uint64_t insts = 0;   ///< Actual instructions inside.
-    std::uint64_t records = 0; ///< Records inside.
+    /** Per-core cut of the interval over that core's trace stream. */
+    struct PerCore {
+        std::uint64_t startRecord = 0;
+        std::uint64_t startInst = 0;
+        std::uint64_t warmStartRecord = 0; ///< Detailed lead-in start.
+        std::uint64_t warmStartInst = 0;
+        std::uint64_t insts = 0;   ///< Actual instructions inside.
+        std::uint64_t records = 0; ///< Records inside.
+    };
+    std::vector<PerCore> cores;
+    std::uint64_t insts = 0;   ///< Summed over cores.
+    std::uint64_t records = 0; ///< Summed over cores.
+    /** Concatenated per-core chunks, each signatureBuckets + 2 wide. */
     std::vector<double> signature;
     int cluster = -1;
 };
@@ -67,22 +103,26 @@ struct IntervalInfo {
 /** One representative slice's detailed run. */
 struct SampledSlice {
     std::uint64_t interval = 0; ///< Index into intervals.
-    double weight = 0.0;        ///< Cluster instruction share.
+    double weight = 0.0;        ///< Cluster share of total instructions.
+    /** Per-core cluster share of that core's own instructions. */
+    std::vector<double> coreWeight;
+    std::uint64_t measuredInsts = 0; ///< nCores × targetInsts.
     sim::SystemResult result;
 };
 
 struct SampledResult {
     /**
      * Weighted stand-in for the full run. Headline metrics are
-     * populated (ipc, cpuCycles, activations, hcracHitRate,
+     * populated (per-core ipc, cpuCycles, activations, hcracHitRate,
      * providerHitRate, unlimitedHitRate, rmpkc); subsystem breakdowns
      * stay at their defaults — read them per-slice instead.
      */
     sim::SystemResult aggregate;
     std::vector<IntervalInfo> intervals;
     std::vector<SampledSlice> slices;
-    std::uint64_t totalInsts = 0;    ///< Whole trace.
+    std::uint64_t totalInsts = 0;    ///< Summed over all cores' traces.
     std::uint64_t detailedInsts = 0; ///< Actually simulated detailed.
+    std::uint64_t functionalInsts = 0; ///< Replayed functionally.
     int clusters = 0;
 };
 
@@ -90,11 +130,20 @@ class SampledSimulation
 {
   public:
     /**
-     * @param config single-core SimConfig; kernel/scheme/etc. apply to
-     *        each representative slice. warmupInsts/targetInsts are
-     *        ignored (the sampler owns them per slice).
-     * @throws resilience::SimError{InvalidConfig} unless nCores == 1.
+     * Multi-core entry point: one trace per core.
+     *
+     * @param config SimConfig whose kernel/scheme/etc. apply to each
+     *        representative slice. warmupInsts/targetInsts are ignored
+     *        (the sampler owns them per slice).
+     * @throws resilience::SimError{InvalidConfig} unless
+     *         trace_paths.size() == config.nCores and the sampling
+     *         parameters are coherent.
      */
+    SampledSimulation(const sim::SimConfig &config,
+                      const std::vector<std::string> &trace_paths,
+                      const SamplingConfig &sampling);
+
+    /** Single-core convenience wrapper. */
     SampledSimulation(const sim::SimConfig &config,
                       const std::string &trace_path,
                       const SamplingConfig &sampling);
@@ -103,12 +152,14 @@ class SampledSimulation
     SampledResult run();
 
   private:
-    std::vector<IntervalInfo> profileTrace(std::uint64_t &total_insts);
+    /** @param per_core_insts out: each core's total instructions. */
+    std::vector<IntervalInfo>
+    profileTrace(std::vector<std::uint64_t> &per_core_insts);
     /** k-means++ over signatures; returns cluster count. */
     int clusterIntervals(std::vector<IntervalInfo> &intervals);
 
     sim::SimConfig config_;
-    std::string path_;
+    std::vector<std::string> paths_; ///< One per core.
     SamplingConfig sampling_;
 };
 

@@ -365,6 +365,43 @@ TEST(Histogram, PercentileAndMerge)
     EXPECT_EQ(h.percentileUpperBound(0.5), 0u);
 }
 
+TEST(Histogram, PercentileEdges)
+{
+    // Empty histogram: every percentile is 0, including the extremes.
+    Histogram empty;
+    EXPECT_EQ(empty.percentileUpperBound(0.0), 0u);
+    EXPECT_EQ(empty.percentileUpperBound(1.0), 0u);
+
+    // Single-bucket population: every percentile lands in that bucket.
+    Histogram single;
+    for (int i = 0; i < 7; ++i)
+        single.sample(10); // bucket 4, hi 15
+    EXPECT_EQ(single.percentileUpperBound(0.0), 15u);
+    EXPECT_EQ(single.percentileUpperBound(0.5), 15u);
+    EXPECT_EQ(single.percentileUpperBound(1.0), 15u);
+
+    // p=0.0 clamps to the smallest sample's bucket, p=1.0 to the
+    // largest — and out-of-range p clamps likewise.
+    Histogram h;
+    h.sample(1);
+    h.sample(1000);
+    EXPECT_EQ(h.percentileUpperBound(0.0), 1u);
+    EXPECT_EQ(h.percentileUpperBound(1.0), 1023u);
+    EXPECT_EQ(h.percentileUpperBound(-3.0), 1u);
+    EXPECT_EQ(h.percentileUpperBound(2.0), 1023u);
+
+    // The quantile rank must round up: with 2 low and 3 high samples
+    // the median (3rd smallest) is high. A truncated rank (2) wrongly
+    // returned the low bucket.
+    Histogram skew;
+    skew.sample(1);
+    skew.sample(1);
+    skew.sample(1000);
+    skew.sample(1000);
+    skew.sample(1000);
+    EXPECT_EQ(skew.percentileUpperBound(0.5), 1023u);
+}
+
 TEST(Logger, ParseLogLevel)
 {
     EXPECT_EQ(parseLogLevel("error"), LogLevel::Error);
