@@ -18,13 +18,17 @@
  * regression gate.
  *
  * A second section measures the channel-sharded runner on ONE big
- * simulation (8 cores x 4 channels): serial calendar vs
- * shardThreads ∈ {2, 4}, appended to the same BENCH_kernel.json record
- * (the `shard` object) with bit-equality of the simulated cycles
- * asserted. CCSIM_SHARD_GATE=1 fails the run when the 2-thread sharded
- * speedup drops below CCSIM_SHARD_GATE_RATIO (default 1.3); the gate
- * auto-skips on hosts without enough hardware threads to run
- * coordinator + 2 workers in parallel.
+ * simulation (8 cores x 4 channels): serial calendar vs the scaling
+ * curve shardThreads ∈ {1, 2, 4, 8}, appended to the same
+ * BENCH_kernel.json record (the `shard` object, hw_threads stamped)
+ * with bit-equality of the simulated cycles asserted across every
+ * width. CCSIM_SHARD_GATE=1 fails the run when the 2-thread sharded
+ * speedup drops below CCSIM_SHARD_GATE_RATIO (default 1.3) — enforcing
+ * on runners with >= 4 hardware threads, advisory-only on exactly 3
+ * (CCSIM_SHARD_GATE_ADVISORY can keep 3-thread hosts green), and
+ * auto-skipped below 3 where coordinator + 2 workers cannot run in
+ * parallel. On hosts with >= 5 hardware threads the gate additionally
+ * requires speedup_t4 >= CCSIM_SHARD_GATE_RATIO_T4 (default 2.0).
  *
  * Scale via CCSIM_KERNEL_INSTS (default 40000 insts/core),
  * CCSIM_SHARD_INSTS (default 60000) and CCSIM_THREADS.
@@ -126,14 +130,18 @@ serialSweep(const std::vector<Point> &points, sim::KernelMode kernel,
 
 /**
  * Channel-sharded single-simulation sweep: ONE 8-core 4-channel run,
- * serial calendar vs shardThreads ∈ {2, 4}, best-of-repeat walls.
- * Simulated cycles must agree bit for bit across all three.
+ * serial calendar vs the scaling curve shardThreads ∈ {1, 2, 4, 8},
+ * best-of-repeat walls. Simulated cycles must agree bit for bit
+ * across every width. (8 threads clamps to the 4 channels — the
+ * point records that over-subscription costs nothing.)
  */
 struct ShardSweep {
     std::uint64_t insts = 0;
     double serialWall = 0.0;
+    double wallT1 = 0.0;
     double wallT2 = 0.0;
     double wallT4 = 0.0;
+    double wallT8 = 0.0;
     std::uint64_t simCycles = 0;
 
     double
@@ -170,8 +178,10 @@ shardSweep(std::uint64_t insts)
         const char *label;
     };
     const Case cases[] = {{0, &ShardSweep::serialWall, "shard serial"},
+                          {1, &ShardSweep::wallT1, "shard 1 thread"},
                           {2, &ShardSweep::wallT2, "shard 2 threads"},
-                          {4, &ShardSweep::wallT4, "shard 4 threads"}};
+                          {4, &ShardSweep::wallT4, "shard 4 threads"},
+                          {8, &ShardSweep::wallT8, "shard 8 threads"}};
     for (const Case &c : cases) {
         double best = 0.0;
         std::uint64_t cycles = 0;
@@ -220,9 +230,11 @@ writeRecord(std::FILE *f, std::size_t points, std::uint64_t insts,
         "\"kernel_speedup\": %.3f, \"total_speedup\": %.3f, "
         "\"shard\": {\"insts_per_core\": %llu, \"hw_threads\": %u, "
         "\"advisory\": %s, "
-        "\"serial_wall_s\": %.4f, \"t2_wall_s\": %.4f, "
-        "\"t4_wall_s\": %.4f, \"sim_cycles\": %llu, "
-        "\"speedup_t2\": %.3f, \"speedup_t4\": %.3f}}\n",
+        "\"serial_wall_s\": %.4f, \"t1_wall_s\": %.4f, "
+        "\"t2_wall_s\": %.4f, \"t4_wall_s\": %.4f, "
+        "\"t8_wall_s\": %.4f, \"sim_cycles\": %llu, "
+        "\"speedup_t1\": %.3f, \"speedup_t2\": %.3f, "
+        "\"speedup_t4\": %.3f, \"speedup_t8\": %.3f}}\n",
         points, (unsigned long long)insts,
         sim::ParallelRunner::defaultThreads(), percycle.wallSeconds,
         percycle.cyclesPerSecond(), eventskip.wallSeconds,
@@ -246,10 +258,11 @@ writeRecord(std::FILE *f, std::size_t points, std::uint64_t insts,
         // record advisory so trajectory consumers and the future
         // enforcing CCSIM_SHARD_GATE never ingest it.
         std::thread::hardware_concurrency() < 2 ? "true" : "false",
-        shard.serialWall,
-        shard.wallT2, shard.wallT4,
-        (unsigned long long)shard.simCycles, shard.speedup(shard.wallT2),
-        shard.speedup(shard.wallT4));
+        shard.serialWall, shard.wallT1,
+        shard.wallT2, shard.wallT4, shard.wallT8,
+        (unsigned long long)shard.simCycles, shard.speedup(shard.wallT1),
+        shard.speedup(shard.wallT2), shard.speedup(shard.wallT4),
+        shard.speedup(shard.wallT8));
 }
 
 } // namespace
@@ -298,9 +311,10 @@ main()
                 (unsigned long long)envU64("CCSIM_SHARD_INSTS", 60000),
                 std::thread::hardware_concurrency());
     ShardSweep shard = shardSweep(envU64("CCSIM_SHARD_INSTS", 60000));
-    std::printf("sharded speedup:           %.2fx (2 threads), %.2fx "
-                "(4 threads)\n",
-                shard.speedup(shard.wallT2), shard.speedup(shard.wallT4));
+    std::printf("sharded speedup curve:     %.2fx / %.2fx / %.2fx / "
+                "%.2fx (1 / 2 / 4 / 8 threads)\n",
+                shard.speedup(shard.wallT1), shard.speedup(shard.wallT2),
+                shard.speedup(shard.wallT4), shard.speedup(shard.wallT8));
     if (std::thread::hardware_concurrency() < 3)
         std::printf("note: %u hardware threads — the sharded runner "
                     "needs coordinator + workers in parallel to win; "
@@ -370,32 +384,56 @@ main()
     }
 
     // Sharded-speedup gate: the 2-thread sharded run of one big
-    // simulation must beat serial by CCSIM_SHARD_GATE_RATIO. Skipped
-    // automatically when the host cannot run coordinator + 2 workers
-    // in parallel (the protocol can only cost there).
-    // CCSIM_SHARD_GATE_ADVISORY=1 prints the verdict and keeps the
-    // exit code zero — the data-collection mode the CI perf-trajectory
-    // job runs until enough runner data points fix the threshold.
+    // simulation must beat serial by CCSIM_SHARD_GATE_RATIO, and with
+    // enough hardware the 4-thread run must clear
+    // CCSIM_SHARD_GATE_RATIO_T4. Skipped automatically when the host
+    // cannot run coordinator + 2 workers in parallel (the protocol can
+    // only cost there). The gate ENFORCES on >= 4 hardware threads;
+    // on exactly 3, CCSIM_SHARD_GATE_ADVISORY=1 downgrades a failure
+    // to a printed verdict (the coordinator and both workers share
+    // cores there, so the margin is noise-dominated).
     if (envU64("CCSIM_SHARD_GATE", 0)) {
-        double tol = envF64("CCSIM_SHARD_GATE_RATIO", 1.3);
-        const bool advisory = envU64("CCSIM_SHARD_GATE_ADVISORY", 0);
-        if (std::thread::hardware_concurrency() < 3) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        const double tol = envF64("CCSIM_SHARD_GATE_RATIO", 1.3);
+        const bool advisory =
+            hw < 4 && envU64("CCSIM_SHARD_GATE_ADVISORY", 0);
+        if (hw < 3) {
             std::printf("shard gate skipped: only %u hardware "
                         "threads\n",
-                        std::thread::hardware_concurrency());
-        } else if (shard.speedup(shard.wallT2) < tol) {
+                        hw);
+            return 0;
+        }
+        bool failed = false;
+        if (shard.speedup(shard.wallT2) < tol) {
             std::fprintf(stderr,
                          "GATE %s: sharded 2-thread speedup %.3fx "
                          "< %.3fx on the 8-core 4-channel run\n",
                          advisory ? "ADVISORY-FAIL (not enforced)"
                                   : "FAILED",
                          shard.speedup(shard.wallT2), tol);
+            failed = true;
+        }
+        // The 4-thread point needs coordinator + 4 workers; only
+        // demand scaling when the host can actually run them.
+        const double tol4 = envF64("CCSIM_SHARD_GATE_RATIO_T4", 2.0);
+        if (hw >= 5 && shard.speedup(shard.wallT4) < tol4) {
+            std::fprintf(stderr,
+                         "GATE %s: sharded 4-thread speedup %.3fx "
+                         "< %.3fx on the 8-core 4-channel run\n",
+                         advisory ? "ADVISORY-FAIL (not enforced)"
+                                  : "FAILED",
+                         shard.speedup(shard.wallT4), tol4);
+            failed = true;
+        }
+        if (failed) {
             if (!advisory)
                 return 2;
         } else {
             std::printf("shard gate passed: %.2fx at 2 threads "
-                        "(threshold %.2f)\n",
-                        shard.speedup(shard.wallT2), tol);
+                        "(threshold %.2f), %.2fx at 4 threads "
+                        "(threshold %.2f, enforced at >= 5 hw)\n",
+                        shard.speedup(shard.wallT2), tol,
+                        shard.speedup(shard.wallT4), tol4);
         }
     }
     return 0;

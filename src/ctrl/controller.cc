@@ -38,8 +38,10 @@ MemoryController::MemoryController(const dram::DramSpec &spec,
             bankPtr_.push_back(&channel_.rank(rank).bank(bank));
     readBankCount_.assign(bankPtr_.size(), 0);
     writeBankCount_.assign(bankPtr_.size(), 0);
-    CCSIM_ASSERT(!config_.useBankLists || config_.useServeHorizon,
-                 "bank lists require the serve-horizon bookkeeping");
+    CCSIM_ASSERT(config_.useBankLists == config_.useServeHorizon,
+                 "the serve-horizon scheduler is the bank-list scan: "
+                 "both event kernels use it, the per-cycle reference "
+                 "uses neither");
     if (config_.useBankLists) {
         readBankHead_.assign(bankPtr_.size(), -1);
         readBankTail_.assign(bankPtr_.size(), -1);
@@ -197,11 +199,6 @@ MemoryController::enqueue(Request req)
             enqueueListed(std::move(req), false);
             return;
         }
-        if (config_.useServeHorizon) {
-            ++readRows_[rowKeyOf(req.addr)].count;
-            ++readBankCount_[bankIndexOf(req.addr)];
-            readKeys_.push_back(rowKeyOf(req.addr));
-        }
         readQ_.push_back({std::move(req), false});
     } else {
         // Coalesce repeated writebacks of the same line.
@@ -213,11 +210,6 @@ MemoryController::enqueue(Request req)
         if (config_.useBankLists) {
             enqueueListed(std::move(req), true);
             return;
-        }
-        if (config_.useServeHorizon) {
-            ++writeRows_[rowKeyOf(req.addr)].count;
-            ++writeBankCount_[bankIndexOf(req.addr)];
-            writeKeys_.push_back(rowKeyOf(req.addr));
         }
         writeQ_.push_back({std::move(req), false});
     }
@@ -488,127 +480,6 @@ MemoryController::scanBanks(bool is_write, std::uint64_t &hit_ready,
 }
 
 bool
-MemoryController::serveQueue(std::deque<QueuedReq> &queue, bool is_write)
-{
-    // Optimized FR-FCFS scan (kernel-equivalence tests prove it
-    // identical to serveQueueReference): per-bank readiness from
-    // scanBanks, then an arrival-order walk restricted to ready banks
-    // — the first ready row hit wins (FR priority), else the first
-    // ready PRE/ACT driver (FCFS), exactly like the two-pass reference.
-    const dram::CmdType col_cmd =
-        is_write ? dram::CmdType::WR : dram::CmdType::RD;
-    std::vector<std::uint64_t> &keys = is_write ? writeKeys_ : readKeys_;
-    CCSIM_ASSERT(keys.size() == queue.size(), "key mirror out of sync");
-    if (keys.empty()) {
-        nextServeTry_ = kNoCycle; // Re-armed by the next enqueue.
-        return false;
-    }
-    std::unordered_map<std::uint64_t, RowList> &row_count =
-        is_write ? writeRows_ : readRows_;
-    std::vector<int> &bank_count =
-        is_write ? writeBankCount_ : readBankCount_;
-    const int banks_per_rank = spec_.org.banksPerRank;
-
-    std::uint64_t hit_ready, drive_ready;
-    Cycle bound;
-    scanBanks(is_write, hit_ready, drive_ready, bound);
-
-    if (hit_ready == 0 && drive_ready == 0) {
-        // Nothing issuable this cycle: publish the horizon. Sound
-        // because bank and bus state only change on an issue and
-        // candidates only appear on an enqueue — both reset
-        // nextServeTry_ — and each bound term lower-bounds canIssue()
-        // turning true for its class.
-        nextServeTry_ = std::max(bound, now_ + 1);
-        return false;
-    }
-
-    // Phase 2: arrival-order walk restricted to ready banks. The first
-    // ready row hit is issued immediately; otherwise the first ready
-    // PRE/ACT driver found is issued after the walk (or as soon as no
-    // hit can appear).
-    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-    std::size_t pre_act = kNone;
-    bool pre_act_is_act = false;
-    const std::uint64_t ready = hit_ready | drive_ready;
-    const std::size_t n = keys.size();
-    for (std::size_t idx = 0; idx < n; ++idx) {
-        const std::uint64_t key = keys[idx];
-        const int bi =
-            rankOfKey(key) * banks_per_rank + bankOfKey(key);
-        if (!(ready & (std::uint64_t(1) << bi)))
-            continue;
-        const dram::Bank &b = *bankPtr_[bi];
-        const int row = rowOfKey(key);
-        const bool is_hit =
-            b.state() == dram::Bank::State::Active && b.openRow() == row;
-        if (is_hit) {
-            if (!(hit_ready & (std::uint64_t(1) << bi)))
-                continue; // Hit exists but is not issuable this cycle.
-            QueuedReq &qr = queue[idx];
-            const dram::DramAddr a = qr.req.addr;
-            dram::Command cmd{col_cmd, a};
-            bool auto_pre = config_.rowPolicy == RowPolicy::Closed &&
-                            !anotherHitQueued(a, qr.req.token);
-            if (auto_pre)
-                cmd.type = is_write ? dram::CmdType::WRA
-                                    : dram::CmdType::RDA;
-            classify(qr);
-            issue(cmd, nullptr);
-            if (auto_pre) {
-                recordPrechargeOf(a.rank, a.bank, row);
-                ++stats_.autoPres;
-            }
-            if (!is_write) {
-#if CCSIM_OBS
-                if (obsHists_)
-                    obsHists_->queueWait.sample(now_ - qr.req.arrive);
-#endif
-                PendingRead pr;
-                pr.req = std::move(qr.req);
-                pr.done = channel_.readDataDone(now_);
-                pending_.push(std::move(pr));
-            } else {
-                writeLines_.erase(qr.req.lineAddr);
-            }
-            auto rc = row_count.find(key);
-            CCSIM_ASSERT(rc != row_count.end() && rc->second.count > 0,
-                         "row count out of sync");
-            if (--rc->second.count == 0)
-                row_count.erase(rc);
-            --bank_count[bi];
-            queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
-            keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(idx));
-            return true;
-        }
-        if (pre_act != kNone)
-            continue; // FCFS slot already claimed by an older request.
-        if (drive_ready & (std::uint64_t(1) << bi)) {
-            pre_act = idx;
-            pre_act_is_act = b.state() == dram::Bank::State::Idle;
-            if (hit_ready == 0)
-                break; // No hit can outrank the FCFS driver.
-        }
-    }
-
-    CCSIM_ASSERT(pre_act != kNone,
-                 "ready bank reported but no candidate entry found");
-    QueuedReq &qr = queue[pre_act];
-    const dram::DramAddr &a = qr.req.addr;
-    classify(qr);
-    if (pre_act_is_act) {
-        issueAct(a, qr.req.coreId, qr.req.isPtw);
-    } else {
-        const dram::Bank &b = *bankPtr_[bankIndexOf(a)];
-        int row = b.openRow();
-        issue({dram::CmdType::PRE, a}, nullptr);
-        recordPrechargeOf(a.rank, a.bank, row);
-        ++stats_.pres;
-    }
-    return true;
-}
-
-bool
 MemoryController::serveQueueBankLists(bool is_write)
 {
     // Calendar-kernel FR-FCFS scan over the per-bank / per-row lists.
@@ -850,11 +721,7 @@ MemoryController::tick()
     } else if (now_ >= nextServeTry_ || config_.paranoidSchedule) {
         bool within_horizon = now_ < nextServeTry_;
         bool is_write = drainMode_ || trickleWrites();
-        bool served;
-        if (config_.useBankLists)
-            served = serveQueueBankLists(is_write);
-        else
-            served = serveQueue(is_write ? writeQ_ : readQ_, is_write);
+        bool served = serveQueueBankLists(is_write);
         CCSIM_ASSERT(!(served && within_horizon),
                      "scheduler horizon unsound: a scan inside "
                      "nextServeTry_ issued a command");
@@ -1004,8 +871,6 @@ MemoryController::loadState(resilience::SnapshotReader &r,
     readQ_.clear();
     writeQ_.clear();
     writeLines_.clear();
-    readKeys_.clear();
-    writeKeys_.clear();
     readRows_.clear();
     writeRows_.clear();
     std::fill(readBankCount_.begin(), readBankCount_.end(), 0);
@@ -1035,14 +900,6 @@ MemoryController::loadState(resilience::SnapshotReader &r,
                 int s = (is_write ? writeBankTail_ : readBankTail_)[bi];
                 slots_[static_cast<std::size_t>(s)].qr.serviced = serviced;
             } else {
-                if (config_.useServeHorizon) {
-                    ++(is_write ? writeRows_ : readRows_)[rowKeyOf(req.addr)]
-                          .count;
-                    ++(is_write ? writeBankCount_
-                                : readBankCount_)[bankIndexOf(req.addr)];
-                    (is_write ? writeKeys_ : readKeys_)
-                        .push_back(rowKeyOf(req.addr));
-                }
                 (is_write ? writeQ_ : readQ_)
                     .push_back({std::move(req), serviced});
             }

@@ -73,15 +73,16 @@ struct CtrlConfig {
      */
     bool paranoidSchedule = false;
     /**
-     * Calendar kernel: keep queued requests on per-bank and per-row
+     * Event kernels: keep queued requests on per-bank and per-row
      * arrival-ordered lists so an issuing scan selects the FR-FCFS
      * winner in O(banks touched) instead of walking the queue in
-     * arrival order. Requires useServeHorizon (the per-bank readiness
-     * pass is shared). The PerCycle and EventSkip kernels keep their
-     * scans, so the kernel-equivalence tests verify the list-based
-     * selection against both.
+     * arrival order. Must equal useServeHorizon (the per-bank
+     * readiness pass is shared; asserted in the constructor) — the
+     * PerCycle reference keeps its exhaustive arrival-order scan, so
+     * the kernel-equivalence tests verify the list-based selection
+     * against it.
      */
-    bool useBankLists = false;
+    bool useBankLists = true;
 };
 
 /** Aggregate controller statistics. */
@@ -148,8 +149,8 @@ class MemoryController : public MemPort
      * observable work: the earliest of the next read-data delivery, the
      * next refresh falling due, and — while requests are queued — the
      * cached scheduler horizon (the earliest cycle any queued request's
-     * next command could become timing-legal; see serveQueue). Never
-     * kNoCycle — refresh is periodic.
+     * next command could become timing-legal; see serveQueueBankLists).
+     * Never kNoCycle — refresh is periodic.
      */
     Cycle
     nextEventAt() const
@@ -175,6 +176,29 @@ class MemoryController : public MemPort
     nextDeliveryAt() const
     {
         return pending_.empty() ? kNoCycle : pending_.top().done;
+    }
+
+    /**
+     * Lower bound on the cycle at which a *queued* (not yet issued)
+     * read could hand data back, given that any read needs at least
+     * `lmin` cycles between command issue and data delivery (the
+     * caller passes tCL + tBL, the minimum CAS-to-data distance).
+     * kNoCycle when no read is queued. The scheduler never issues
+     * before nextServeTry_, so issue >= max(now, nextServeTry_) and
+     * delivery >= issue + lmin. Unlike nextDeliveryAt() this bound can
+     * move backwards across enqueues, so the sharded kernel must
+     * re-read it after every command it relays — it is a per-epoch
+     * bound, not a monotone horizon.
+     */
+    Cycle
+    readIssueBoundAt(Cycle lmin) const
+    {
+        if (readCount() == 0)
+            return kNoCycle;
+        Cycle issue = nextServeTry_ > now_ ? nextServeTry_ : now_;
+        if (issue >= kNoCycle - lmin)
+            return kNoCycle;
+        return issue + lmin;
     }
 
     /**
@@ -342,13 +366,12 @@ class MemoryController : public MemPort
         cycle, and (for the rest) the earliest cycle that could change. */
     void scanBanks(bool is_write, std::uint64_t &hit_ready,
                    std::uint64_t &drive_ready, Cycle &bound);
-    /** Optimized FR-FCFS scan (EventSkip kernel): fused passes over a
-        compact key vector, with scheduler-horizon bound accumulation. */
-    bool serveQueue(std::deque<QueuedReq> &queue, bool is_write);
-    /** Calendar-kernel FR-FCFS scan: selects the winner directly from
-        the per-bank / per-row arrival-ordered lists — O(banks touched),
-        no arrival-order walk. Equivalence-tested against both other
-        scans. */
+    /** Event-kernel FR-FCFS scan (EventSkip and Calendar): selects the
+        winner directly from the per-bank / per-row arrival-ordered
+        lists — O(banks touched), no arrival-order walk. (The interim
+        key-mirror scan the EventSkip kernel soaked on was folded away
+        once the bank lists proved bit-identical.) Equivalence-tested
+        against serveQueueReference. */
     bool serveQueueBankLists(bool is_write);
     /** The seed's two-pass FR-FCFS scan, preserved verbatim as the
         PerCycle reference — the oracle the kernel-equivalence tests
@@ -415,22 +438,13 @@ class MemoryController : public MemPort
      */
     std::unordered_set<Addr> writeLines_;
     /**
-     * Compact mirrors of the queues holding just each request's packed
-     * (rank, bank, row) key, in queue order — the optimized scan walks
-     * these 8-byte keys instead of dragging whole requests through the
-     * cache. Maintained only when useServeHorizon (the reference scan
-     * walks the deques like the seed did).
-     */
-    std::vector<std::uint64_t> readKeys_;
-    std::vector<std::uint64_t> writeKeys_;
-    /**
-     * Per-row bookkeeping: request count (both optimized scans) and,
-     * when useBankLists, the head/tail of the row's arrival-ordered
-     * slot list. The counts let the optimized scans decide a whole
-     * bank's readiness (and its contribution to the scheduler-horizon
-     * bound) in O(1), and make the closed-row auto-precharge test ("is
-     * another hit to this row queued?") O(1) instead of a scan of both
-     * queues. Maintained only when useServeHorizon.
+     * Per-row bookkeeping: request count plus the head/tail of the
+     * row's arrival-ordered slot list. The counts let the optimized
+     * scan decide a whole bank's readiness (and its contribution to
+     * the scheduler-horizon bound) in O(1), and make the closed-row
+     * auto-precharge test ("is another hit to this row queued?") O(1)
+     * instead of a scan of both queues. Maintained only when
+     * useBankLists (== useServeHorizon).
      */
     struct RowList {
         int count = 0;

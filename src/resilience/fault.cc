@@ -29,8 +29,30 @@ applyEnvFaults(FaultConfig &cfg)
         const char *v = std::getenv(name);
         return v && *v ? v : nullptr;
     };
+    // Scalar parses validate the end pointer: strtoull/strtol with a
+    // nullptr end silently read garbage like "abc" as 0, which turns a
+    // typo'd fault spec into "no fault injected" — the one failure mode
+    // a fault harness must not have.
+    auto parseU64 = [](const char *name, const char *v) -> std::uint64_t {
+        char *end = nullptr;
+        auto parsed = std::strtoull(v, &end, 10);
+        if (end == v || *end != '\0')
+            throw SimError(ErrorKind::InvalidConfig,
+                           std::string(name) + "='" + v +
+                               "' is not an unsigned integer");
+        return parsed;
+    };
+    auto parseInt = [](const char *name, const char *v) -> int {
+        char *end = nullptr;
+        long parsed = std::strtol(v, &end, 10);
+        if (end == v || *end != '\0')
+            throw SimError(ErrorKind::InvalidConfig,
+                           std::string(name) + "='" + v +
+                               "' is not an integer");
+        return static_cast<int>(parsed);
+    };
     if (const char *v = env("CCSIM_FAULT_SEED"))
-        cfg.seed = std::strtoull(v, nullptr, 10);
+        cfg.seed = parseU64("CCSIM_FAULT_SEED", v);
     if (const char *v = env("CCSIM_FAULT_KIND")) {
         std::string k = v;
         if (k == "worker-stall")
@@ -50,9 +72,9 @@ applyEnvFaults(FaultConfig &cfg)
                            "CCSIM_FAULT_KIND='" + k + "' is not a fault");
     }
     if (const char *v = env("CCSIM_FAULT_AFTER"))
-        cfg.afterCommands = std::strtoull(v, nullptr, 10);
+        cfg.afterCommands = parseU64("CCSIM_FAULT_AFTER", v);
     if (const char *v = env("CCSIM_FAULT_CHANNEL"))
-        cfg.channel = static_cast<int>(std::strtol(v, nullptr, 10));
+        cfg.channel = parseInt("CCSIM_FAULT_CHANNEL", v);
 }
 
 FaultPlan::FaultPlan(const FaultConfig &cfg, int channels) : cfg_(cfg)

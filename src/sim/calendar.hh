@@ -23,6 +23,7 @@
 #ifndef CCSIM_SIM_CALENDAR_HH
 #define CCSIM_SIM_CALENDAR_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <queue>
 #include <vector>
@@ -43,13 +44,26 @@ class TimingWheel
      * @param count_log2 log2 of the bucket count. The window spans
      *        2^(bucket_log2 + count_log2) cycles (default 64 * 1024 =
      *        65536, comfortably past one tREFI at cpuRatio 5).
+     * @param min_count_log2 / @param max_count_log2 adaptive-resize
+     *        caps on count_log2 (-1 = derive: never below
+     *        min(count_log2, 6), never above max(count_log2, 14)).
      */
-    explicit TimingWheel(int bucket_log2 = 6, int count_log2 = 10)
-        : shift_(bucket_log2),
+    explicit TimingWheel(int bucket_log2 = 6, int count_log2 = 10,
+                         int min_count_log2 = -1,
+                         int max_count_log2 = -1)
+        : shift_(bucket_log2), countLog2_(count_log2),
+          minCountLog2_(min_count_log2 >= 0 ? min_count_log2
+                                            : std::min(count_log2, 6)),
+          maxCountLog2_(max_count_log2 >= 0 ? max_count_log2
+                                            : std::max(count_log2, 14)),
           mask_((std::size_t(1) << count_log2) - 1),
           buckets_(std::size_t(1) << count_log2),
           occ_((buckets_.size() + 63) / 64, 0)
-    {}
+    {
+        CCSIM_ASSERT(minCountLog2_ <= countLog2_ &&
+                         countLog2_ <= maxCountLog2_,
+                     "resize caps must bracket the initial bucket count");
+    }
 
     /** Schedule `payload` for cycle `t` (must not be in the past). */
     void
@@ -67,6 +81,7 @@ class TimingWheel
         } else {
             overflow_.push({t, payload});
         }
+        maybeResize();
     }
 
     /**
@@ -169,7 +184,19 @@ class TimingWheel
         return inWheel_ + overflow_.size();
     }
 
+    /** Current bucket count (changes under adaptive resize). */
+    std::size_t bucketCount() const { return buckets_.size(); }
+
+    /** Adaptive grow/shrink operations performed so far. */
+    std::uint64_t resizes() const { return resizes_; }
+
   private:
+    /**
+     * Density check cadence: the grow/shrink comparison runs every
+     * 2^kResizeCheckLog2 posts, so a transient burst cannot thrash the
+     * geometry and the steady-state cost is one counter increment.
+     */
+    static constexpr std::uint64_t kResizeCheckLog2 = 6;
     struct Entry {
         CpuCycle t;
         Payload payload;
@@ -192,7 +219,69 @@ class TimingWheel
         }
     }
 
+    /**
+     * Classic calendar-queue adaptive resize, amortized behind a post
+     * counter: double the bucket count when live events outnumber
+     * buckets ~2x (cursor-bucket re-scans start to bite), halve it
+     * when they fall below 1/8th (the bitmap scan and cursor walk pay
+     * for empty acreage). The bucket *width* (shift_) never changes, so
+     * an event's absolute bucket number is stable and only the
+     * slot mapping (mod count) is rebuilt.
+     */
+    void
+    maybeResize()
+    {
+        if ((++postCount_ & ((std::uint64_t(1) << kResizeCheckLog2) - 1)) != 0)
+            return;
+        std::size_t live = size();
+        if (live > (buckets_.size() << 1) && countLog2_ < maxCountLog2_)
+            rebuild(countLog2_ + 1);
+        else if (live < (buckets_.size() >> 3) &&
+                 countLog2_ > minCountLog2_)
+            rebuild(countLog2_ - 1);
+    }
+
+    void
+    rebuild(int count_log2)
+    {
+        // In-window entries all satisfy bucket >= curBucket_ (post
+        // asserts it; drain removes everything due), so re-posting
+        // them around the unchanged cursor can never trip the
+        // into-the-past assertion. Entries whose bucket falls outside
+        // the new window spill back to the overflow heap; a wider
+        // window pulls overflow entries in. Distinct in-window
+        // absolute buckets keep distinct slots (injective mod count),
+        // so within-drain delivery grouping is preserved.
+        std::vector<std::vector<Entry>> old = std::move(buckets_);
+        countLog2_ = count_log2;
+        mask_ = (std::size_t(1) << count_log2) - 1;
+        buckets_.assign(std::size_t(1) << count_log2, {});
+        occ_.assign((buckets_.size() + 63) / 64, 0);
+        inWheel_ = 0;
+        for (std::vector<Entry> &vec : old) {
+            for (const Entry &e : vec) {
+                std::uint64_t b = e.t >> shift_;
+                CCSIM_ASSERT(b >= curBucket_,
+                             "live wheel entry behind the cursor");
+                if (b < curBucket_ + buckets_.size()) {
+                    std::size_t slot = b & mask_;
+                    buckets_[slot].push_back(e);
+                    occ_[slot >> 6] |= std::uint64_t(1) << (slot & 63);
+                    ++inWheel_;
+                } else {
+                    overflow_.push(e);
+                }
+            }
+        }
+        refillFromOverflow();
+        ++resizes_;
+        // The event set is untouched, so minCache_ stays valid.
+    }
+
     int shift_;
+    int countLog2_;
+    int minCountLog2_;
+    int maxCountLog2_;
     std::size_t mask_;
     std::vector<std::vector<Entry>> buckets_;
     std::vector<std::uint64_t> occ_; ///< One bit per bucket.
@@ -204,6 +293,8 @@ class TimingWheel
      * fast path.
      */
     CpuCycle minCache_ = kNoCycle;
+    std::uint64_t postCount_ = 0; ///< Amortizes the resize check.
+    std::uint64_t resizes_ = 0;   ///< Grow + shrink operations.
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
         overflow_;
 };

@@ -120,6 +120,27 @@ struct SimConfig {
      */
     int shardThreads = 0;
     /**
+     * Sharded kernel only: also parallelise the core phase. Cores are
+     * grouped by the worker that owns their home channel
+     * (channel `i * channels / nCores`); each cycle the coordinator
+     * dispatches every group with at least `shardCoreMinAwake` awake
+     * cores to its worker, which runs the cores' local tick halves
+     * (window/retire/translation — everything up to the first LLC
+     * access) in parallel, then finishes the deferred LLC accesses
+     * in global core order on the coordinator. Bit-identical by
+     * construction (the shared-state order is unchanged). Forced off
+     * under multi-process VM: a TLB shootdown broadcast mutates other
+     * cores mid-phase, which the parallel half must never do.
+     */
+    bool shardCoreGroups = true;
+    /**
+     * Minimum awake cores in a group before its CorePhase is worth a
+     * cross-thread dispatch; smaller groups tick inline on the
+     * coordinator. 1 forces dispatch whenever the group is non-empty
+     * (tests); raising it trades parallelism for fewer barriers.
+     */
+    int shardCoreMinAwake = 2;
+    /**
      * Paranoid shadow for the sharded kernel: after the sharded run,
      * replay the identical configuration on the serial calendar kernel
      * and CCSIM_ASSERT every SystemResult field (incl. ptw/vm/xlat

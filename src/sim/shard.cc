@@ -133,6 +133,13 @@ struct ShardedRunner::Channel {
     Cycle nextDelivery = kNoCycle; ///< nextDeliveryAt() (DRAM cycles).
     std::uint32_t readCount = 0;
     std::uint32_t writeCount = 0;
+    /**
+     * readIssueBoundAt(lmin): earliest DRAM cycle a *queued* read on
+     * this channel could hand data back (kNoCycle when none queued).
+     * Widens free-run epochs past the old global `now + lmin` cap —
+     * see the epoch jump in run() for the staleness guard.
+     */
+    Cycle issueBound = kNoCycle;
 
     /**
      * Quarantine handshake (graceful degradation): 0 = live; 1 = the
@@ -174,6 +181,16 @@ struct ShardedRunner::Channel {
 
 struct ShardedRunner::Worker {
     std::vector<int> channels;
+    /** Cores whose home channel this worker owns (static wiring). */
+    std::vector<int> coreGroup;
+    /**
+     * Awake subset of coreGroup for the in-flight CorePhase command.
+     * Coordinator-written before the send; the command ring's
+     * release/acquire pair publishes it, and the coordinator never
+     * rewrites it before syncing the ack — so the worker reads it
+     * race-free. Execute() runs Core::tickLocal for each listed core.
+     */
+    std::vector<int> coreArgs;
     std::mutex m;
     std::condition_variable cv;
     std::atomic<bool> sleeping{false};
@@ -285,6 +302,16 @@ ShardedRunner::start()
         w.channels.push_back(ch);
         chs_[ch]->worker = &w;
     }
+
+    // Core groups by channel affinity: core i's home channel is
+    // i * n_ch / n_cores, its group is the worker owning that channel.
+    const int n_cores = static_cast<int>(sys_.cores_.size());
+    for (int i = 0; i < n_cores; ++i) {
+        Worker &w = *chs_[i * n_ch / n_cores]->worker;
+        w.coreGroup.push_back(i);
+        w.coreArgs.reserve(static_cast<std::size_t>(n_cores));
+        coreHome_.push_back(&w);
+    }
     for (auto &w : workers_)
         w->thread = std::thread([this, wp = w.get()] { workerLoop(*wp); });
 }
@@ -326,6 +353,7 @@ ShardedRunner::publish(Channel &c)
     c.nextDelivery = mc.nextDeliveryAt();
     c.readCount = static_cast<std::uint32_t>(mc.readCount());
     c.writeCount = static_cast<std::uint32_t>(mc.writeCount());
+    c.issueBound = mc.readIssueBoundAt(lminDram_);
     c.acked.store(c.processed, std::memory_order_release);
 }
 
@@ -374,6 +402,25 @@ ShardedRunner::execute(Channel &c, const ShardCmd &cmd)
       case ShardCmd::Op::Sync:
         skip_to(cmd.target);
         break;
+      case ShardCmd::Op::CorePhase: {
+        // Local tick halves for this worker's dispatched cores. The
+        // cores touch no shared state here (LLC accesses defer to
+        // tickShared on the coordinator), so groups run in parallel.
+        // A structured SimError mid-loop is NOT a command boundary —
+        // core state is partially mutated and a journal replay would
+        // double-tick — so escalate it to the fatal path instead of
+        // the recoverable quarantine release.
+        const CpuCycle t = static_cast<CpuCycle>(cmd.target);
+        try {
+            for (int i : c.worker->coreArgs)
+                sys_.cores_[i]->tickLocal(t);
+        } catch (const resilience::SimError &e) {
+            CCSIM_PANIC("unrecoverable failure inside a sharded core "
+                        "phase (cores partially ticked): ",
+                        e.what());
+        }
+        break;
+      }
       case ShardCmd::Op::ResetStats:
         mc.resetStats();
         if (c.energy)
@@ -707,8 +754,11 @@ ShardedRunner::absorb(Channel &c)
 
 // ---------------------------------------------------------------------
 // Coordinator loop: the serial calendar kernel (System::runCalendar)
-// with the controller phase relayed to the shards. Cores, LLC, wheel
-// and park/wake bookkeeping are byte-for-byte the serial logic.
+// with the controller phase relayed to the shards and, when core
+// groups are on, the cores' local tick halves dispatched to their
+// home-channel workers. LLC, wheel and park/wake bookkeeping — and
+// every deferred shared core access, in global core order — are
+// byte-for-byte the serial logic.
 
 SystemResult
 ShardedRunner::run()
@@ -729,6 +779,16 @@ ShardedRunner::run()
     CpuCycle warm_end = 0;
     const CpuCycle ratio = ratio_;
     const std::size_t n_ch = chs_.size();
+
+    // Core-group dispatch: off under multi-process VM (a shootdown
+    // broadcast from one core's shared half mutates other cores, which
+    // the parallel local halves must never race with) and pointless
+    // with a single worker (the coordinator would only wait on it).
+    const bool core_groups = sys.config_.shardCoreGroups &&
+                             !sys.config_.vm.mp.enabled() &&
+                             workers_.size() > 1;
+    const int min_awake = std::max(1, sys.config_.shardCoreMinAwake);
+    std::vector<std::uint8_t> core_dispatched(sys.cores_.size(), 0);
 
     auto all_retired_at_least = [&](std::uint64_t n) {
         for (const auto &core : sys.cores_)
@@ -817,6 +877,7 @@ ShardedRunner::run()
             c.nextDelivery = c.mc->nextDeliveryAt();
             c.readCount = static_cast<std::uint32_t>(c.mc->readCount());
             c.writeCount = static_cast<std::uint32_t>(c.mc->writeCount());
+            c.issueBound = c.mc->readIssueBoundAt(lminDram_);
         }
         sys.resume_.reset();
     }
@@ -942,7 +1003,12 @@ ShardedRunner::run()
                 sys.llc_->tick();
         }
 
-        // Core phase (serial logic, verbatim).
+        // Core phase. With core groups on, every channel-affinity
+        // group with >= shardCoreMinAwake awake cores runs its local
+        // tick halves on its worker, in parallel; after the barrier
+        // the coordinator walks cal.awake in global order running the
+        // deferred shared halves (or full ticks for undispatched
+        // cores), so the LLC sees the exact serial access sequence.
         if (!cal.pendingWake.empty()) {
             for (int i : cal.pendingWake) {
                 cal.wakeQueued[i] = 0;
@@ -954,16 +1020,55 @@ ShardedRunner::run()
         bool any_progress = false;
         bool any_parked = false;
         cal.inCorePhase = true;
+        bool dispatched_any = false;
+        if (core_groups && !cal.awake.empty()) {
+            // No CorePhase is in flight here (each dispatch barriers
+            // within its own cycle), so the coordinator owns coreArgs.
+            for (auto &wp : workers_)
+                wp->coreArgs.clear();
+            for (int i : cal.awake)
+                coreHome_[i]->coreArgs.push_back(i);
+            for (auto &wp : workers_) {
+                Worker &w = *wp;
+                if (static_cast<int>(w.coreArgs.size()) < min_awake) {
+                    w.coreArgs.clear(); // Too small: tick inline below.
+                    continue;
+                }
+                ShardCmd cp;
+                cp.op = ShardCmd::Op::CorePhase;
+                cp.target = static_cast<Cycle>(now);
+                send(w.channels.front(), cp);
+                for (int i : w.coreArgs)
+                    core_dispatched[i] = 1;
+                dispatched_any = true;
+            }
+            if (dispatched_any)
+                for (auto &wp : workers_)
+                    if (!wp->coreArgs.empty())
+                        sync(wp->channels.front());
+        }
         for (std::size_t k = 0; k < cal.awake.size(); ++k) {
             int i = cal.awake[k];
             cal.currentCore = i;
-            if (sys.cores_[i]->tick(now)) {
+            bool prog;
+            if (dispatched_any && core_dispatched[i]) {
+                cpu::Core &core = *sys.cores_[i];
+                prog = core.pendingShared() ? core.tickShared(now)
+                                            : core.lastTickProgress();
+            } else {
+                prog = sys.cores_[i]->tick(now);
+            }
+            if (prog) {
                 any_progress = true;
             } else {
                 cal.parkedSince[i] = now + 1;
                 any_parked = true;
             }
         }
+        if (dispatched_any)
+            for (auto &wp : workers_)
+                for (int i : wp->coreArgs)
+                    core_dispatched[i] = 0;
         cal.inCorePhase = false;
         cal.currentCore = -1;
         if (any_parked) {
@@ -990,14 +1095,21 @@ ShardedRunner::run()
             if (!sys.llc_->needsAnyDrain()) {
                 // Epoch jump: free-run window up to the earliest cycle
                 // the coordinator could matter again — a wheel wake, a
-                // known read delivery, or (while reads could issue)
-                // the earliest possible *new* delivery. Controller
-                // horizons do not bound the window; the shards run
-                // them autonomously.
+                // known read delivery, or per shard with queued reads
+                // its published issue bound (the earliest a *new*
+                // delivery could appear there). Controller horizons do
+                // not bound the window; the shards run them
+                // autonomously.
                 CpuCycle horizon = cal.wheel.nextEventAt();
-                bool any_reads = false;
                 for (std::size_t ch = 0; ch < n_ch; ++ch)
                     sync(static_cast<int>(ch));
+                // Conservative floor for the per-shard issue bounds:
+                // the mirror was published at the shard's own (lazy)
+                // clock, which may trail the serial value — but no
+                // pending horizon predates the last processed boundary,
+                // so next-boundary + lmin is always sound.
+                const Cycle floor_b =
+                    static_cast<Cycle>(now / ratio) + 1 + lminDram_;
                 for (std::size_t ch = 0; ch < n_ch; ++ch) {
                     const Channel &c = *chs_[ch];
                     if (c.nextDelivery != kNoCycle)
@@ -1005,12 +1117,14 @@ ShardedRunner::run()
                             horizon,
                             static_cast<CpuCycle>(c.nextDelivery) *
                                 ratio);
-                    any_reads |= c.readCount > 0;
+                    if (c.readCount > 0) {
+                        Cycle b = floor_b;
+                        if (c.issueBound != kNoCycle && c.issueBound > b)
+                            b = c.issueBound;
+                        horizon = std::min<CpuCycle>(
+                            horizon, static_cast<CpuCycle>(b) * ratio);
+                    }
                 }
-                if (any_reads)
-                    horizon = std::min<CpuCycle>(
-                        horizon,
-                        (now / ratio + 1 + lminDram_) * ratio);
                 // Bounded hop: keeps the watchdog cadence alive even
                 // with no posted event in reach.
                 horizon = std::min<CpuCycle>(horizon, now + 65536);

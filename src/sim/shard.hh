@@ -2,9 +2,11 @@
  * @file
  * Channel-sharded multi-threaded simulation driver for the calendar
  * kernel: per-channel MemoryController/RefreshScheduler/provider/energy
- * state is partitioned onto worker threads while the cores and the
- * shared LLC advance on the coordinator, connected by lock-free SPSC
- * command/completion queues under a deterministic barrier protocol.
+ * state is partitioned onto worker threads, the cores' local tick
+ * halves run on the worker owning their home channel (core groups),
+ * and the shared LLC plus every deferred core LLC access advance on
+ * the coordinator, connected by lock-free SPSC command/completion
+ * queues under a deterministic barrier protocol.
  *
  * Determinism contract (see docs/performance.md for the full
  * argument): the sharded run produces a bit-identical SystemResult to
@@ -26,13 +28,23 @@
  *    the worker publishes after every command; the coordinator syncs
  *    to its own last command before reading, so the mirror always
  *    equals the state the serial kernel would observe.
+ *  - Awake cores tick in two halves: the *local* half (window,
+ *    retire, translation — everything up to the first LLC access) has
+ *    no shared state and runs on the worker owning the core's home
+ *    channel, all groups in parallel; the *shared* half (the deferred
+ *    LLC access onward) runs on the coordinator in global core order
+ *    after a barrier — so the LLC observes the exact serial access
+ *    sequence. Gated off under multi-process VM, where a shootdown
+ *    broadcast mutates other cores mid-phase.
  *  - When every core is parked and the LLC is quiescent, the
  *    coordinator grants shards a *free-run window*: each worker ticks
  *    autonomously up to an epoch boundary — the minimum over the
  *    wheel's next wake, every shard's published next read delivery,
- *    and (when reads could issue) now + the minimum read latency, so
- *    no completion can materialise inside the window. Workers assert
- *    this invariant on every free-run tick.
+ *    and, per shard with queued reads, the shard's published issue
+ *    bound (the earliest cycle a queued read could hand data back,
+ *    never below the next boundary plus the minimum read latency) —
+ *    so no completion can materialise inside the window. Workers
+ *    assert this invariant on every free-run tick.
  */
 
 #ifndef CCSIM_SIM_SHARD_HH
@@ -130,6 +142,16 @@ struct ShardCmd {
         Enqueue,
         /** Advance the controller clock to DRAM cycle `target`. */
         Sync,
+        /**
+         * Run the local tick half (Core::tickLocal) of every core in
+         * the owning worker's dispatch list at CPU cycle `target`.
+         * The list lives in the Worker (coordinator-written before the
+         * send; the ring's release/acquire pair publishes it). Cores
+         * touch no shared state on this path — every LLC access is
+         * deferred to Core::tickShared, which the coordinator runs in
+         * global core order after the barrier.
+         */
+        CorePhase,
         /** Reset controller/provider stats; re-base energy at now(). */
         ResetStats,
         /** Worker releases the channel and exits once all are stopped. */
@@ -247,6 +269,8 @@ class ShardedRunner
 
     std::vector<std::unique_ptr<Channel>> chs_;
     std::vector<std::unique_ptr<Worker>> workers_;
+    /** Core id -> worker owning its home channel (core groups). */
+    std::vector<Worker *> coreHome_;
     std::vector<std::unique_ptr<Port>> ports_;
     std::vector<ctrl::MemPort *> savedRoute_;
 };

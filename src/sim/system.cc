@@ -153,7 +153,7 @@ System::build(const std::vector<cpu::TraceSource *> &traces)
 
     ctrl::CtrlConfig ctrl_cfg = config_.ctrl;
     ctrl_cfg.useServeHorizon = config_.kernel != KernelMode::PerCycle;
-    ctrl_cfg.useBankLists = config_.kernel == KernelMode::Calendar;
+    ctrl_cfg.useBankLists = ctrl_cfg.useServeHorizon;
     ctrl_cfg.paranoidSchedule =
         ctrl_cfg.useServeHorizon && config_.kernelParanoid;
     for (int ch = 0; ch < config_.channels; ++ch) {

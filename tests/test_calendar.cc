@@ -120,6 +120,171 @@ TEST(TimingWheel, ManyEventsArriveExactlyOnceInCycleOrder)
     }
 }
 
+// ---------------------------------------------------------------------
+// Adaptive resize (classic calendar-queue grow/shrink; the bucket
+// width never changes, only the count).
+
+TEST(TimingWheelResize, GrowsUnderDensityAndStaysExact)
+{
+    // 8-cycle buckets, 8 buckets, caps [3, 10]: 600 live events is
+    // ~75x the bucket count, so the amortized density check (every 64
+    // posts) must grow the wheel — and a per-cycle drain must still
+    // see every event exactly once, exactly at its cycle.
+    TimingWheel w(3, 3, 3, 10);
+    EXPECT_EQ(w.bucketCount(), 8u);
+    std::mt19937_64 rng(99);
+    std::vector<CpuCycle> due(600);
+    std::vector<int> count(due.size(), 0);
+    for (std::size_t i = 0; i < due.size(); ++i) {
+        due[i] = 1 + rng() % 4000;
+        w.post(due[i], static_cast<std::uint32_t>(i));
+    }
+    EXPECT_GT(w.resizes(), 0u);
+    EXPECT_GT(w.bucketCount(), 8u);
+    for (CpuCycle t = 0; t <= 4000; ++t)
+        w.drainUpTo(t, [&](TimingWheel::Payload p) {
+            ++count[p];
+            EXPECT_EQ(due[p], t) << "event " << p
+                                 << " delivered off-cycle";
+        });
+    for (std::size_t i = 0; i < due.size(); ++i)
+        EXPECT_EQ(count[i], 1) << "event " << i;
+    EXPECT_EQ(w.size(), 0u);
+    EXPECT_EQ(w.nextEventAt(), kNoCycle);
+}
+
+TEST(TimingWheelResize, ShrinksWhenSparseAndWrapsAtNewGeometry)
+{
+    // Start at 256 buckets with caps down to 8: a sparse steady state
+    // (one live event at a time) must shrink the wheel to the floor,
+    // and the cursor must keep wrapping correctly at each successive
+    // geometry — the post/drain loop crosses the shrunken 64-cycle
+    // window many times per lap.
+    TimingWheel w(3, 8, 3, 8);
+    EXPECT_EQ(w.bucketCount(), 256u);
+    // An entry parked 1500 cycles out: in-window at 256 buckets, but
+    // past the 64-cycle window once shrunk — the rebuild must spill it
+    // back to the overflow heap and still deliver it on time.
+    const CpuCycle far_due = 1500;
+    w.post(far_due, 7777);
+    bool far_seen = false;
+    CpuCycle t = 0;
+    for (int i = 0; i < 1000; ++i) {
+        t += 2;
+        if (t >= far_due)
+            break;
+        w.post(t, static_cast<std::uint32_t>(i));
+        bool self_seen = false;
+        w.drainUpTo(t, [&](TimingWheel::Payload p) {
+            ASSERT_NE(p, 7777u) << "far event delivered early";
+            self_seen = true;
+        });
+        EXPECT_TRUE(self_seen);
+        EXPECT_EQ(w.size(), 1u) << "only the far event should remain";
+    }
+    // With two live events the shrink rule (live < buckets/8) halts at
+    // 16 buckets — the floor the density actually supports, above the
+    // hard cap of 8.
+    EXPECT_GE(w.resizes(), 4u) << "256 -> 16 takes four halvings";
+    EXPECT_EQ(w.bucketCount(), 16u);
+    EXPECT_EQ(w.nextEventAt(), far_due);
+    w.drainUpTo(far_due, [&](TimingWheel::Payload p) {
+        EXPECT_EQ(p, 7777u);
+        far_seen = true;
+    });
+    EXPECT_TRUE(far_seen);
+    EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(TimingWheelResize, OverflowSpillbackSurvivesGrow)
+{
+    // Overflow entries must survive a grow (a wider window pulls them
+    // into buckets early) and later posts/drains; occupancy-bitmap /
+    // inWheel_ consistency is checked implicitly — nextEventAt()
+    // panics on a bit set over an empty bucket and the final size must
+    // reach zero.
+    TimingWheel w(3, 3, 3, 10); // 64-cycle window initially.
+    std::vector<CpuCycle> due;
+    std::vector<int> count;
+    auto add = [&](CpuCycle at) {
+        w.post(at, static_cast<std::uint32_t>(due.size()));
+        due.push_back(at);
+        count.push_back(0);
+    };
+    add(500);   // Beyond the initial window: overflow heap.
+    add(3000);  // Ditto.
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 300; ++i)
+        add(1 + rng() % 450); // Density forces a grow past 500.
+    EXPECT_GT(w.resizes(), 0u);
+    EXPECT_GT(w.bucketCount() * 8, 500u)
+        << "window must now cover the first overflow entry";
+    for (CpuCycle t = 0; t <= 3000; ++t)
+        w.drainUpTo(t, [&](TimingWheel::Payload p) {
+            ++count[p];
+            EXPECT_EQ(due[p], t);
+        });
+    for (std::size_t i = 0; i < due.size(); ++i)
+        EXPECT_EQ(count[i], 1) << "event " << i;
+    EXPECT_EQ(w.size(), 0u);
+    EXPECT_EQ(w.nextEventAt(), kNoCycle);
+}
+
+TEST(TimingWheelResize, PostIntoPastAssertsAtEveryGeometry)
+{
+    TimingWheel w(3, 3, 3, 10);
+    w.post(200, 1);
+    drainAt(w, 200); // Cursor now at bucket 25.
+    EXPECT_THROW(w.post(5, 2), PanicError);
+
+    // Force a grow, then re-check: the cursor floor survives the
+    // rebuild, so posting behind it must still trip the assertion.
+    std::mt19937_64 rng(3);
+    for (int i = 0; i < 200; ++i)
+        w.post(201 + rng() % 60, static_cast<std::uint32_t>(i));
+    EXPECT_GT(w.resizes(), 0u);
+    EXPECT_THROW(w.post(100, 3), PanicError);
+    std::size_t before = w.size();
+    auto got = drainAt(w, 400);
+    EXPECT_EQ(got.size(), before);
+}
+
+TEST(TimingWheelResize, SoakWithResizeThrash)
+{
+    // Alternating dense bursts and sparse stretches drive repeated
+    // grow/shrink transitions; exactly-once delivery at the right
+    // cycle must hold throughout (the resize rule must never lose,
+    // duplicate, or reorder an event across rebuilds).
+    std::mt19937_64 rng(20260808);
+    TimingWheel w(3, 4, 3, 9);
+    std::vector<CpuCycle> due;
+    std::vector<int> count;
+    CpuCycle t = 0;
+    for (int phase = 0; phase < 6; ++phase) {
+        bool dense = (phase & 1) == 0;
+        int posts = dense ? 500 : 80;
+        for (int i = 0; i < posts; ++i) {
+            CpuCycle at = t + 1 + rng() % (dense ? 300 : 2000);
+            w.post(at, static_cast<std::uint32_t>(due.size()));
+            due.push_back(at);
+            count.push_back(0);
+        }
+        CpuCycle until = t + (dense ? 400 : 2500);
+        while (t < until) {
+            t += 1 + rng() % 16;
+            w.drainUpTo(t, [&](TimingWheel::Payload p) {
+                ASSERT_GE(t, due[p]) << "early delivery";
+                ++count[p];
+            });
+        }
+    }
+    w.drainUpTo(t + 100000, [&](TimingWheel::Payload p) { ++count[p]; });
+    EXPECT_GE(w.resizes(), 2u) << "thrash phases should resize";
+    for (std::size_t i = 0; i < due.size(); ++i)
+        ASSERT_EQ(count[i], 1) << "event " << i;
+    EXPECT_EQ(w.size(), 0u);
+}
+
 TEST(TimingWheel, NextEventAtTracksMinimumAcrossPosts)
 {
     TimingWheel w;

@@ -518,6 +518,47 @@ TEST(Resilience, EnvFaultOverridesParse)
     unsetenv("CCSIM_FAULT_CHANNEL");
 }
 
+TEST(Resilience, EnvFaultScalarsRejectGarbage)
+{
+    // strtoull with a nullptr end pointer used to parse these as 0 —
+    // i.e. a typo'd fault spec silently became "no fault injected".
+    // Each scalar must throw InvalidConfig naming the variable.
+    struct Case {
+        const char *name;
+        const char *value;
+    };
+    const Case cases[] = {{"CCSIM_FAULT_SEED", "abc"},
+                          {"CCSIM_FAULT_SEED", "12abc"},
+                          {"CCSIM_FAULT_AFTER", "ten"},
+                          {"CCSIM_FAULT_AFTER", "7 "},
+                          {"CCSIM_FAULT_CHANNEL", "one"},
+                          {"CCSIM_FAULT_CHANNEL", "0x2"}};
+    for (const Case &c : cases) {
+        setenv(c.name, c.value, 1);
+        resilience::FaultConfig fc;
+        try {
+            resilience::applyEnvFaults(fc);
+            FAIL() << c.name << "='" << c.value
+                   << "' should have been rejected";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::InvalidConfig);
+            EXPECT_NE(std::string(e.what()).find(c.name),
+                      std::string::npos)
+                << "error must name the offending variable: "
+                << e.what();
+        }
+        unsetenv(c.name);
+    }
+
+    // Valid values (incl. negative channel = "derive from seed") still
+    // parse.
+    setenv("CCSIM_FAULT_CHANNEL", "-1", 1);
+    resilience::FaultConfig fc;
+    resilience::applyEnvFaults(fc);
+    EXPECT_EQ(fc.channel, -1);
+    unsetenv("CCSIM_FAULT_CHANNEL");
+}
+
 // ---------------------------------------------------------------------
 // Structured input validation + sweep retry.
 

@@ -74,6 +74,10 @@ runSharded(SimConfig cfg, const std::vector<std::string> &w, int threads)
     cfg.kernel = KernelMode::Calendar;
     cfg.kernelParanoid = false;
     cfg.shardThreads = threads;
+    // CI matrix hook: run the whole suite with core-group dispatch
+    // forced on or off (tsan covers both protocol shapes).
+    if (const char *v = std::getenv("CCSIM_SHARD_CORE_GROUPS"); v && *v)
+        cfg.shardCoreGroups = *v != '0';
     applyEnvShardParanoia(cfg);
     System sys(cfg, w);
     return sys.run();
@@ -258,6 +262,77 @@ TEST(ShardEquivalence, WorkerCountClampsToChannels)
 }
 
 // ---------------------------------------------------------------------
+// Core-group dispatch: the core phase's local halves run on the
+// workers owning each core's home channel. Both toggle states and the
+// forced-dispatch threshold must stay bit-identical to the serial
+// reference (the shared halves replay in global core order).
+
+TEST(ShardCoreGroups, ToggleStatesAgreeWithSerial)
+{
+    for (bool vm : {false, true}) {
+        SimConfig base = matrixConfig(Scheme::ChargeCache, vm);
+        const auto w = matrixWorkloads(base.nCores);
+        SimConfig serial_cfg = base;
+        serial_cfg.kernel = KernelMode::PerCycle;
+        System serial(serial_cfg, w);
+        SystemResult ref = serial.run();
+        for (bool groups : {false, true}) {
+            SimConfig cfg = base;
+            cfg.shardCoreGroups = groups;
+            SystemResult r = runSharded(cfg, w, 2);
+            std::string label = std::string("core groups ") +
+                                (groups ? "on" : "off") + " vm=" +
+                                (vm ? "1" : "0");
+            expectIdenticalResults(ref, r, label.c_str());
+        }
+    }
+}
+
+TEST(ShardCoreGroups, MinAwakeOneForcesSingleCoreDispatch)
+{
+    // shardCoreMinAwake=1 dispatches every non-empty group — including
+    // a lone-core group (3 cores on 2 channels splits 2/1), the
+    // degenerate shape where a dispatch buys nothing but must still be
+    // bit-identical.
+    SimConfig base = matrixConfig(Scheme::ChargeCacheNuat, true);
+    base.nCores = 3;
+    const auto w = matrixWorkloads(base.nCores);
+    SimConfig serial_cfg = base;
+    serial_cfg.kernel = KernelMode::PerCycle;
+    System serial(serial_cfg, w);
+    SystemResult ref = serial.run();
+    for (int min_awake : {1, 4}) {
+        SimConfig cfg = base;
+        cfg.shardCoreMinAwake = min_awake;
+        SystemResult r = runSharded(cfg, w, 2);
+        std::string label =
+            "minAwake=" + std::to_string(min_awake) + " 3-core split";
+        expectIdenticalResults(ref, r, label.c_str());
+    }
+}
+
+TEST(ShardCoreGroups, PerCoreStatsIdenticalUnderDispatch)
+{
+    // The split tick's stall classification (window/xlat/LLC-blocked)
+    // happens in the shared half; per-core counters must match the
+    // serial reference exactly when local halves ran off-thread.
+    SimConfig base = matrixConfig(Scheme::ChargeCache, true);
+    const auto w = matrixWorkloads(base.nCores);
+    SimConfig serial_cfg = base;
+    serial_cfg.kernel = KernelMode::PerCycle;
+    System serial(serial_cfg, w);
+    serial.run();
+    SimConfig shard_cfg = base;
+    shard_cfg.kernel = KernelMode::Calendar;
+    shard_cfg.shardThreads = 2;
+    shard_cfg.shardCoreMinAwake = 1;
+    System sharded(shard_cfg, w);
+    sharded.run();
+    expectIdenticalCoreStats(serial, sharded, base.nCores,
+                             "core-group per-core stats");
+}
+
+// ---------------------------------------------------------------------
 // Seeded randomized stress: ~50 random configurations, each asserting
 // sharded(T) ≡ serial with T cycling through {1, 2, 4}.
 
@@ -297,6 +372,7 @@ TEST(ShardStress, RandomizedEquivalence)
         cfg.targetInsts = 1500 + rng() % 2000;
         cfg.warmupInsts = rng() % 500;
         cfg.seed = rng();
+        cfg.shardCoreMinAwake = 1 + static_cast<int>(rng() % 3);
         if (rng() % 5 < 2) {
             cfg.vm.enable = true;
             switch (rng() % 3) {
